@@ -1,0 +1,92 @@
+// Command littletabled runs the LittleTable server: an independent process
+// owning a directory of tables and serving the wire protocol over TCP
+// (§3.1). Applications connect through the client adaptor or the ltsql
+// shell.
+//
+// Usage:
+//
+//	littletabled -root /var/lib/littletable -addr :9155
+//
+// On SIGINT/SIGTERM the server stops accepting connections and shuts
+// down. By default it does NOT flush in-memory tablets on shutdown — the
+// durability contract is that recently-written data is re-readable from
+// its source (§2.3.4) — but -flush-on-exit opts into a clean flush.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"littletable"
+)
+
+func main() {
+	var (
+		root        = flag.String("root", "./littletable-data", "data directory (one subdirectory per table)")
+		addr        = flag.String("addr", "127.0.0.1:9155", "TCP listen address")
+		maintenance = flag.Duration("maintenance", time.Second, "background maintenance interval (flush/merge/TTL)")
+		rowLimit    = flag.Int("query-row-limit", 0, "rows per query response before more-available (0 = default)")
+		flushOnExit = flag.Bool("flush-on-exit", false, "flush all memtables before exiting")
+		metricsAddr = flag.String("metrics-addr", "", "optional HTTP listen address for /metrics and /healthz")
+		noCompress  = flag.Bool("no-compression", false, "disable block compression")
+		noBloom     = flag.Bool("no-bloom", false, "disable per-tablet Bloom filters")
+		sync        = flag.Bool("sync", false, "fsync tablet and descriptor writes")
+	)
+	flag.Parse()
+
+	opts := littletable.ServerOptions{
+		Root:                *root,
+		MaintenanceInterval: *maintenance,
+		QueryRowLimit:       *rowLimit,
+	}
+	opts.Core.DisableCompression = *noCompress
+	opts.Core.DisableBloom = *noBloom
+	opts.Core.SyncWrites = *sync
+
+	srv, err := littletable.NewServer(opts)
+	if err != nil {
+		log.Fatalf("littletabled: %v", err)
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("littletabled: listen: %v", err)
+	}
+	log.Printf("littletabled: serving %s on %s (%d tables)", *root, lis.Addr(), len(srv.TableNames()))
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("littletabled: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, srv.MetricsHandler()); err != nil {
+				log.Printf("littletabled: metrics: %v", err)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(lis); err != nil {
+			log.Printf("littletabled: serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("littletabled: shutting down")
+	if *flushOnExit {
+		if err := srv.FlushAllTables(); err != nil {
+			log.Printf("littletabled: flush on exit: %v", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("littletabled: close: %v", err)
+	}
+	<-done
+}

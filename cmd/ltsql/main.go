@@ -1,0 +1,174 @@
+// Command ltsql is LittleTable's interactive SQL shell. It connects to a
+// littletabled server over the wire protocol (the deployment of §3.1) or
+// opens a data directory directly with an embedded server (-root).
+//
+// Usage:
+//
+//	ltsql -addr 127.0.0.1:9155
+//	ltsql -root ./littletable-data
+//	echo 'SELECT COUNT(*) FROM usage' | ltsql -addr ... -q -
+//	ltsql -addr ... -q 'SHOW TABLES'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"littletable"
+	"littletable/internal/ltval"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "", "server address to connect to")
+		root  = flag.String("root", "", "open this data directory with an embedded server instead")
+		query = flag.String("q", "", "execute one statement and exit ('-' reads statements from stdin)")
+	)
+	flag.Parse()
+
+	var eng *littletable.SQLEngine
+	switch {
+	case *root != "":
+		srv, err := littletable.NewServer(littletable.ServerOptions{Root: *root})
+		if err != nil {
+			log.Fatalf("ltsql: %v", err)
+		}
+		defer srv.Close()
+		eng = littletable.NewSQLOverServer(srv)
+	case *addr != "":
+		c, err := littletable.Dial(*addr)
+		if err != nil {
+			log.Fatalf("ltsql: %v", err)
+		}
+		defer c.Close()
+		eng = littletable.NewSQLOverClient(c)
+	default:
+		log.Fatal("ltsql: one of -addr or -root is required")
+	}
+
+	switch {
+	case *query == "-":
+		runStream(eng, os.Stdin, false)
+	case *query != "":
+		if !runOne(eng, *query) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Println("LittleTable SQL shell. End statements with ';'. Ctrl-D exits.")
+		runStream(eng, os.Stdin, true)
+	}
+}
+
+// runStream reads ';'-separated statements and executes each.
+func runStream(eng *littletable.SQLEngine, r io.Reader, prompt bool) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var sb strings.Builder
+	if prompt {
+		fmt.Print("lt> ")
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(sb.String())
+			sb.Reset()
+			if stmt != "" && stmt != ";" {
+				runOne(eng, stmt)
+			}
+		}
+		if prompt {
+			if sb.Len() == 0 {
+				fmt.Print("lt> ")
+			} else {
+				fmt.Print("  > ")
+			}
+		}
+	}
+	if rest := strings.TrimSpace(sb.String()); rest != "" {
+		runOne(eng, rest)
+	}
+	if prompt {
+		fmt.Println()
+	}
+}
+
+func runOne(eng *littletable.SQLEngine, stmt string) bool {
+	res, err := eng.Exec(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	printResult(res)
+	return true
+}
+
+// printResult renders a result as an aligned text table.
+func printResult(res *littletable.SQLResult) {
+	if len(res.Columns) == 0 {
+		if res.RowsAffected > 0 {
+			fmt.Printf("ok (%d rows)\n", res.RowsAffected)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	cells := make([][]string, 0, len(res.Rows)+1)
+	cells = append(cells, res.Columns)
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = renderValue(v)
+		}
+		cells = append(cells, line)
+	}
+	widths := make([]int, len(res.Columns))
+	for _, line := range cells {
+		for i, c := range line {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for rowIdx, line := range cells {
+		var sb strings.Builder
+		for i, c := range line {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+		if rowIdx == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			fmt.Println(strings.Repeat("-", total-2))
+		}
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func renderValue(v littletable.Value) string {
+	switch v.Type {
+	case ltval.String:
+		return string(v.Bytes)
+	case ltval.Blob:
+		if len(v.Bytes) > 16 {
+			return fmt.Sprintf("x'%x…' (%dB)", v.Bytes[:16], len(v.Bytes))
+		}
+		return fmt.Sprintf("x'%x'", v.Bytes)
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,134 @@
+// Retention and compliance: the operational lifecycle of LittleTable data.
+//
+// The paper's only deletion is TTL aging (§3.1), its conclusion proposes a
+// bulk delete for regional privacy laws (§7), its related work floats
+// tiering old tablets to cheaper storage (§6), and its operations story
+// mirrors every shard to a warm spare (§2.2). This example runs all four
+// against one table:
+//
+//  1. a year of history ages under a TTL;
+//
+//  2. a privacy request deletes one device's rows everywhere;
+//
+//  3. tablets older than a quarter tier into a "cold" directory;
+//
+//  4. the table continuously archives to a spare, which takes over.
+//
+//     go run ./examples/retention
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"littletable"
+	"littletable/internal/archive"
+	"littletable/internal/clock"
+)
+
+func main() {
+	base, err := os.MkdirTemp("", "littletable-retention")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+	shardDir := filepath.Join(base, "shard")
+	spareDir := filepath.Join(base, "spare")
+	coldDir := filepath.Join(base, "cold")
+
+	clk := clock.NewFake(littletable.Now())
+	sc := littletable.MustSchema([]littletable.Column{
+		{Name: "network", Type: littletable.Int64},
+		{Name: "device", Type: littletable.Int64},
+		{Name: "ts", Type: littletable.Timestamp},
+		{Name: "bytes", Type: littletable.Int64},
+	}, []string{"network", "device", "ts"})
+
+	tab, err := littletable.CreateTable(shardDir, "usage", sc,
+		400*littletable.Day, littletable.Options{Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tab.Close()
+
+	// A year of daily samples for 6 devices.
+	now := clk.Now()
+	for day := int64(365); day >= 1; day-- {
+		var rows []littletable.Row
+		for dev := int64(1); dev <= 6; dev++ {
+			rows = append(rows, littletable.Row{
+				littletable.NewInt64(1),
+				littletable.NewInt64(dev),
+				littletable.NewTimestamp(now - day*littletable.Day),
+				littletable.NewInt64(day * 1000),
+			})
+		}
+		if err := tab.Insert(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tab.FlushAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("year of history: %d rows in %d tablets\n",
+		tab.RowEstimate(), tab.DiskTabletCount())
+
+	// 1. TTL: tighten retention to 180 days and reap.
+	if err := tab.AlterTTL(180 * littletable.Day); err != nil {
+		log.Fatal(err)
+	}
+	if err := tab.ExpireNow(); err != nil {
+		log.Fatal(err)
+	}
+	rows, _ := tab.QueryAll(littletable.NewQuery())
+	fmt.Printf("after tightening TTL to 180d: %d rows visible, %d tablets on disk\n",
+		len(rows), tab.DiskTabletCount())
+
+	// 2. Privacy request: erase device 4 entirely (§7's bulk delete).
+	dq := littletable.NewQuery()
+	dq.Lower = []littletable.Value{littletable.NewInt64(1), littletable.NewInt64(4)}
+	dq.Upper = dq.Lower
+	n, err := tab.DeleteWhere(dq, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("privacy delete removed %d rows for device 4\n", n)
+	if _, found, _ := tab.LatestRow(dq.Lower); found {
+		log.Fatal("device 4 still has rows!")
+	}
+
+	// 3. Tier tablets older than a quarter into cold storage (§6).
+	moved, err := tab.TierColdTablets(now-90*littletable.Day, coldDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tiered %d tablets to cold storage (%d cold, %d total); queries unaffected:\n",
+		moved, tab.ColdTabletCount(), tab.DiskTabletCount())
+	q := littletable.NewQuery()
+	q.MinTs = now - 150*littletable.Day
+	q.MaxTs = now - 140*littletable.Day
+	old, err := tab.QueryAll(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  a 10-day window from 5 months ago still returns %d rows\n", len(old))
+
+	// 4. Continuous archival to the spare (§2.2, §3.5), then failover.
+	passes, err := archive.SyncUntilClean(shardDir, spareDir, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard→spare sync converged in %d passes\n", passes)
+	spare, err := littletable.OpenTable(spareDir, "usage", littletable.Options{Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer spare.Close()
+	srows, err := spare.QueryAll(littletable.NewQuery())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spare takes over with %d rows (hot tier mirrored; cold tier shared)\n", len(srows))
+}

@@ -1,0 +1,3 @@
+module littletable
+
+go 1.22

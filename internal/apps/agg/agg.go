@@ -1,0 +1,475 @@
+// Package agg implements the background aggregators of §4.1.2: separate
+// processes that read LittleTable source tables and write substantially
+// smaller derived tables — per-network rollups over ten-minute periods,
+// usage joined against PostgreSQL-style dimension data (device tags), and
+// HyperLogLog sketches of distinct clients. Computing aggregates outside
+// the database let Meraki iterate on aggregation schemes quickly; this
+// package reproduces the three kinds the paper describes.
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"littletable/internal/apps"
+	"littletable/internal/clock"
+	"littletable/internal/configdb"
+	"littletable/internal/core"
+	"littletable/internal/hll"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// DefaultPeriod is the rollup bucket: "a new table of cumulative bytes
+// transferred per network over ten-minute periods" (§4.1.2).
+const DefaultPeriod = 10 * clock.Minute
+
+// DefaultPersistenceLag is the paper's pragmatic durability assumption:
+// "aggregators simply assume that data written more than 20 minutes in the
+// past has reached disk" (§4.1.2). Aggregation never processes a period
+// newer than now minus this lag.
+const DefaultPersistenceLag = 20 * clock.Minute
+
+// RollupSchema returns the per-network rollup destination schema, keyed
+// (network, ts) with ts = period start.
+func RollupSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "bytes", Type: ltval.Int64}, // cumulative bytes in the period
+		{Name: "samples", Type: ltval.Int64},
+	}, []string{"network", "ts"})
+}
+
+// TagSchema returns the per-tag usage destination schema (the §4.1.2
+// example: a school tagging access points "classrooms", "playing-fields").
+func TagSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "tag", Type: ltval.String},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "bytes", Type: ltval.Int64},
+	}, []string{"network", "tag", "ts"})
+}
+
+// HLLSchema returns the distinct-clients destination schema: one
+// HyperLogLog sketch per network per period, stored as a blob.
+func HLLSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "sketch", Type: ltval.Blob},
+	}, []string{"network", "ts"})
+}
+
+// Rollup aggregates a usage source table (usage.Schema layout) into a
+// per-network rollup table.
+type Rollup struct {
+	src apps.Store
+	dst apps.Store
+	clk clock.Clock
+
+	// Period is the aggregation bucket length.
+	Period int64
+	// PersistenceLag holds back aggregation of data that may not be on
+	// disk yet.
+	PersistenceLag int64
+	// Horizon bounds how far back the first run looks.
+	Horizon int64
+	// UseFlush removes the persistence-lag assumption by issuing the
+	// explicit flush command §4.1.2 proposes before each period (requires
+	// a source store implementing apps.Flusher).
+	UseFlush bool
+
+	next int64 // start of the next period to process; 0 = not recovered
+
+	PeriodsProcessed int64
+	RowsWritten      int64
+}
+
+// NewRollup returns a rollup aggregator from src (usage schema) to dst
+// (RollupSchema).
+func NewRollup(src, dst apps.Store, clk clock.Clock, horizon int64) *Rollup {
+	return &Rollup{
+		src:            src,
+		dst:            dst,
+		clk:            clk,
+		Period:         DefaultPeriod,
+		PersistenceLag: DefaultPersistenceLag,
+		Horizon:        horizon,
+	}
+}
+
+// Recover determines where to resume after a restart or LittleTable crash
+// (§4.1.2): because LittleTable flushes rows in insertion order, finding
+// any row from an aggregation period in the destination means all prior
+// periods completed; re-process from that period forward.
+func (r *Rollup) Recover() error {
+	now := r.clk.Now()
+	ts, found, err := apps.FindLatestTimestamp(r.dst, now, r.Horizon)
+	if err != nil {
+		return err
+	}
+	if !found {
+		r.next = floorTo(r.Horizon, r.Period)
+		return nil
+	}
+	// Re-process the period of the found row and everything after it.
+	r.next = floorTo(ts, r.Period)
+	return nil
+}
+
+// Run processes all complete periods older than the persistence lag (or
+// every complete period, after an explicit flush, with UseFlush).
+func (r *Rollup) Run() error {
+	if r.next == 0 {
+		if err := r.Recover(); err != nil {
+			return err
+		}
+	}
+	lag := r.PersistenceLag
+	if r.UseFlush {
+		if f, ok := r.src.(apps.Flusher); ok {
+			if err := f.FlushBefore(floorTo(r.clk.Now(), r.Period)); err != nil {
+				return err
+			}
+			lag = 0
+		}
+	}
+	limit := floorTo(r.clk.Now()-lag, r.Period)
+	for r.next+r.Period <= limit {
+		if err := r.processPeriod(r.next); err != nil {
+			return err
+		}
+		r.next += r.Period
+		r.PeriodsProcessed++
+	}
+	return nil
+}
+
+// processPeriod aggregates one [start, start+Period) bucket. Destination
+// rows are inserted in ascending key order, so every insert takes the
+// largest-key uniqueness fast path (§3.4.4: "aggregators, which by design
+// insert the rows of each aggregation period in ascending primary key
+// order").
+func (r *Rollup) processPeriod(start int64) error {
+	q := core.NewQuery()
+	q.MinTs = start
+	q.MaxTs = start + r.Period - 1
+	it, err := r.src.Query(q)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	type acc struct {
+		bytes   int64
+		samples int64
+	}
+	byNet := map[int64]*acc{}
+	for it.Next() {
+		row := it.Row()
+		net := row[0].Int
+		a := byNet[net]
+		if a == nil {
+			a = &acc{}
+			byNet[net] = a
+		}
+		// rate (bytes/s) × sample interval (s) ≈ bytes in the interval.
+		secs := float64(row[2].Int-row[3].Int) / float64(clock.Second)
+		a.bytes += int64(row[5].Float * secs)
+		a.samples++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(byNet) == 0 {
+		return nil
+	}
+	nets := make([]int64, 0, len(byNet))
+	for n := range byNet {
+		nets = append(nets, n)
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	rows := make([]schema.Row, 0, len(nets))
+	for _, n := range nets {
+		a := byNet[n]
+		rows = append(rows, schema.Row{
+			ltval.NewInt64(n),
+			ltval.NewTimestamp(start),
+			ltval.NewInt64(a.bytes),
+			ltval.NewInt64(a.samples),
+		})
+	}
+	n, err := apps.InsertTolerant(r.dst, rows)
+	if err != nil {
+		return fmt.Errorf("agg: rollup insert for period %d: %w", start, err)
+	}
+	r.RowsWritten += int64(n)
+	return nil
+}
+
+// Next exposes the resume position for tests.
+func (r *Rollup) Next() int64 { return r.next }
+
+func floorTo(ts, unit int64) int64 {
+	q := ts / unit
+	if ts%unit < 0 {
+		q--
+	}
+	return q * unit
+}
+
+// TagAggregator joins usage source rows with configdb device tags,
+// producing per-(network, tag) usage — the dimension-table join that
+// computing aggregates outside the database made possible (§4.1.2).
+type TagAggregator struct {
+	src apps.Store
+	dst apps.Store
+	cfg *configdb.DB
+	clk clock.Clock
+
+	Period         int64
+	PersistenceLag int64
+	Horizon        int64
+	next           int64
+
+	RowsWritten int64
+}
+
+// NewTagAggregator returns a tag aggregator from src (usage schema) to dst
+// (TagSchema).
+func NewTagAggregator(src, dst apps.Store, cfg *configdb.DB, clk clock.Clock, horizon int64) *TagAggregator {
+	return &TagAggregator{
+		src:            src,
+		dst:            dst,
+		cfg:            cfg,
+		clk:            clk,
+		Period:         DefaultPeriod,
+		PersistenceLag: DefaultPersistenceLag,
+		Horizon:        horizon,
+	}
+}
+
+// Run processes all complete periods older than the persistence lag.
+func (t *TagAggregator) Run() error {
+	if t.next == 0 {
+		now := t.clk.Now()
+		ts, found, err := apps.FindLatestTimestamp(t.dst, now, t.Horizon)
+		if err != nil {
+			return err
+		}
+		if found {
+			t.next = floorTo(ts, t.Period)
+		} else {
+			t.next = floorTo(t.Horizon, t.Period)
+		}
+	}
+	limit := floorTo(t.clk.Now()-t.PersistenceLag, t.Period)
+	for t.next+t.Period <= limit {
+		if err := t.processPeriod(t.next); err != nil {
+			return err
+		}
+		t.next += t.Period
+	}
+	return nil
+}
+
+func (t *TagAggregator) processPeriod(start int64) error {
+	q := core.NewQuery()
+	q.MinTs = start
+	q.MaxTs = start + t.Period - 1
+	it, err := t.src.Query(q)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	// (network, tag) → bytes. Tags come from the dimension snapshot.
+	type key struct {
+		net int64
+		tag string
+	}
+	sums := map[key]int64{}
+	tagCache := map[int64]map[int64][]string{} // network → device → tags
+	for it.Next() {
+		row := it.Row()
+		net, dev := row[0].Int, row[1].Int
+		tags, ok := tagCache[net]
+		if !ok {
+			tags = t.cfg.TagsByDevice(net)
+			tagCache[net] = tags
+		}
+		secs := float64(row[2].Int-row[3].Int) / float64(clock.Second)
+		bytes := int64(row[5].Float * secs)
+		for _, tag := range tags[dev] {
+			sums[key{net, tag}] += bytes
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].net != keys[j].net {
+			return keys[i].net < keys[j].net
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	rows := make([]schema.Row, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, schema.Row{
+			ltval.NewInt64(k.net),
+			ltval.NewString(k.tag),
+			ltval.NewTimestamp(start),
+			ltval.NewInt64(sums[k]),
+		})
+	}
+	n, err := apps.InsertTolerant(t.dst, rows)
+	if err != nil {
+		return fmt.Errorf("agg: tag insert for period %d: %w", start, err)
+	}
+	t.RowsWritten += int64(n)
+	return nil
+}
+
+// ClientCounter builds per-network HyperLogLog sketches of distinct
+// clients from an events source table (client identifiers appear in event
+// info), the fixed-size probabilistic set tracking of §4.1.2.
+type ClientCounter struct {
+	src apps.Store
+	dst apps.Store
+	clk clock.Clock
+
+	Period         int64
+	PersistenceLag int64
+	Horizon        int64
+	Precision      uint8
+	next           int64
+
+	RowsWritten int64
+}
+
+// NewClientCounter returns an HLL aggregator from src (events schema) to
+// dst (HLLSchema).
+func NewClientCounter(src, dst apps.Store, clk clock.Clock, horizon int64) *ClientCounter {
+	return &ClientCounter{
+		src:            src,
+		dst:            dst,
+		clk:            clk,
+		Period:         clock.Hour,
+		PersistenceLag: DefaultPersistenceLag,
+		Horizon:        horizon,
+		Precision:      hll.DefaultPrecision,
+	}
+}
+
+// Run processes all complete periods older than the persistence lag.
+func (c *ClientCounter) Run() error {
+	if c.next == 0 {
+		now := c.clk.Now()
+		ts, found, err := apps.FindLatestTimestamp(c.dst, now, c.Horizon)
+		if err != nil {
+			return err
+		}
+		if found {
+			c.next = floorTo(ts, c.Period)
+		} else {
+			c.next = floorTo(c.Horizon, c.Period)
+		}
+	}
+	limit := floorTo(c.clk.Now()-c.PersistenceLag, c.Period)
+	for c.next+c.Period <= limit {
+		if err := c.processPeriod(c.next); err != nil {
+			return err
+		}
+		c.next += c.Period
+	}
+	return nil
+}
+
+func (c *ClientCounter) processPeriod(start int64) error {
+	q := core.NewQuery()
+	q.MinTs = start
+	q.MaxTs = start + c.Period - 1
+	it, err := c.src.Query(q)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	sketches := map[int64]*hll.Sketch{}
+	for it.Next() {
+		row := it.Row()
+		net := row[0].Int
+		info := row[5].Bytes // "client=<mac>"
+		s := sketches[net]
+		if s == nil {
+			s = hll.MustNew(c.Precision)
+			sketches[net] = s
+		}
+		s.Add(info)
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(sketches) == 0 {
+		return nil
+	}
+	nets := make([]int64, 0, len(sketches))
+	for n := range sketches {
+		nets = append(nets, n)
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	rows := make([]schema.Row, 0, len(nets))
+	for _, n := range nets {
+		rows = append(rows, schema.Row{
+			ltval.NewInt64(n),
+			ltval.NewTimestamp(start),
+			ltval.NewBlob(sketches[n].Marshal()),
+		})
+	}
+	n, err := apps.InsertTolerant(c.dst, rows)
+	if err != nil {
+		return fmt.Errorf("agg: hll insert for period %d: %w", start, err)
+	}
+	c.RowsWritten += int64(n)
+	return nil
+}
+
+// DistinctClients unions the sketches stored for a network over
+// [minTs, maxTs] and returns the estimated distinct-client count —
+// demonstrating that sketches stored as blobs merge across periods.
+func DistinctClients(dst apps.Store, network int64, minTs, maxTs int64) (uint64, error) {
+	q := core.NewQuery()
+	q.Lower = []ltval.Value{ltval.NewInt64(network)}
+	q.Upper = q.Lower
+	q.MinTs, q.MaxTs = minTs, maxTs
+	it, err := dst.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	var total *hll.Sketch
+	for it.Next() {
+		s, err := hll.Unmarshal(it.Row()[2].Bytes)
+		if err != nil {
+			return 0, err
+		}
+		if total == nil {
+			total = s
+		} else if err := total.Merge(s); err != nil {
+			return 0, err
+		}
+	}
+	if err := it.Err(); err != nil {
+		return 0, err
+	}
+	if total == nil {
+		return 0, nil
+	}
+	return total.Estimate(), nil
+}

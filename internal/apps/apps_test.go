@@ -1,0 +1,555 @@
+// Integration tests for the §4 application daemons running against real
+// in-process tables with a fake clock and a simulated device fleet.
+package apps_test
+
+import (
+	"testing"
+
+	"littletable/internal/apps"
+	"littletable/internal/apps/agg"
+	"littletable/internal/apps/events"
+	"littletable/internal/apps/motion"
+	"littletable/internal/apps/usage"
+	"littletable/internal/clock"
+	"littletable/internal/configdb"
+	"littletable/internal/core"
+	"littletable/internal/devicesim"
+	"littletable/internal/schema"
+)
+
+const start = 1_782_018_420 * clock.Second
+
+type world struct {
+	clk   *clock.Fake
+	fleet *devicesim.Fleet
+	cfg   *configdb.DB
+	dir   string
+	t     *testing.T
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	clk := clock.NewFake(start)
+	return &world{
+		clk:   clk,
+		fleet: devicesim.NewFleet(clk, 99),
+		cfg:   configdb.New(),
+		dir:   t.TempDir(),
+		t:     t,
+	}
+}
+
+func (w *world) advance(d int64) {
+	w.clk.Advance(d)
+	w.fleet.AdvanceAll()
+}
+
+func (w *world) table(name string, sc *schema.Schema) *core.Table {
+	w.t.Helper()
+	tab, err := core.CreateTable(w.dir, name, sc, 0, core.Options{Clock: w.clk})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(func() { tab.Close() })
+	return tab
+}
+
+func TestUsageGrabberEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	for i := int64(1); i <= 5; i++ {
+		w.fleet.AddDevice(i, 100+(i%2), "access_point")
+	}
+	tab := w.table("usage", usage.Schema())
+	g := usage.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+
+	// First poll: caches only, no rows.
+	if err := g.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RowsInserted != 0 {
+		t.Fatalf("first poll inserted %d rows", g.RowsInserted)
+	}
+	// Subsequent polls produce one row per device per poll.
+	for i := 0; i < 10; i++ {
+		w.advance(clock.Minute)
+		if err := g.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.RowsInserted != 50 {
+		t.Fatalf("inserted %d rows, want 50", g.RowsInserted)
+	}
+	rows, err := tab.QueryAll(core.NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("stored %d rows", len(rows))
+	}
+	for _, r := range rows {
+		rate := r[5].Float
+		if rate <= 0 {
+			t.Fatalf("non-positive rate: %v", r)
+		}
+		if r[2].Int-r[3].Int != clock.Minute {
+			t.Fatalf("sample interval wrong: %v", r)
+		}
+	}
+}
+
+func TestUsageGrabberGapHandling(t *testing.T) {
+	w := newWorld(t)
+	dev := w.fleet.AddDevice(1, 100, "access_point")
+	tab := w.table("usage", usage.Schema())
+	g := usage.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	g.Poll()
+	w.advance(clock.Minute)
+	g.Poll() // one row
+	// Short unavailability (< T): proceeds as normal on return.
+	dev.SetOnline(false)
+	w.advance(5 * clock.Minute)
+	g.Poll() // no row
+	dev.SetOnline(true)
+	w.advance(clock.Minute)
+	g.Poll() // row covering the 6-minute interval
+	if g.RowsInserted != 2 {
+		t.Fatalf("after short gap: %d rows", g.RowsInserted)
+	}
+	// Long unavailability (> T): no row; treated like first contact.
+	dev.SetOnline(false)
+	w.advance(2 * clock.Hour)
+	g.Poll()
+	dev.SetOnline(true)
+	w.advance(clock.Minute)
+	before := g.RowsInserted
+	g.Poll()
+	if g.RowsInserted != before {
+		t.Fatal("row inserted across a gap longer than T")
+	}
+	if g.GapsSkipped == 0 {
+		t.Fatal("gap not accounted")
+	}
+	// Next poll resumes normal rows.
+	w.advance(clock.Minute)
+	g.Poll()
+	if g.RowsInserted != before+1 {
+		t.Fatal("did not resume after long gap")
+	}
+}
+
+func TestUsageGrabberCrashRecovery(t *testing.T) {
+	w := newWorld(t)
+	for i := int64(1); i <= 3; i++ {
+		w.fleet.AddDevice(i, 100, "access_point")
+	}
+	tab := w.table("usage", usage.Schema())
+	g := usage.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	g.Poll()
+	for i := 0; i < 5; i++ {
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	// "Crash": new grabber, rebuild cache from LittleTable (§4.1.1).
+	g2 := usage.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	if err := g2.RebuildCache(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.CacheLen() != 3 {
+		t.Fatalf("rebuilt cache has %d entries", g2.CacheLen())
+	}
+	ts, _, ok := g2.CachedSample(1)
+	if !ok || ts != w.clk.Now() {
+		t.Fatalf("rebuilt sample ts = %d, want %d", ts, w.clk.Now())
+	}
+	// Recovered grabber keeps producing rows seamlessly.
+	w.advance(clock.Minute)
+	if err := g2.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g2.RowsInserted != 3 {
+		t.Fatalf("post-recovery poll inserted %d", g2.RowsInserted)
+	}
+}
+
+func TestEventsGrabberEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	for i := int64(1); i <= 3; i++ {
+		w.fleet.AddDevice(i, 200, "access_point")
+	}
+	tab := w.table("events", events.Schema())
+	g := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	w.advance(4 * clock.Hour)
+	if err := g.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RowsInserted == 0 {
+		t.Fatal("no events stored after 4 hours")
+	}
+	// Every stored event id matches the device's view.
+	rows, err := tab.QueryAll(core.NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != g.RowsInserted {
+		t.Fatalf("stored %d, inserted %d", len(rows), g.RowsInserted)
+	}
+	// Second poll after more activity fetches only the new events.
+	before := g.RowsInserted
+	w.advance(clock.Hour)
+	if err := g.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	rows2, _ := tab.QueryAll(core.NewQuery())
+	if int64(len(rows2)) != g.RowsInserted || g.RowsInserted <= before {
+		t.Fatal("incremental poll wrong")
+	}
+}
+
+func TestEventsGrabberRestartRecovery(t *testing.T) {
+	w := newWorld(t)
+	dev := w.fleet.AddDevice(1, 200, "access_point")
+	tab := w.table("events", events.Schema())
+	g := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	w.advance(3 * clock.Hour)
+	g.Poll()
+	want, _ := g.CachedID(1)
+	if want == 0 {
+		t.Skip("no events for this seed")
+	}
+	// Restart with recent data in the window.
+	g2 := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	if err := g2.RebuildCache(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g2.CachedID(1)
+	if got != want {
+		t.Fatalf("recovered id %d, want %d", got, want)
+	}
+	// No duplicate insert errors on the next poll.
+	w.advance(clock.Hour)
+	if err := g2.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	_ = dev
+}
+
+func TestEventsGrabberDeepRecovery(t *testing.T) {
+	// Device last heard from long before the recovery window: the grabber
+	// must fall back to the latest-row-for-prefix search (§4.2).
+	w := newWorld(t)
+	w.fleet.AddDevice(1, 200, "access_point")
+	tab := w.table("events", events.Schema())
+	g := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	w.advance(3 * clock.Hour)
+	g.Poll()
+	want, _ := g.CachedID(1)
+	if want == 0 {
+		t.Skip("no events for this seed")
+	}
+	if err := tab.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A very long quiet gap, far beyond the recovery window. Freeze the
+	// device so it generates nothing new.
+	dev := w.fleet.Device(1)
+	dev.SetOnline(false)
+	w.clk.Advance(30 * clock.Day)
+	dev.SetOnline(true)
+	g2 := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	if err := g2.RebuildCache(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g2.CachedID(1)
+	if got != want {
+		t.Fatalf("deep recovery id %d, want %d", got, want)
+	}
+}
+
+func TestEventsSentinels(t *testing.T) {
+	w := newWorld(t)
+	w.fleet.AddDevice(1, 200, "access_point")
+	tab := w.table("events", events.Schema())
+	g := events.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	g.SentinelPeriod = events.DefaultSentinelPeriod
+	w.advance(3 * clock.Hour)
+	g.Poll()
+	rows, _ := tab.QueryAll(core.NewQuery())
+	sentinels := 0
+	for _, r := range rows {
+		if string(r[4].Bytes) == events.SentinelType {
+			sentinels++
+		}
+	}
+	if sentinels == 0 {
+		t.Fatal("no sentinel rows written")
+	}
+}
+
+func TestMotionGrabberAndSearch(t *testing.T) {
+	w := newWorld(t)
+	w.fleet.AddDevice(1, 300, "camera")
+	tab := w.table("motion", motion.Schema())
+	g := motion.New(&apps.CoreStore{T: tab}, w.fleet, w.clk)
+	w.advance(2 * clock.Hour)
+	if err := g.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RowsInserted == 0 {
+		t.Fatal("no motion rows")
+	}
+	store := &apps.CoreStore{T: tab}
+	// Full-frame search matches everything (bounded).
+	all, err := motion.SearchRect(store, 1, 0, 0, devicesim.FrameWidth, devicesim.FrameHeight,
+		start, w.clk.Now(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(all)) != g.RowsInserted {
+		t.Fatalf("full-frame search: %d of %d", len(all), g.RowsInserted)
+	}
+	// Newest first.
+	for i := 1; i < len(all); i++ {
+		if all[i].Ts > all[i-1].Ts {
+			t.Fatal("search results not newest-first")
+		}
+	}
+	// A small rectangle matches a strict subset.
+	small, err := motion.SearchRect(store, 1, 0, 0, 96, 64, start, w.clk.Now(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) >= len(all) {
+		t.Fatal("small rect matched as much as the full frame")
+	}
+	// Limit respected.
+	few, _ := motion.SearchRect(store, 1, 0, 0, devicesim.FrameWidth, devicesim.FrameHeight,
+		start, w.clk.Now(), 3)
+	if len(few) != 3 {
+		t.Fatalf("limit: %d", len(few))
+	}
+	// Heatmap sums durations.
+	hm, err := motion.Heatmap(store, 1, start, w.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, rrow := range hm {
+		for _, v := range rrow {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty heatmap")
+	}
+}
+
+func TestRollupAggregator(t *testing.T) {
+	w := newWorld(t)
+	for i := int64(1); i <= 4; i++ {
+		w.fleet.AddDevice(i, 100+(i%2), "access_point")
+	}
+	src := w.table("usage", usage.Schema())
+	dst := w.table("usage_10m", agg.RollupSchema())
+	g := usage.New(&apps.CoreStore{T: src}, w.fleet, w.clk)
+	g.Poll()
+	for i := 0; i < 60; i++ { // an hour of minutes
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	r := agg.NewRollup(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.clk, start-clock.Day)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsWritten == 0 {
+		t.Fatal("rollup wrote nothing")
+	}
+	rows, _ := dst.QueryAll(core.NewQuery())
+	// Two networks × several complete 10-minute periods.
+	if len(rows) < 4 {
+		t.Fatalf("rollup rows: %d", len(rows))
+	}
+	for _, row := range rows {
+		if row[1].Int%agg.DefaultPeriod != 0 {
+			t.Fatal("rollup ts not period-aligned")
+		}
+		if row[2].Int <= 0 || row[3].Int <= 0 {
+			t.Fatalf("rollup accumulated nothing: %v", row)
+		}
+	}
+	// Periods newer than the persistence lag are withheld.
+	latest := rows[len(rows)-1][1].Int
+	if latest+agg.DefaultPeriod > w.clk.Now()-agg.DefaultPersistenceLag {
+		t.Fatal("rollup processed a period inside the persistence lag")
+	}
+	// Re-run: idempotent resume (re-processes only its last period, whose
+	// rows are duplicates and must not error by being re-inserted).
+	before := r.RowsWritten
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.RowsWritten != before {
+		t.Fatal("idle re-run wrote rows")
+	}
+}
+
+func TestRollupRecovery(t *testing.T) {
+	w := newWorld(t)
+	w.fleet.AddDevice(1, 100, "access_point")
+	src := w.table("usage", usage.Schema())
+	dst := w.table("usage_10m", agg.RollupSchema())
+	g := usage.New(&apps.CoreStore{T: src}, w.fleet, w.clk)
+	g.Poll()
+	for i := 0; i < 90; i++ {
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	r1 := agg.NewRollup(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.clk, start-clock.Day)
+	if err := r1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh aggregator (restart) recovers its position from dst alone.
+	r2 := agg.NewRollup(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.clk, start-clock.Day)
+	if err := r2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Next() == 0 || r2.Next() > r1.Next() {
+		t.Fatalf("recovered position %d vs %d", r2.Next(), r1.Next())
+	}
+	// Continue: more source data, both converge.
+	for i := 0; i < 30; i++ {
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	if err := r2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Next() <= r1.Next() {
+		t.Fatal("recovered aggregator made no progress")
+	}
+}
+
+func TestTagAggregator(t *testing.T) {
+	w := newWorld(t)
+	cust := w.cfg.AddCustomer("school")
+	net, _ := w.cfg.AddNetwork(cust.ID, "campus")
+	d1, _ := w.cfg.AddDevice(net.ID, configdb.KindAccessPoint, "ap1", "classrooms")
+	d2, _ := w.cfg.AddDevice(net.ID, configdb.KindAccessPoint, "ap2", "playing-fields")
+	w.fleet.AddDevice(d1.ID, net.ID, "access_point")
+	w.fleet.AddDevice(d2.ID, net.ID, "access_point")
+	src := w.table("usage", usage.Schema())
+	dst := w.table("usage_by_tag", agg.TagSchema())
+	g := usage.New(&apps.CoreStore{T: src}, w.fleet, w.clk)
+	g.Poll()
+	for i := 0; i < 40; i++ {
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	ta := agg.NewTagAggregator(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.cfg, w.clk, start-clock.Day)
+	if err := ta.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := dst.QueryAll(core.NewQuery())
+	if len(rows) == 0 {
+		t.Fatal("tag aggregation produced nothing")
+	}
+	tags := map[string]bool{}
+	for _, r := range rows {
+		tags[string(r[1].Bytes)] = true
+		if r[3].Int <= 0 {
+			t.Fatalf("zero bytes for tag row %v", r)
+		}
+	}
+	if !tags["classrooms"] || !tags["playing-fields"] {
+		t.Fatalf("tags seen: %v", tags)
+	}
+}
+
+func TestClientCounter(t *testing.T) {
+	w := newWorld(t)
+	for i := int64(1); i <= 4; i++ {
+		w.fleet.AddDevice(i, 200, "access_point")
+	}
+	src := w.table("events", events.Schema())
+	dst := w.table("clients_hll", agg.HLLSchema())
+	g := events.New(&apps.CoreStore{T: src}, w.fleet, w.clk)
+	for i := 0; i < 6; i++ {
+		w.advance(clock.Hour)
+		g.Poll()
+	}
+	cc := agg.NewClientCounter(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.clk, start-clock.Day)
+	if err := cc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cc.RowsWritten == 0 {
+		t.Skip("no events for this seed")
+	}
+	n, err := agg.DistinctClients(&apps.CoreStore{T: dst}, 200, start, w.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("distinct clients = 0")
+	}
+}
+
+func TestFindLatestTimestamp(t *testing.T) {
+	w := newWorld(t)
+	tab := w.table("usage", usage.Schema())
+	store := &apps.CoreStore{T: tab}
+	// Empty table.
+	_, found, err := apps.FindLatestTimestamp(store, w.clk.Now(), start-clock.Day)
+	if err != nil || found {
+		t.Fatalf("empty table: %v %v", found, err)
+	}
+	// One old row, far back.
+	old := w.clk.Now() - 20*clock.Hour
+	if err := tab.Insert([]schema.Row{usage.Row(1, 1, old, old-60, 100, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	ts, found, err := apps.FindLatestTimestamp(store, w.clk.Now(), start-clock.Day)
+	if err != nil || !found || ts != old {
+		t.Fatalf("found %v ts %d, want %d", found, ts, old)
+	}
+	// A newer row dominates.
+	newer := w.clk.Now() - 3*clock.Minute
+	tab.Insert([]schema.Row{usage.Row(1, 1, newer, newer-60, 200, 1)})
+	ts, _, _ = apps.FindLatestTimestamp(store, w.clk.Now(), start-clock.Day)
+	if ts != newer {
+		t.Fatalf("latest = %d, want %d", ts, newer)
+	}
+}
+
+func TestRollupWithExplicitFlush(t *testing.T) {
+	// With UseFlush (the §4.1.2 flush command), the aggregator processes
+	// right up to the current period boundary instead of holding back the
+	// 20-minute persistence lag — and the source rows it consumed are
+	// actually on disk.
+	w := newWorld(t)
+	w.fleet.AddDevice(1, 100, "access_point")
+	src := w.table("usage", usage.Schema())
+	dst := w.table("usage_10m", agg.RollupSchema())
+	g := usage.New(&apps.CoreStore{T: src}, w.fleet, w.clk)
+	g.Poll()
+	for i := 0; i < 35; i++ {
+		w.advance(clock.Minute)
+		g.Poll()
+	}
+	lagged := agg.NewRollup(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst}, w.clk, start-clock.Day)
+	if err := lagged.Run(); err != nil {
+		t.Fatal(err)
+	}
+	laggedNext := lagged.Next()
+
+	dst2 := w.table("usage_10m_flush", agg.RollupSchema())
+	flushed := agg.NewRollup(&apps.CoreStore{T: src}, &apps.CoreStore{T: dst2}, w.clk, start-clock.Day)
+	flushed.UseFlush = true
+	if err := flushed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if flushed.Next() <= laggedNext {
+		t.Fatalf("UseFlush did not advance past the lag: %d vs %d", flushed.Next(), laggedNext)
+	}
+	if src.DiskTabletCount() == 0 {
+		t.Fatal("explicit flush left source rows in memory")
+	}
+}

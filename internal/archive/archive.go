@@ -1,0 +1,196 @@
+// Package archive implements LittleTable's continuous archival (§3.5):
+// every 10 minutes Dashboard runs an rsync-like sync from shard to spare
+// "repeatedly until a sync completes without copying any files, indicating
+// that shard and spare have identical contents". The approach works
+// because tablets are immutable once written and a copy-nothing pass is
+// quick relative to the rate of new tablets.
+//
+// Sync is an incremental one-way directory mirror: files are copied when
+// the destination is missing them or differs in size or content hash, and
+// destination files absent from the source are deleted (tablets removed by
+// merges or TTL expiry must disappear from the spare too).
+package archive
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SyncStats summarizes one sync pass.
+type SyncStats struct {
+	FilesCopied  int
+	FilesDeleted int
+	BytesCopied  int64
+	FilesSame    int
+}
+
+// Clean reports whether the pass copied and deleted nothing: the
+// convergence signal §3.5's loop waits for.
+func (s SyncStats) Clean() bool { return s.FilesCopied == 0 && s.FilesDeleted == 0 }
+
+// Sync mirrors src into dst once and reports what it did. Paths are
+// created as needed. Temporary files (".tmp" suffix) are skipped: they are
+// in-flight tablet writes that the next pass will see completed or gone.
+func Sync(src, dst string) (SyncStats, error) {
+	var stats SyncStats
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return stats, err
+	}
+	srcFiles, err := listFiles(src)
+	if err != nil {
+		return stats, err
+	}
+	dstFiles, err := listFiles(dst)
+	if err != nil {
+		return stats, err
+	}
+	srcSet := make(map[string]os.FileInfo, len(srcFiles))
+	for rel, fi := range srcFiles {
+		srcSet[rel] = fi
+	}
+	// Copy new/changed files.
+	rels := make([]string, 0, len(srcFiles))
+	for rel := range srcFiles {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		sfi := srcFiles[rel]
+		dfi, ok := dstFiles[rel]
+		if ok && dfi.Size() == sfi.Size() {
+			same, err := sameContent(filepath.Join(src, rel), filepath.Join(dst, rel))
+			if err != nil {
+				return stats, err
+			}
+			if same {
+				stats.FilesSame++
+				continue
+			}
+		}
+		n, err := copyFile(filepath.Join(src, rel), filepath.Join(dst, rel))
+		if err != nil {
+			return stats, fmt.Errorf("archive: copy %s: %w", rel, err)
+		}
+		stats.FilesCopied++
+		stats.BytesCopied += n
+	}
+	// Delete files gone from the source.
+	for rel := range dstFiles {
+		if _, ok := srcSet[rel]; !ok {
+			if err := os.Remove(filepath.Join(dst, rel)); err != nil {
+				return stats, err
+			}
+			stats.FilesDeleted++
+		}
+	}
+	return stats, nil
+}
+
+// SyncUntilClean runs Sync passes until one copies nothing, as §3.5
+// describes, up to maxPasses (0 = default 10).
+func SyncUntilClean(src, dst string, maxPasses int) (passes int, err error) {
+	if maxPasses <= 0 {
+		maxPasses = 10
+	}
+	for passes = 1; passes <= maxPasses; passes++ {
+		stats, err := Sync(src, dst)
+		if err != nil {
+			return passes, err
+		}
+		if stats.Clean() {
+			return passes, nil
+		}
+	}
+	return maxPasses, fmt.Errorf("archive: no clean pass within %d attempts", maxPasses)
+}
+
+// listFiles returns relative path → FileInfo for all regular files under
+// root, excluding in-flight temporaries.
+func listFiles(root string) (map[string]os.FileInfo, error) {
+	out := map[string]os.FileInfo{}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // raced a merge/TTL deletion; next pass settles it
+			}
+			return err
+		}
+		if fi.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = fi
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return out, nil
+	}
+	return out, err
+}
+
+// sameContent compares files by CRC32C, cheaper than byte comparison for
+// the common same case and collision-safe enough for a mirror that re-runs
+// until clean.
+func sameContent(a, b string) (bool, error) {
+	ha, err := fileCRC(a)
+	if err != nil {
+		return false, err
+	}
+	hb, err := fileCRC(b)
+	if err != nil {
+		return false, err
+	}
+	return ha == hb, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func fileCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.New(crcTable)
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}
+
+// copyFile copies src to dst atomically (write temp + rename), returning
+// bytes copied.
+func copyFile(src, dst string) (int64, error) {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return 0, err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	tmp := dst + ".copy.tmp"
+	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(out, in)
+	if err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, os.Rename(tmp, dst)
+}

@@ -1,0 +1,188 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+func write(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	p := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(t *testing.T, dir, rel string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSyncCopiesNewFiles(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	write(t, src, "usage/desc.json", "descriptor")
+	write(t, src, "usage/000000000001.tab", "tablet-data")
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesCopied != 2 || stats.FilesDeleted != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if read(t, dst, "usage/000000000001.tab") != "tablet-data" {
+		t.Error("tablet content wrong")
+	}
+	// Second pass is clean.
+	stats, err = Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Clean() || stats.FilesSame != 2 {
+		t.Fatalf("second pass: %+v", stats)
+	}
+}
+
+func TestSyncDetectsChangedContent(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	write(t, src, "desc.json", "v1-xx")
+	Sync(src, dst)
+	write(t, src, "desc.json", "v2-yy") // same length, different bytes
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesCopied != 1 {
+		t.Fatalf("changed file not recopied: %+v", stats)
+	}
+	if read(t, dst, "desc.json") != "v2-yy" {
+		t.Error("content not updated")
+	}
+}
+
+func TestSyncDeletesRemovedFiles(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	write(t, src, "a.tab", "a")
+	write(t, src, "b.tab", "b")
+	Sync(src, dst)
+	// Merge removed a.tab on the shard.
+	os.Remove(filepath.Join(src, "a.tab"))
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesDeleted != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if _, err := os.Stat(filepath.Join(dst, "a.tab")); !os.IsNotExist(err) {
+		t.Error("deleted file survives on spare")
+	}
+}
+
+func TestSyncSkipsTmpFiles(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	write(t, src, "partial.tab.tmp", "in-flight")
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesCopied != 0 {
+		t.Error("tmp file copied")
+	}
+}
+
+func TestSyncUntilClean(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	write(t, src, "x.tab", "x")
+	passes, err := SyncUntilClean(src, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 { // one copying pass + one clean pass
+		t.Errorf("passes = %d", passes)
+	}
+}
+
+func TestSyncEmptySource(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	stats, err := Sync(src, dst)
+	if err != nil || !stats.Clean() {
+		t.Fatalf("%+v %v", stats, err)
+	}
+	// Nonexistent source behaves as empty.
+	stats, err = Sync(filepath.Join(src, "missing"), dst)
+	if err != nil || !stats.Clean() {
+		t.Fatalf("missing source: %+v %v", stats, err)
+	}
+}
+
+// TestShardToSpareFailover reproduces §2.2's failover flow end-to-end:
+// a shard's LittleTable directory syncs to a spare; after the shard
+// "fails", the spare's directory opens as a working table holding every
+// synced row.
+func TestShardToSpareFailover(t *testing.T) {
+	shard, spare := t.TempDir(), t.TempDir()
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	sc := schema.MustNew([]schema.Column{
+		{Name: "k", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "v", Type: ltval.Int64},
+	}, []string{"k", "ts"})
+	tab, err := core.CreateTable(shard, "usage", sc, 0, core.Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clk.Now()
+	for i := int64(0); i < 500; i++ {
+		if err := tab.Insert([]schema.Row{{
+			ltval.NewInt64(i % 7), ltval.NewTimestamp(now - i), ltval.NewInt64(i),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyncUntilClean(shard, spare, 5); err != nil {
+		t.Fatal(err)
+	}
+	// More inserts + another sync cycle (continuous archival).
+	for i := int64(500); i < 600; i++ {
+		tab.Insert([]schema.Row{{
+			ltval.NewInt64(i % 7), ltval.NewTimestamp(now - i), ltval.NewInt64(i),
+		}})
+	}
+	if err := tab.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyncUntilClean(shard, spare, 5); err != nil {
+		t.Fatal(err)
+	}
+	tab.Close() // shard fails
+
+	// Spare takes over: open the synced directory.
+	spareTab, err := core.OpenTable(spare, "usage", core.Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spareTab.Close()
+	rows, err := spareTab.QueryAll(core.NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 600 {
+		t.Fatalf("spare recovered %d rows, want 600", len(rows))
+	}
+}

@@ -1,0 +1,159 @@
+// Package block implements the 64 kB row blocks that on-disk tablets are
+// grouped into (§3.2). A block holds consecutive rows in primary-key order
+// plus a row-offset directory, so that once a tablet's index has located
+// the right block, a binary search within the block finds the relevant row.
+package block
+
+import (
+	"errors"
+	"fmt"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// TargetSize is the default uncompressed block size (§3.2: "grouped into
+// 64 kB blocks").
+const TargetSize = 64 * 1024
+
+// ErrCorrupt reports a structurally invalid block.
+var ErrCorrupt = errors.New("block: corrupt block")
+
+// Layout: [row bytes...][u32 row offset ×N][u32 N], all little-endian.
+// Offsets are from the start of the block.
+
+// Writer accumulates rows into one uncompressed block image.
+type Writer struct {
+	sc      *schema.Schema
+	buf     []byte
+	offsets []uint32
+}
+
+// NewWriter returns a Writer for rows of schema sc.
+func NewWriter(sc *schema.Schema) *Writer {
+	return &Writer{sc: sc, buf: make([]byte, 0, TargetSize+1024)}
+}
+
+// Append adds row to the block. Rows must be appended in ascending primary
+// key order; the tablet writer guarantees this.
+func (w *Writer) Append(row schema.Row) {
+	w.offsets = append(w.offsets, uint32(len(w.buf)))
+	w.buf = w.sc.AppendRow(w.buf, row)
+}
+
+// Count returns the number of rows appended so far.
+func (w *Writer) Count() int { return len(w.offsets) }
+
+// SizeBytes returns the current uncompressed size including the directory.
+func (w *Writer) SizeBytes() int { return len(w.buf) + 4*len(w.offsets) + 4 }
+
+// Finish serializes the block and resets the writer for reuse. The returned
+// slice is valid until the next Append.
+func (w *Writer) Finish() []byte {
+	for _, off := range w.offsets {
+		w.buf = appendU32(w.buf, off)
+	}
+	w.buf = appendU32(w.buf, uint32(len(w.offsets)))
+	out := w.buf
+	w.buf = w.buf[len(w.buf):]
+	if cap(w.buf) < TargetSize {
+		w.buf = make([]byte, 0, TargetSize+1024)
+	}
+	w.offsets = w.offsets[:0]
+	return out
+}
+
+// Block is a parsed, read-only block.
+type Block struct {
+	sc   *schema.Schema
+	data []byte // full block image
+	dir  []byte // the offset directory region
+	n    int
+}
+
+// Parse validates and wraps a block image produced by Writer.Finish. The
+// data is retained, not copied; rows decoded from the block alias it.
+func Parse(sc *schema.Schema, data []byte) (*Block, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	n := int(readU32(data[len(data)-4:]))
+	dirStart := len(data) - 4 - 4*n
+	if n < 0 || dirStart < 0 {
+		return nil, fmt.Errorf("%w: directory claims %d rows", ErrCorrupt, n)
+	}
+	b := &Block{sc: sc, data: data, dir: data[dirStart : len(data)-4], n: n}
+	// Validate offsets are in-bounds and ascending.
+	prev := -1
+	for i := 0; i < n; i++ {
+		off := int(b.offset(i))
+		if off <= prev || off >= dirStart {
+			return nil, fmt.Errorf("%w: offset %d out of order or range", ErrCorrupt, off)
+		}
+		prev = off
+	}
+	return b, nil
+}
+
+func (b *Block) offset(i int) uint32 { return readU32(b.dir[4*i:]) }
+
+// Len returns the number of rows in the block.
+func (b *Block) Len() int { return b.n }
+
+// Row decodes row i. Byte-valued cells alias the block image.
+func (b *Block) Row(i int) (schema.Row, error) {
+	if i < 0 || i >= b.n {
+		return nil, fmt.Errorf("block: row %d out of range [0,%d)", i, b.n)
+	}
+	row, _, err := b.sc.DecodeRow(b.data[b.offset(i):])
+	return row, err
+}
+
+// Search returns the index of the first row whose key is >= key (treating a
+// short key as a prefix), in [0, Len()]. This is the in-block binary search
+// of §3.2.
+func (b *Block) Search(key []ltval.Value) (int, error) {
+	lo, hi := 0, b.n
+	var decodeErr error
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		row, err := b.Row(mid)
+		if err != nil {
+			return 0, err
+		}
+		if b.sc.CompareRowToKey(row, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, decodeErr
+}
+
+// SearchAfter returns the index of the first row whose key is strictly
+// greater than key (with prefix semantics): the upper bound of the equal
+// range. Descending scans start at SearchAfter(key)-1.
+func (b *Block) SearchAfter(key []ltval.Value) (int, error) {
+	lo, hi := 0, b.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		row, err := b.Row(mid)
+		if err != nil {
+			return 0, err
+		}
+		if b.sc.CompareRowToKey(row, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+func appendU32(dst []byte, u uint32) []byte {
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

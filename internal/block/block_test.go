@@ -1,0 +1,219 @@
+package block
+
+import (
+	"testing"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+func testSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	return schema.MustNew([]schema.Column{
+		{Name: "k", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "v", Type: ltval.String},
+	}, []string{"k", "ts"})
+}
+
+func row(k, ts int64, v string) schema.Row {
+	return schema.Row{ltval.NewInt64(k), ltval.NewTimestamp(ts), ltval.NewString(v)}
+}
+
+func key(vals ...int64) []ltval.Value {
+	out := make([]ltval.Value, len(vals))
+	for i, v := range vals {
+		if i == 1 {
+			out[i] = ltval.NewTimestamp(v)
+		} else {
+			out[i] = ltval.NewInt64(v)
+		}
+	}
+	return out
+}
+
+func buildBlock(t testing.TB, n int) *Block {
+	t.Helper()
+	w := NewWriter(testSchema(t))
+	for i := 0; i < n; i++ {
+		w.Append(row(int64(i/10), int64(i%10), "val"))
+	}
+	b, err := Parse(testSchema(t), w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEmptyBlock(t *testing.T) {
+	w := NewWriter(testSchema(t))
+	b, err := Parse(testSchema(t), w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if i, err := b.Search(key(0)); err != nil || i != 0 {
+		t.Errorf("Search on empty = %d, %v", i, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	const n = 100
+	b := buildBlock(t, n)
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		r, err := b.Row(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[0].Int != int64(i/10) || r[1].Int != int64(i%10) || string(r[2].Bytes) != "val" {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestRowOutOfRange(t *testing.T) {
+	b := buildBlock(t, 5)
+	if _, err := b.Row(-1); err == nil {
+		t.Error("Row(-1) succeeded")
+	}
+	if _, err := b.Row(5); err == nil {
+		t.Error("Row(len) succeeded")
+	}
+}
+
+func TestSearchExact(t *testing.T) {
+	b := buildBlock(t, 100) // keys (0..9, 0..9)
+	i, err := b.Search(key(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 53 {
+		t.Errorf("Search(5,3) = %d, want 53", i)
+	}
+}
+
+func TestSearchPrefix(t *testing.T) {
+	b := buildBlock(t, 100)
+	// First row with k=7.
+	i, err := b.Search(key(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 70 {
+		t.Errorf("Search(7) = %d, want 70", i)
+	}
+	// After the last row with k=7.
+	j, err := b.SearchAfter(key(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 80 {
+		t.Errorf("SearchAfter(7) = %d, want 80", j)
+	}
+}
+
+func TestSearchMissing(t *testing.T) {
+	b := buildBlock(t, 100)
+	i, _ := b.Search(key(99))
+	if i != b.Len() {
+		t.Errorf("Search past end = %d, want %d", i, b.Len())
+	}
+	i, _ = b.Search(key(-1))
+	if i != 0 {
+		t.Errorf("Search before start = %d, want 0", i)
+	}
+}
+
+func TestWriterReuse(t *testing.T) {
+	sc := testSchema(t)
+	w := NewWriter(sc)
+	w.Append(row(1, 1, "a"))
+	first := w.Finish()
+	firstCopy := append([]byte(nil), first...)
+	w.Append(row(2, 2, "b"))
+	second := w.Finish()
+	b1, err := Parse(sc, firstCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Parse(sc, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := b1.Row(0)
+	r2, _ := b2.Row(0)
+	if r1[0].Int != 1 || r2[0].Int != 2 {
+		t.Error("writer reuse corrupted blocks")
+	}
+}
+
+func TestSizeBytesTracksFinish(t *testing.T) {
+	w := NewWriter(testSchema(t))
+	for i := 0; i < 50; i++ {
+		w.Append(row(int64(i), 0, "x"))
+	}
+	want := w.SizeBytes()
+	img := w.Finish()
+	if len(img) != want {
+		t.Errorf("SizeBytes = %d, Finish produced %d", want, len(img))
+	}
+}
+
+func TestParseCorrupt(t *testing.T) {
+	sc := testSchema(t)
+	cases := [][]byte{
+		nil,
+		{1},
+		{0xff, 0xff, 0xff, 0xff},             // absurd count
+		{0, 0, 0, 0, 8, 0, 0, 0, 1, 0, 0, 0}, // offset beyond directory
+	}
+	for i, data := range cases {
+		if _, err := Parse(sc, data); err == nil {
+			t.Errorf("case %d: corrupt block accepted", i)
+		}
+	}
+}
+
+func TestParseOffsetsOutOfOrder(t *testing.T) {
+	sc := testSchema(t)
+	w := NewWriter(sc)
+	w.Append(row(1, 1, "a"))
+	w.Append(row(2, 2, "b"))
+	img := w.Finish()
+	// Swap the two directory entries.
+	dir := len(img) - 4 - 8
+	for i := 0; i < 4; i++ {
+		img[dir+i], img[dir+4+i] = img[dir+4+i], img[dir+i]
+	}
+	if _, err := Parse(sc, img); err == nil {
+		t.Error("out-of-order offsets accepted")
+	}
+}
+
+func BenchmarkBlockSearch(b *testing.B) {
+	blk := buildBlock(b, 500)
+	k := key(5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Search(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockScan(b *testing.B) {
+	blk := buildBlock(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < blk.Len(); j++ {
+			if _, err := blk.Row(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package blockcache provides a byte-budgeted LRU over parsed tablet
+// blocks. The paper's deployment leans on the OS page cache (§2.3.3);
+// embedding LittleTable as a library benefits from an explicit cache too,
+// because a page-cache hit still pays checksum verification, decompression
+// and block parsing on every read. Tablets are immutable, so entries never
+// need invalidation — dropped tablets' entries simply age out.
+package blockcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one block: an open-tablet handle id plus block index.
+type Key struct {
+	Handle uint64
+	Index  int
+}
+
+// entry is one cached block.
+type entry struct {
+	key   Key
+	value interface{}
+	size  int64
+}
+
+// Cache is a thread-safe LRU bounded by total byte size.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	order   *list.List // front = most recent
+	entries map[Key]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// New returns a cache holding up to capBytes of block data.
+func New(capBytes int64) *Cache {
+	return &Cache{
+		cap:     capBytes,
+		order:   list.New(),
+		entries: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, if present.
+func (c *Cache) Get(k Key) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts v with the given byte size, evicting least-recently-used
+// entries as needed. Values larger than the whole cache are not stored.
+func (c *Cache) Put(k Key, v interface{}, size int64) {
+	if size > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*entry)
+		c.used += size - e.size
+		e.value, e.size = v, size
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&entry{key: k, value: v, size: size})
+		c.entries[k] = el
+		c.used += size
+	}
+	for c.used > c.cap {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.size
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// UsedBytes returns the current cached byte total.
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,102 @@
+package blockcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1000)
+	k := Key{Handle: 1, Index: 0}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, "block", 100)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "block" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats %d/%d", hits, misses)
+	}
+	if c.UsedBytes() != 100 || c.Len() != 1 {
+		t.Errorf("used %d len %d", c.UsedBytes(), c.Len())
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(300)
+	for i := 0; i < 3; i++ {
+		c.Put(Key{Handle: 1, Index: i}, i, 100)
+	}
+	// Touch 0 so 1 becomes the LRU, then overflow.
+	c.Get(Key{Handle: 1, Index: 0})
+	c.Put(Key{Handle: 1, Index: 3}, 3, 100)
+	if _, ok := c.Get(Key{Handle: 1, Index: 1}); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(Key{Handle: 1, Index: 0}); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.UsedBytes() > 300 {
+		t.Errorf("over budget: %d", c.UsedBytes())
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New(100)
+	c.Put(Key{Handle: 1}, "big", 200)
+	if c.Len() != 0 {
+		t.Error("oversized value cached")
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New(1000)
+	k := Key{Handle: 1, Index: 5}
+	c.Put(k, "v1", 100)
+	c.Put(k, "v2", 300)
+	v, _ := c.Get(k)
+	if v.(string) != "v2" {
+		t.Error("update lost")
+	}
+	if c.UsedBytes() != 300 {
+		t.Errorf("size accounting after update: %d", c.UsedBytes())
+	}
+}
+
+func TestHandleIsolation(t *testing.T) {
+	c := New(1000)
+	c.Put(Key{Handle: 1, Index: 0}, "a", 10)
+	if _, ok := c.Get(Key{Handle: 2, Index: 0}); ok {
+		t.Error("handles collide")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(10_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{Handle: uint64(g), Index: i % 50}
+				if v, ok := c.Get(k); ok {
+					if v.(string) != fmt.Sprintf("%d-%d", g, i%50) {
+						t.Errorf("cross-goroutine value corruption")
+						return
+					}
+				} else {
+					c.Put(k, fmt.Sprintf("%d-%d", g, i%50), 25)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.UsedBytes() > 10_000 {
+		t.Errorf("over budget under concurrency: %d", c.UsedBytes())
+	}
+}

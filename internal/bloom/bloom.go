@@ -1,0 +1,160 @@
+// Package bloom implements the per-tablet Bloom filters that §3.4.5
+// proposes (in the style of bLSM): a summary of a tablet's keys at roughly
+// 10 bits per row that lets latest-row and uniqueness probes skip ~99% of
+// the tablets that cannot contain a matching key.
+package bloom
+
+import (
+	"errors"
+	"math"
+)
+
+// BitsPerKey is the paper's proposed budget (§3.4.5: "a storage cost of
+// only 10 bits per row").
+const BitsPerKey = 10
+
+// hashCount for 10 bits/key: k = ln2 * bits/key ≈ 7 gives the minimal
+// false-positive rate (~0.8%, i.e. the paper's "99% of the tablets").
+const hashCount = 7
+
+// Filter is a fixed-size Bloom filter. The zero value is unusable; call
+// New. Filters are not safe for concurrent mutation, but concurrent
+// MayContain calls are safe once building is done.
+type Filter struct {
+	bits []uint64
+	k    uint32
+	n    uint64 // keys added
+}
+
+// ErrCorrupt reports a malformed marshaled filter.
+var ErrCorrupt = errors.New("bloom: corrupt filter encoding")
+
+// New returns a filter sized for expectedKeys at BitsPerKey bits each.
+func New(expectedKeys int) *Filter {
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	nbits := uint64(expectedKeys) * BitsPerKey
+	words := (nbits + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	return &Filter{bits: make([]uint64, words), k: hashCount}
+}
+
+// fnv64a with a seed mixed in; two independent hashes drive the usual
+// double-hashing scheme h_i = h1 + i*h2.
+func hash2(key []byte) (uint64, uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h1 uint64 = offset64
+	for _, c := range key {
+		h1 ^= uint64(c)
+		h1 *= prime64
+	}
+	h2 := h1
+	h2 ^= h2 >> 33
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	if h2 == 0 {
+		h2 = prime64
+	}
+	return h1, h2
+}
+
+// Hash precomputes the two hash values for key. Writers that do not know
+// the final key count up front (the tablet writer sizes its filter only at
+// close) hash keys as they stream by and build the filter from the pairs.
+func Hash(key []byte) (h1, h2 uint64) { return hash2(key) }
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hash2(key)
+	f.AddHash(h1, h2)
+}
+
+// AddHash inserts a key by its precomputed Hash pair.
+func (f *Filter) AddHash(h1, h2 uint64) {
+	nbits := uint64(len(f.bits)) * 64
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.n++
+}
+
+// MayContain reports whether key might have been added. False positives
+// occur at roughly the configured rate; false negatives never.
+func (f *Filter) MayContain(key []byte) bool {
+	h1, h2 := hash2(key)
+	nbits := uint64(len(f.bits)) * 64
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of keys added.
+func (f *Filter) Len() uint64 { return f.n }
+
+// SizeBytes returns the in-memory size of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFalsePositiveRate computes the expected FP rate for the current
+// fill level: (1 - e^(-kn/m))^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	m := float64(len(f.bits) * 64)
+	if m == 0 || f.n == 0 {
+		return 0
+	}
+	k := float64(f.k)
+	return math.Pow(1-math.Exp(-k*float64(f.n)/m), k)
+}
+
+// Marshal serializes the filter: [k u32][n u64][words u64...] little-endian.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 0, 12+len(f.bits)*8)
+	out = append(out, byte(f.k), byte(f.k>>8), byte(f.k>>16), byte(f.k>>24))
+	out = appendU64(out, f.n)
+	for _, w := range f.bits {
+		out = appendU64(out, w)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter produced by Marshal.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < 12 || (len(b)-12)%8 != 0 {
+		return nil, ErrCorrupt
+	}
+	k := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if k == 0 || k > 64 {
+		return nil, ErrCorrupt
+	}
+	n := readU64(b[4:])
+	words := (len(b) - 12) / 8
+	if words == 0 {
+		return nil, ErrCorrupt
+	}
+	f := &Filter{bits: make([]uint64, words), k: k, n: n}
+	for i := range f.bits {
+		f.bits[i] = readU64(b[12+i*8:])
+	}
+	return f, nil
+}
+
+func appendU64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

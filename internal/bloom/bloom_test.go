@@ -1,0 +1,155 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if f.Len() != 1000 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := New(n)
+	for i := 0; i < n; i++ {
+		f.Add([]byte(fmt.Sprintf("present-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key with k=7 gives ~0.8%; allow generous slack. The paper's
+	// claim is "eliminate the need to check 99% of the tablets" (§3.4.5),
+	// i.e. a rate near 1%.
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f, want < 0.03", rate)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est <= 0 || est > 0.03 {
+		t.Errorf("estimated rate %.4f out of range", est)
+	}
+}
+
+func TestSizeBudget(t *testing.T) {
+	const n = 100000
+	f := New(n)
+	// ~10 bits/key = 1.25 bytes/key.
+	want := n * BitsPerKey / 8
+	if f.SizeBytes() < want || f.SizeBytes() > want+64 {
+		t.Errorf("SizeBytes = %d, want ≈%d", f.SizeBytes(), want)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(10)
+	if f.MayContain([]byte("anything")) {
+		t.Error("empty filter claims membership")
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter has nonzero FP estimate")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	f := New(0) // clamps to 1
+	f.Add([]byte("x"))
+	if !f.MayContain([]byte("x")) {
+		t.Error("lost the only key")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(500)
+	for i := 0; i < 500; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	b := f.Marshal()
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() || g.SizeBytes() != f.SizeBytes() {
+		t.Errorf("metadata mismatch: len %d/%d size %d/%d", g.Len(), f.Len(), g.SizeBytes(), f.SizeBytes())
+	}
+	for i := 0; i < 500; i++ {
+		if !g.MayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("unmarshaled filter lost k%d", i)
+		}
+	}
+}
+
+func TestMarshalQuick(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		fl := New(len(keys))
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		g, err := Unmarshal(fl.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		make([]byte, 13), // not a multiple of 8 after header
+		make([]byte, 12), // header only, zero words
+		append([]byte{99, 0, 0, 99}, make([]byte, 16)...), // absurd k
+		append([]byte{0, 0, 0, 0}, make([]byte, 16)...),   // k = 0
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(b.N + 1)
+	key := []byte("network=1234 device=5678 ts=1600000000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(key)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(100000)
+	for i := 0; i < 100000; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	key := []byte("k50000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key)
+	}
+}

@@ -1,0 +1,477 @@
+// Package client is LittleTable's client adaptor — the role the SQLite
+// virtual-table module plays in the paper (§3.1): it keeps a persistent
+// TCP connection to the server (so it notices crashes), fetches each
+// table's schema and sort order once, batches inserts, pushes
+// two-dimensional bounds down to the server, and transparently re-submits
+// queries when the server's row limit trips the more-available flag
+// (§3.5).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+	"littletable/internal/wire"
+)
+
+// DefaultBatchSize is the insert batch the client accumulates before
+// sending; §1 cites batches of 512 rows as common in production.
+const DefaultBatchSize = 512
+
+// RemoteError is an error reported by the server.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "littletable: " + e.Msg }
+
+// ErrDisconnected reports a broken connection; the application decides
+// what recently-written data to re-read from its devices and re-insert
+// (§3.1, §4.1).
+var ErrDisconnected = errors.New("client: disconnected from server")
+
+// Client is a connection to one LittleTable server. Methods are safe for
+// concurrent use; requests serialize over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	wc   *wire.Conn
+	dead bool
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, wc: wire.NewConn(conn)}
+	h := &wire.Hello{Version: wire.ProtocolVersion}
+	if _, _, err := c.roundTrip(wire.MsgHello, h.Encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = true
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads one response, translating MsgError
+// into *RemoteError and transport failures into ErrDisconnected.
+func (c *Client) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, nil, ErrDisconnected
+	}
+	if err := c.wc.WriteMsg(t, payload); err != nil {
+		c.dead = true
+		return 0, nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	mt, resp, err := c.wc.ReadMsg()
+	if err != nil {
+		c.dead = true
+		return 0, nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	if mt == wire.MsgError {
+		em, derr := wire.DecodeErrorMsg(resp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &RemoteError{Msg: em.Message}
+	}
+	return mt, resp, nil
+}
+
+func expectOK(mt wire.MsgType, _ []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	if mt != wire.MsgOK {
+		return fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return nil
+}
+
+// ListTables returns the server's table names.
+func (c *Client) ListTables() ([]string, error) {
+	mt, resp, err := c.roundTrip(wire.MsgListTables, nil)
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgTableList {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	m, err := wire.DecodeTableList(resp)
+	if err != nil {
+		return nil, err
+	}
+	return m.Names, nil
+}
+
+// CreateTable creates a table with the given schema and TTL (microseconds;
+// 0 = never expire).
+func (c *Client) CreateTable(name string, sc *schema.Schema, ttl int64) error {
+	m := &wire.CreateTable{Name: name, Schema: sc, TTL: ttl}
+	payload, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return expectOK(c.roundTrip(wire.MsgCreateTable, payload))
+}
+
+// DropTable removes a table and its data.
+func (c *Client) DropTable(name string) error {
+	m := &wire.TableName{Name: name}
+	return expectOK(c.roundTrip(wire.MsgDropTable, m.Encode()))
+}
+
+// Table is a handle on one remote table, carrying its cached schema.
+type Table struct {
+	c    *Client
+	name string
+
+	mu    sync.Mutex
+	sc    *schema.Schema
+	ttl   int64
+	batch []schema.Row
+	// BatchSize rows accumulate before an automatic Flush; set before the
+	// first Insert.
+	BatchSize int
+	// ServerTimestamps asks the server to stamp rows whose ts cell is zero
+	// with its current time (§3.1).
+	ServerTimestamps bool
+}
+
+// OpenTable fetches the table's schema and returns a handle.
+func (c *Client) OpenTable(name string) (*Table, error) {
+	t := &Table{c: c, name: name, BatchSize: DefaultBatchSize}
+	if err := t.RefreshSchema(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RefreshSchema re-fetches the schema, e.g. after a stale-schema error.
+func (t *Table) RefreshSchema() error {
+	m := &wire.TableName{Name: t.name}
+	mt, resp, err := t.c.roundTrip(wire.MsgGetSchema, m.Encode())
+	if err != nil {
+		return err
+	}
+	if mt != wire.MsgSchema {
+		return fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	sr, err := wire.DecodeSchemaResp(resp)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.sc = sr.Schema
+	t.ttl = sr.TTL
+	t.mu.Unlock()
+	return nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the cached schema.
+func (t *Table) Schema() *schema.Schema {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sc
+}
+
+// TTL returns the cached TTL.
+func (t *Table) TTL() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ttl
+}
+
+// Insert buffers rows, flushing automatically at BatchSize (the adaptor
+// "takes clients' inserts and transmits them to the LittleTable server in
+// batches", §3.1). Call Flush to force the tail out.
+func (t *Table) Insert(rows ...schema.Row) error {
+	t.mu.Lock()
+	t.batch = append(t.batch, rows...)
+	needFlush := len(t.batch) >= t.BatchSize
+	t.mu.Unlock()
+	if needFlush {
+		return t.Flush()
+	}
+	return nil
+}
+
+// Flush sends any buffered rows.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	if len(t.batch) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	rows := t.batch
+	t.batch = nil
+	sc := t.sc
+	serverTs := t.ServerTimestamps
+	t.mu.Unlock()
+	m := wire.NewInsert(t.name, sc, serverTs, rows)
+	return expectOK(t.c.roundTrip(wire.MsgInsert, m.Encode()))
+}
+
+// InsertNow sends rows immediately, bypassing the batch buffer.
+func (t *Table) InsertNow(rows []schema.Row) error {
+	t.mu.Lock()
+	sc := t.sc
+	serverTs := t.ServerTimestamps
+	t.mu.Unlock()
+	m := wire.NewInsert(t.name, sc, serverTs, rows)
+	return expectOK(t.c.roundTrip(wire.MsgInsert, m.Encode()))
+}
+
+// Query mirrors core.Query on the client side.
+type Query struct {
+	Lower, Upper       []ltval.Value
+	LowerInc, UpperInc bool
+	MinTs, MaxTs       int64
+	Descending         bool
+	Limit              int
+}
+
+// NewQuery returns an all-rows query to narrow.
+func NewQuery() Query {
+	return Query{LowerInc: true, UpperInc: true, MinTs: core.TsMin, MaxTs: core.TsMax}
+}
+
+// Rows streams a query's results, transparently re-submitting with an
+// updated start bound whenever the server's row limit sets more-available
+// (§3.5).
+type Rows struct {
+	t      *Table
+	q      Query
+	buf    []schema.Row
+	i      int
+	more   bool
+	row    schema.Row
+	count  int
+	err    error
+	sc     *schema.Schema
+	closed bool
+}
+
+// Query starts a streaming query.
+func (t *Table) Query(q Query) *Rows {
+	r := &Rows{t: t, q: q, sc: t.Schema(), more: true}
+	return r
+}
+
+// Next advances to the next result row.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.q.Limit > 0 && r.count >= r.q.Limit {
+		return false
+	}
+	for r.i >= len(r.buf) {
+		if !r.more {
+			return false
+		}
+		if err := r.fetch(); err != nil {
+			r.err = err
+			return false
+		}
+		if len(r.buf) == 0 && !r.more {
+			return false
+		}
+	}
+	r.row = r.buf[r.i]
+	r.i++
+	r.count++
+	return true
+}
+
+// fetch issues one wire query for the next page.
+func (r *Rows) fetch() error {
+	wq := &wire.Query{
+		Table:      r.t.name,
+		HasLower:   r.q.Lower != nil,
+		Lower:      r.q.Lower,
+		LowerInc:   r.q.LowerInc,
+		HasUpper:   r.q.Upper != nil,
+		Upper:      r.q.Upper,
+		UpperInc:   r.q.UpperInc,
+		MinTs:      r.q.MinTs,
+		MaxTs:      r.q.MaxTs,
+		Descending: r.q.Descending,
+	}
+	if r.q.Limit > 0 {
+		remaining := r.q.Limit - r.count
+		if remaining <= 0 {
+			r.more = false
+			r.buf, r.i = nil, 0
+			return nil
+		}
+		wq.Limit = uint32(remaining)
+	}
+	mt, resp, err := r.t.c.roundTrip(wire.MsgQuery, wq.Encode())
+	if err != nil {
+		return err
+	}
+	if mt != wire.MsgRows {
+		return fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	m, err := wire.DecodeRows(resp, r.sc)
+	if err != nil {
+		return err
+	}
+	r.buf, r.i = m.Rows, 0
+	r.more = m.More
+	if m.More && len(m.Rows) > 0 {
+		// Resume past the last row: "updating the starting key bound in a
+		// query to the key of the last row returned and re-submitting"
+		// (§3.5).
+		last := m.Rows[len(m.Rows)-1]
+		k := r.sc.KeyOf(last)
+		if r.q.Descending {
+			r.q.Upper = k
+			r.q.UpperInc = false
+		} else {
+			r.q.Lower = k
+			r.q.LowerInc = false
+		}
+	}
+	return nil
+}
+
+// Row returns the current row; valid after Next reports true.
+func (r *Rows) Row() schema.Row { return r.row }
+
+// Err returns the first error hit while streaming.
+func (r *Rows) Err() error { return r.err }
+
+// Close ends the stream early.
+func (r *Rows) Close() error {
+	r.closed = true
+	return nil
+}
+
+// All materializes the full result.
+func (r *Rows) All() ([]schema.Row, error) {
+	var out []schema.Row
+	for r.Next() {
+		out = append(out, r.Row())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+// LatestRow fetches the most recent row whose key starts with prefix.
+func (t *Table) LatestRow(prefix []ltval.Value) (schema.Row, bool, error) {
+	m := &wire.LatestRow{Table: t.name, Prefix: prefix}
+	mt, resp, err := t.c.roundTrip(wire.MsgLatestRow, m.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	if mt != wire.MsgRowResult {
+		return nil, false, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	rr, err := wire.DecodeRowResult(resp, t.Schema())
+	if err != nil {
+		return nil, false, err
+	}
+	return rr.Row, rr.Found, nil
+}
+
+// DeleteRange bulk-deletes every row inside the query's box (the §7
+// privacy-compliance delete). The Descending and Limit fields are ignored.
+// It returns the number of rows removed.
+func (t *Table) DeleteRange(q Query) (int64, error) {
+	m := &wire.Delete{
+		Table:    t.name,
+		HasLower: q.Lower != nil,
+		Lower:    q.Lower,
+		LowerInc: q.LowerInc,
+		HasUpper: q.Upper != nil,
+		Upper:    q.Upper,
+		UpperInc: q.UpperInc,
+		MinTs:    q.MinTs,
+		MaxTs:    q.MaxTs,
+	}
+	mt, resp, err := t.c.roundTrip(wire.MsgDelete, m.Encode())
+	if err != nil {
+		return 0, err
+	}
+	if mt != wire.MsgDeleteResult {
+		return 0, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	dr, err := wire.DecodeDeleteResult(resp)
+	if err != nil {
+		return 0, err
+	}
+	return dr.Deleted, nil
+}
+
+// AlterTTL changes the table's TTL.
+func (t *Table) AlterTTL(ttl int64) error {
+	m := &wire.AlterTTL{Table: t.name, TTL: ttl}
+	if err := expectOK(t.c.roundTrip(wire.MsgAlterTTL, m.Encode())); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.ttl = ttl
+	t.mu.Unlock()
+	return nil
+}
+
+// AddColumn appends a column and refreshes the cached schema.
+func (t *Table) AddColumn(name string, typ ltval.Type, def ltval.Value) error {
+	m := &wire.AddColumn{Table: t.name, Name: name, Type: typ, Default: def}
+	if err := expectOK(t.c.roundTrip(wire.MsgAddColumn, m.Encode())); err != nil {
+		return err
+	}
+	return t.RefreshSchema()
+}
+
+// WidenColumn widens an int32 column and refreshes the cached schema.
+func (t *Table) WidenColumn(name string) error {
+	m := &wire.WidenColumn{Table: t.name, Name: name}
+	if err := expectOK(t.c.roundTrip(wire.MsgWidenColumn, m.Encode())); err != nil {
+		return err
+	}
+	return t.RefreshSchema()
+}
+
+// FlushTable asks the server to flush the table's memtables to disk — the
+// explicit flush §4.1.2 proposes so aggregators can know their source rows
+// are durable.
+func (t *Table) FlushTable() error {
+	m := &wire.TableName{Name: t.name}
+	return expectOK(t.c.roundTrip(wire.MsgFlushTable, m.Encode()))
+}
+
+// Stats fetches the table's server-side counters.
+func (t *Table) Stats() (*wire.StatsResult, error) {
+	m := &wire.TableName{Name: t.name}
+	mt, resp, err := t.c.roundTrip(wire.MsgStats, m.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgStatsResult {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeStatsResult(resp)
+}

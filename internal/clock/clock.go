@@ -1,0 +1,68 @@
+// Package clock provides an injectable time source so the table engine's
+// period math, flush ageing, and merge delays are testable without sleeping.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the engine. Timestamps
+// are int64 microseconds since the Unix epoch, matching the on-disk format.
+type Clock interface {
+	// Now returns the current time in microseconds since the Unix epoch.
+	Now() int64
+}
+
+// Micros converts a time.Time to engine microseconds.
+func Micros(t time.Time) int64 { return t.UnixMicro() }
+
+// Time converts engine microseconds back to a time.Time in UTC.
+func Time(us int64) time.Time { return time.UnixMicro(us).UTC() }
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() int64 { return time.Now().UnixMicro() }
+
+// Fake is a manually-advanced clock for tests.
+type Fake struct {
+	mu  sync.Mutex
+	now int64
+}
+
+// NewFake returns a Fake clock starting at start microseconds.
+func NewFake(start int64) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d microseconds.
+func (f *Fake) Advance(d int64) {
+	f.mu.Lock()
+	f.now += d
+	f.mu.Unlock()
+}
+
+// Set jumps the clock to t microseconds.
+func (f *Fake) Set(t int64) {
+	f.mu.Lock()
+	f.now = t
+	f.mu.Unlock()
+}
+
+// Common durations in microseconds.
+const (
+	Microsecond int64 = 1
+	Millisecond       = 1000 * Microsecond
+	Second            = 1000 * Millisecond
+	Minute            = 60 * Second
+	Hour              = 60 * Minute
+	Day               = 24 * Hour
+	Week              = 7 * Day
+)

@@ -1,0 +1,65 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealTracksWallClock(t *testing.T) {
+	before := time.Now().UnixMicro()
+	got := Real{}.Now()
+	after := time.Now().UnixMicro()
+	if got < before || got > after {
+		t.Errorf("Real.Now() = %d outside [%d, %d]", got, before, after)
+	}
+}
+
+func TestFake(t *testing.T) {
+	f := NewFake(1000)
+	if f.Now() != 1000 {
+		t.Errorf("start = %d", f.Now())
+	}
+	f.Advance(Minute)
+	if f.Now() != 1000+Minute {
+		t.Errorf("after advance = %d", f.Now())
+	}
+	f.Set(42)
+	if f.Now() != 42 {
+		t.Errorf("after set = %d", f.Now())
+	}
+}
+
+func TestConversions(t *testing.T) {
+	now := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	us := Micros(now)
+	if Time(us) != now {
+		t.Errorf("round trip: %v vs %v", Time(us), now)
+	}
+}
+
+func TestDurationConstants(t *testing.T) {
+	if Second != 1_000_000 || Minute != 60*Second || Hour != 60*Minute {
+		t.Error("sub-day constants wrong")
+	}
+	if Day != 24*Hour || Week != 7*Day {
+		t.Error("day/week constants wrong")
+	}
+}
+
+func TestFakeConcurrent(t *testing.T) {
+	f := NewFake(0)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			f.Advance(1)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		f.Now()
+	}
+	<-done
+	if f.Now() != 1000 {
+		t.Errorf("lost advances: %d", f.Now())
+	}
+}

@@ -1,0 +1,198 @@
+// Package configdb is the reproduction's stand-in for the PostgreSQL
+// configuration database each shard runs (§2.1): it holds the dimension
+// data — customers, networks, devices, and user-defined tags — that
+// aggregators join against LittleTable source tables (§4.1.2, e.g. usage
+// per access-point tag). Unlike LittleTable it offers strongly-consistent
+// snapshot reads, mirroring the split the paper describes in §2.3.4.
+package configdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Device kinds Meraki ships (§1).
+const (
+	KindAccessPoint = "access_point"
+	KindSwitch      = "switch"
+	KindFirewall    = "firewall"
+	KindPhone       = "voip_phone"
+	KindCamera      = "camera"
+)
+
+// Customer is a Dashboard organization.
+type Customer struct {
+	ID   int64
+	Name string
+}
+
+// Network groups devices (§1: "Dashboard organizes wireless access points
+// into groups called networks").
+type Network struct {
+	ID         int64
+	CustomerID int64
+	Name       string
+}
+
+// Device is one Meraki device.
+type Device struct {
+	ID        int64
+	NetworkID int64
+	Kind      string
+	Name      string
+	Tags      []string
+}
+
+// DB is the in-memory configuration store. All methods are safe for
+// concurrent use; reads see a consistent snapshot under one lock hold.
+type DB struct {
+	mu        sync.RWMutex
+	customers map[int64]*Customer
+	networks  map[int64]*Network
+	devices   map[int64]*Device
+	nextID    int64
+}
+
+// ErrNotFound reports a missing entity.
+var ErrNotFound = errors.New("configdb: not found")
+
+// New returns an empty store.
+func New() *DB {
+	return &DB{
+		customers: map[int64]*Customer{},
+		networks:  map[int64]*Network{},
+		devices:   map[int64]*Device{},
+		nextID:    1,
+	}
+}
+
+// AddCustomer creates a customer.
+func (db *DB) AddCustomer(name string) *Customer {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c := &Customer{ID: db.nextID, Name: name}
+	db.nextID++
+	db.customers[c.ID] = c
+	return c
+}
+
+// AddNetwork creates a network under a customer.
+func (db *DB) AddNetwork(customerID int64, name string) (*Network, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.customers[customerID]; !ok {
+		return nil, fmt.Errorf("%w: customer %d", ErrNotFound, customerID)
+	}
+	n := &Network{ID: db.nextID, CustomerID: customerID, Name: name}
+	db.nextID++
+	db.networks[n.ID] = n
+	return n, nil
+}
+
+// AddDevice creates a device in a network.
+func (db *DB) AddDevice(networkID int64, kind, name string, tags ...string) (*Device, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.networks[networkID]; !ok {
+		return nil, fmt.Errorf("%w: network %d", ErrNotFound, networkID)
+	}
+	d := &Device{ID: db.nextID, NetworkID: networkID, Kind: kind, Name: name, Tags: append([]string(nil), tags...)}
+	db.nextID++
+	db.devices[d.ID] = d
+	return d, nil
+}
+
+// SetDeviceTags replaces a device's tags (users define tag meanings for
+// themselves, §4.1.2).
+func (db *DB) SetDeviceTags(deviceID int64, tags ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d, ok := db.devices[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: device %d", ErrNotFound, deviceID)
+	}
+	d.Tags = append([]string(nil), tags...)
+	return nil
+}
+
+// Device returns a device by id.
+func (db *DB) Device(id int64) (Device, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.devices[id]
+	if !ok {
+		return Device{}, fmt.Errorf("%w: device %d", ErrNotFound, id)
+	}
+	return snapshotDevice(d), nil
+}
+
+// Network returns a network by id.
+func (db *DB) Network(id int64) (Network, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n, ok := db.networks[id]
+	if !ok {
+		return Network{}, fmt.Errorf("%w: network %d", ErrNotFound, id)
+	}
+	return *n, nil
+}
+
+// Devices returns all devices sorted by id.
+func (db *DB) Devices() []Device {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Device, 0, len(db.devices))
+	for _, d := range db.devices {
+		out = append(out, snapshotDevice(d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DevicesInNetwork returns a network's devices sorted by id.
+func (db *DB) DevicesInNetwork(networkID int64) []Device {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Device
+	for _, d := range db.devices {
+		if d.NetworkID == networkID {
+			out = append(out, snapshotDevice(d))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Networks returns all networks sorted by id.
+func (db *DB) Networks() []Network {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Network, 0, len(db.networks))
+	for _, n := range db.networks {
+		out = append(out, *n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TagsByDevice returns a consistent device→tags snapshot for a network,
+// the join input for tag aggregators.
+func (db *DB) TagsByDevice(networkID int64) map[int64][]string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := map[int64][]string{}
+	for _, d := range db.devices {
+		if d.NetworkID == networkID && len(d.Tags) > 0 {
+			out[d.ID] = append([]string(nil), d.Tags...)
+		}
+	}
+	return out
+}
+
+func snapshotDevice(d *Device) Device {
+	c := *d
+	c.Tags = append([]string(nil), d.Tags...)
+	return c
+}

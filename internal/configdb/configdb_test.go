@@ -1,0 +1,137 @@
+package configdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func seed(t *testing.T) (*DB, *Customer, *Network) {
+	t.Helper()
+	db := New()
+	c := db.AddCustomer("school")
+	n, err := db.AddNetwork(c.ID, "campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, c, n
+}
+
+func TestAddAndLookup(t *testing.T) {
+	db, _, n := seed(t)
+	d, err := db.AddDevice(n.ID, KindAccessPoint, "ap1", "classrooms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Device(d.ID)
+	if err != nil || got.Name != "ap1" || got.NetworkID != n.ID {
+		t.Fatalf("Device: %+v %v", got, err)
+	}
+	gn, err := db.Network(n.ID)
+	if err != nil || gn.Name != "campus" {
+		t.Fatalf("Network: %+v %v", gn, err)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	db := New()
+	if _, err := db.AddNetwork(99, "x"); err == nil {
+		t.Error("network under missing customer accepted")
+	}
+	if _, err := db.AddDevice(99, KindSwitch, "x"); err == nil {
+		t.Error("device under missing network accepted")
+	}
+	if _, err := db.Device(99); err == nil {
+		t.Error("missing device found")
+	}
+	if _, err := db.Network(99); err == nil {
+		t.Error("missing network found")
+	}
+	if err := db.SetDeviceTags(99, "t"); err == nil {
+		t.Error("tags on missing device accepted")
+	}
+}
+
+func TestListingsSortedAndFiltered(t *testing.T) {
+	db, c, n1 := seed(t)
+	n2, _ := db.AddNetwork(c.ID, "annex")
+	d1, _ := db.AddDevice(n1.ID, KindAccessPoint, "a")
+	d2, _ := db.AddDevice(n2.ID, KindCamera, "b")
+	d3, _ := db.AddDevice(n1.ID, KindSwitch, "c")
+	all := db.Devices()
+	if len(all) != 3 || all[0].ID != d1.ID || all[2].ID != d3.ID {
+		t.Fatalf("Devices: %+v", all)
+	}
+	in1 := db.DevicesInNetwork(n1.ID)
+	if len(in1) != 2 || in1[0].ID != d1.ID || in1[1].ID != d3.ID {
+		t.Fatalf("DevicesInNetwork: %+v", in1)
+	}
+	nets := db.Networks()
+	if len(nets) != 2 || nets[0].ID != n1.ID {
+		t.Fatalf("Networks: %+v", nets)
+	}
+	_ = d2
+}
+
+func TestTagsSnapshotIsolation(t *testing.T) {
+	db, _, n := seed(t)
+	d, _ := db.AddDevice(n.ID, KindAccessPoint, "ap", "old")
+	tags := db.TagsByDevice(n.ID)
+	if len(tags[d.ID]) != 1 || tags[d.ID][0] != "old" {
+		t.Fatalf("tags: %v", tags)
+	}
+	// Mutating the snapshot must not affect the store.
+	tags[d.ID][0] = "mutated"
+	if again := db.TagsByDevice(n.ID); again[d.ID][0] != "old" {
+		t.Error("snapshot shares storage with the store")
+	}
+	// SetDeviceTags replaces.
+	if err := db.SetDeviceTags(d.ID, "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Device(d.ID)
+	if len(got.Tags) != 2 {
+		t.Fatalf("replaced tags: %v", got.Tags)
+	}
+	// Device snapshot also isolated.
+	got.Tags[0] = "zap"
+	got2, _ := db.Device(d.ID)
+	if got2.Tags[0] != "x" {
+		t.Error("device snapshot shares tag storage")
+	}
+}
+
+func TestUntaggedDevicesOmitted(t *testing.T) {
+	db, _, n := seed(t)
+	db.AddDevice(n.ID, KindAccessPoint, "untagged")
+	d, _ := db.AddDevice(n.ID, KindAccessPoint, "tagged", "t")
+	tags := db.TagsByDevice(n.ID)
+	if len(tags) != 1 {
+		t.Fatalf("TagsByDevice: %v", tags)
+	}
+	if _, ok := tags[d.ID]; !ok {
+		t.Error("tagged device missing")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db, _, n := seed(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if i%2 == 0 {
+					db.AddDevice(n.ID, KindSwitch, "d")
+				} else {
+					db.Devices()
+					db.TagsByDevice(n.ID)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(db.Devices()) != 400 {
+		t.Errorf("concurrent adds lost devices: %d", len(db.Devices()))
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"littletable/internal/clock"
+	"littletable/internal/schema"
+)
+
+func TestDeleteWhereBasic(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for d := int64(0); d < 10; d++ {
+		for s := int64(0); s < 10; s++ {
+			mustInsert(t, tt.Table, usageRow(1, d, now-s*clock.Minute, 0, d*10+s))
+		}
+	}
+	// Delete device 3 entirely (the "privacy request for one client" case).
+	q := NewQuery()
+	q.Lower = key(1, 3)
+	q.Upper = key(1, 3)
+	n, err := tt.DeleteWhere(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("deleted %d rows, want 10", n)
+	}
+	rows := queryBox(t, tt.Table, NewQuery())
+	if len(rows) != 90 {
+		t.Fatalf("%d rows remain, want 90", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].Int == 3 {
+			t.Fatal("device 3 row survived deletion")
+		}
+	}
+}
+
+func TestDeleteWhereTimeSlice(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for s := int64(0); s < 20; s++ {
+		mustInsert(t, tt.Table, usageRow(1, 1, now-s*clock.Hour, 0, s))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete hours 5..9 back.
+	q := NewQuery()
+	q.MinTs = now - 9*clock.Hour
+	q.MaxTs = now - 5*clock.Hour
+	n, err := tt.DeleteWhere(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("deleted %d, want 5", n)
+	}
+	rows := queryBox(t, tt.Table, NewQuery())
+	if len(rows) != 15 {
+		t.Fatalf("%d rows remain", len(rows))
+	}
+	for _, r := range rows {
+		ts := r[2].Int
+		if ts >= q.MinTs && ts <= q.MaxTs {
+			t.Fatal("row inside deleted slice survived")
+		}
+	}
+}
+
+func TestDeleteWhereWithFilter(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 40; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i%4, now-i*clock.Second, float64(i%2), i))
+	}
+	// Delete only rows whose rate is 1 (a residual predicate).
+	n, err := tt.DeleteWhere(NewQuery(), func(row schema.Row) bool {
+		return row[3].Float == 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("deleted %d, want 20", n)
+	}
+	for _, r := range queryBox(t, tt.Table, NewQuery()) {
+		if r[3].Float == 1 {
+			t.Fatal("filtered row survived")
+		}
+	}
+}
+
+func TestDeleteWholeTabletDropsFile(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	old := now - 30*clock.Day
+	for i := int64(0); i < 20; i++ {
+		mustInsert(t, tt.Table, usageRow(9, i, old+i, 0, i))
+	}
+	for i := int64(0); i < 20; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now+i, 0, 100+i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := tt.DiskTabletCount()
+	// The old-period tablet holds only network 9; deleting network 9 in
+	// its time range should drop the whole tablet rather than rewrite it.
+	q := NewQuery()
+	q.Lower = key(9)
+	q.Upper = key(9)
+	n, err := tt.DeleteWhere(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("deleted %d", n)
+	}
+	if tt.DiskTabletCount() != before-1 {
+		t.Fatalf("tablet count %d, want %d", tt.DiskTabletCount(), before-1)
+	}
+}
+
+func TestDeleteSurvivesReopen(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 30; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i%3, now-i*clock.Minute, 0, i))
+	}
+	q := NewQuery()
+	q.Lower = key(1, 1)
+	q.Upper = key(1, 1)
+	if _, err := tt.DeleteWhere(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	tt2 := reopen(t, tt)
+	for _, r := range queryBox(t, tt2.Table, NewQuery()) {
+		if r[1].Int == 1 {
+			t.Fatal("deleted device resurrected after reopen")
+		}
+	}
+}
+
+func TestDeleteWithConcurrentReader(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 100; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now, 0, i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := tt.Query(NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete everything while the iterator is open; its snapshot must
+	// keep working.
+	n, err := tt.DeleteWhere(NewQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("deleted %d", n)
+	}
+	count := 0
+	for it.Next() {
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if count != 100 {
+		t.Fatalf("snapshot iterator saw %d rows", count)
+	}
+	if rows := queryBox(t, tt.Table, NewQuery()); len(rows) != 0 {
+		t.Fatalf("post-delete query saw %d rows", len(rows))
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	// Uniqueness bookkeeping must allow re-inserting a deleted key.
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	row := usageRow(1, 1, now, 1.5, 0)
+	mustInsert(t, tt.Table, row)
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.DeleteWhere(NewQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, tt.Table, usageRow(1, 1, now, 2.5, 1))
+	rows := queryBox(t, tt.Table, NewQuery())
+	if len(rows) != 1 || rows[0][3].Float != 2.5 {
+		t.Fatalf("reinsert after delete: %v", rows)
+	}
+}
+
+func TestDeleteInvalidBox(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	q := NewQuery()
+	q.MinTs, q.MaxTs = 5, 1
+	if _, err := tt.DeleteWhere(q, nil); err == nil {
+		t.Fatal("inverted box accepted")
+	}
+}
+
+// TestDeleteMatchesReferenceModel: randomized boxes deleted from a model
+// and the engine must leave identical survivors.
+func TestDeleteMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tt := newTestTable(t, Options{FlushSize: 2048})
+	now := tt.clk.Now()
+	sc := tt.Schema()
+	var model []schema.Row
+	for i := 0; i < 300; i++ {
+		row := usageRow(rng.Int63n(3), rng.Int63n(5), now-rng.Int63n(5*clock.Day), 0, int64(i))
+		if err := tt.Insert([]schema.Row{row}); err != nil {
+			continue
+		}
+		model = append(model, row)
+		if i%80 == 0 {
+			if err := tt.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for trial := 0; trial < 6; trial++ {
+		q := randomBox(rng, now)
+		q.Descending = false
+		n, err := tt.DeleteWhere(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceFilter(sc, model, q)
+		if int(n) != len(want) {
+			t.Fatalf("trial %d: engine deleted %d, model %d", trial, n, len(want))
+		}
+		// Remove from model.
+		doomed := map[int64]bool{}
+		for _, r := range want {
+			doomed[r[4].Int] = true
+		}
+		var next []schema.Row
+		for _, r := range model {
+			if !doomed[r[4].Int] {
+				next = append(next, r)
+			}
+		}
+		model = next
+		// Survivors identical.
+		got := queryBox(t, tt.Table, NewQuery())
+		sort.Slice(model, func(i, j int) bool { return sc.CompareKeys(model[i], model[j]) < 0 })
+		if len(got) != len(model) {
+			t.Fatalf("trial %d: %d survivors, model %d", trial, len(got), len(model))
+		}
+		for i := range got {
+			if sc.CompareKeys(got[i], model[i]) != 0 {
+				t.Fatalf("trial %d: survivor %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"littletable/internal/tablet"
+)
+
+// FlushStep writes the oldest pending flush group to disk — one on-disk
+// tablet per frozen in-memory tablet — and publishes them all in a single
+// atomic descriptor update (§3.4.3). It reports whether a group was
+// flushed. Safe to call concurrently with inserts and queries; concurrent
+// FlushStep calls serialize.
+func (t *Table) FlushStep() (bool, error) {
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false, ErrTableClosed
+	}
+	if len(t.pending) == 0 {
+		t.mu.Unlock()
+		return false, nil
+	}
+	group := t.pending[0]
+	// Reserve sequence numbers while holding the lock; write files after
+	// releasing it so inserts and queries proceed during the I/O.
+	seqs := make([]uint64, len(group.tablets))
+	for i := range group.tablets {
+		seqs[i] = t.nextSeq
+		t.nextSeq++
+	}
+	now := t.opts.Clock.Now()
+	t.mu.Unlock()
+
+	newDisks := make([]*diskTablet, 0, len(group.tablets))
+	for i, ft := range group.tablets {
+		if ft.mt.Empty() {
+			continue
+		}
+		path := filepath.Join(t.dir, tabletFileName(seqs[i]))
+		w, err := tablet.Create(path, ft.mt.Schema(), tablet.WriterOptions{
+			BlockSize:          t.opts.BlockSize,
+			DisableCompression: t.opts.DisableCompression,
+			DisableBloom:       t.opts.DisableBloom,
+			Sync:               t.opts.SyncWrites,
+		})
+		if err != nil {
+			abortDisks(newDisks)
+			return false, err
+		}
+		c := ft.mt.Cursor(true)
+		for c.Next() {
+			if err := w.Append(c.Row()); err != nil {
+				w.Abort()
+				abortDisks(newDisks)
+				return false, err
+			}
+		}
+		info, err := w.Close()
+		if err != nil {
+			abortDisks(newDisks)
+			return false, err
+		}
+		tab, err := tablet.Open(path)
+		if err != nil {
+			abortDisks(newDisks)
+			return false, fmt.Errorf("core: reopen flushed tablet: %w", err)
+		}
+		t.attachCache(tab)
+		newDisks = append(newDisks, &diskTablet{
+			rec: tabletRecord{
+				File:     filepath.Base(path),
+				Seq:      seqs[i],
+				RowCount: info.RowCount,
+				MinTs:    info.MinTs,
+				MaxTs:    info.MaxTs,
+				Bytes:    info.Bytes,
+			},
+			tab:       tab,
+			path:      path,
+			refs:      1,
+			addedAt:   now,
+			wroteGran: ft.per.Gran,
+		})
+		t.stats.TabletsFlushed.Add(1)
+		t.stats.BytesFlushed.Add(info.Bytes)
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		abortDisks(newDisks)
+		return false, ErrTableClosed
+	}
+	// The group is still pending[0]: FlushStep calls serialize on flushMu
+	// and only FlushStep removes groups. Verify anyway.
+	if len(t.pending) == 0 || t.pending[0].tablets[0] != group.tablets[0] {
+		t.mu.Unlock()
+		abortDisks(newDisks)
+		return false, fmt.Errorf("core: pending queue mutated during flush")
+	}
+	t.pending = t.pending[1:]
+	t.disk = append(t.disk, newDisks...)
+	t.sortDiskLocked()
+	err := t.writeDescriptorLocked()
+	if err != nil {
+		// Roll back: the files exist but are not durable; drop them.
+		for _, dt := range newDisks {
+			t.dropLocked(dt)
+		}
+		// The rows are lost from memory; surface the error loudly.
+		t.mu.Unlock()
+		return false, fmt.Errorf("core: descriptor update failed, rows lost: %w", err)
+	}
+	t.flushCond.Broadcast()
+	t.mu.Unlock()
+	return true, nil
+}
+
+func abortDisks(disks []*diskTablet) {
+	for _, dt := range disks {
+		dt.tab.Close()
+	}
+}
+
+// dropLocked removes dt from the live list (caller updates descriptor) and
+// arranges deletion once readers drain. Caller holds t.mu.
+func (t *Table) dropLocked(dt *diskTablet) {
+	for i, d := range t.disk {
+		if d == dt {
+			t.disk = append(t.disk[:i], t.disk[i+1:]...)
+			break
+		}
+	}
+	dt.dropped = true
+	dt.refs--
+	if dt.refs == 0 {
+		dt.tab.Close()
+		_ = os.Remove(dt.path)
+	}
+}
+
+// FlushAll freezes every filling tablet and drains the pending queue. Used
+// at orderly shutdown and by tests; the durability model never requires it.
+func (t *Table) FlushAll() error {
+	t.insertMu.Lock()
+	defer t.insertMu.Unlock()
+	return t.flushPending()
+}
+
+// FlushBefore is the command §4.1.2 proposes: it "flushes to disk all
+// tablets with timestamps before a given value", so aggregators can know
+// their source rows are durable instead of assuming anything older than
+// 20 minutes has reached disk. Flush-dependency closures may pull newer
+// tablets along; over-flushing is always safe.
+func (t *Table) FlushBefore(ts int64) error {
+	t.insertMu.Lock()
+	defer t.insertMu.Unlock()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	var doomed []*fillingTablet
+	for _, ft := range t.filling {
+		if ft.mt.Empty() {
+			continue
+		}
+		lo, _ := ft.mt.Timespan()
+		if lo < ts {
+			doomed = append(doomed, ft)
+		}
+	}
+	for _, ft := range doomed {
+		t.freezeLocked(ft)
+	}
+	t.mu.Unlock()
+	for {
+		ok, err := t.FlushStep()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// flushPending freezes all filling tablets and drains pending groups.
+// Callers hold insertMu.
+func (t *Table) flushPending() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	for _, ft := range t.filling {
+		t.freezeLocked(ft)
+	}
+	t.mu.Unlock()
+	for {
+		ok, err := t.FlushStep()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Tick performs one round of time-driven maintenance: age-based freezing
+// of filling tablets (§3.4.1's 10-minute bound on data loss), one merge
+// round (§3.4.1–3.4.2), and TTL expiry (§3.3). The server calls it
+// periodically; tests call it with a fake clock.
+func (t *Table) Tick() error {
+	now := t.opts.Clock.Now()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	for _, ft := range t.filling {
+		if !ft.mt.Empty() && now-ft.mt.CreatedAt() >= t.opts.FlushAge {
+			t.freezeLocked(ft)
+		}
+	}
+	hasPending := len(t.pending) > 0
+	t.mu.Unlock()
+
+	if hasPending {
+		for {
+			ok, err := t.FlushStep()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if err := t.expireTTL(now); err != nil {
+		return err
+	}
+	_, err := t.MergeStep()
+	return err
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"path/filepath"
+
+	"littletable/internal/period"
+	"littletable/internal/schema"
+	"littletable/internal/tablet"
+)
+
+// MergeStep runs one round of the merge policy (§3.4.1–§3.4.2, appendix):
+//
+//   - tablets are ordered by their timespans' lower bounds;
+//   - only tablets within the same time period are merge candidates;
+//   - the oldest adjacent pair (ti, ti+1) with |ti| <= 2|ti+1| seeds the
+//     merge, extended with newer adjacent tablets up to MaxTabletSize;
+//   - a tablet must be at least MergeDelay old, and a period that has just
+//     rolled over into a coarser granularity waits an extra pseudorandom
+//     fraction of the new period length, spreading merge load across
+//     tables.
+//
+// It reports whether a merge was performed. The appendix proves this policy
+// leaves O(log T) tablets and rewrites each row O(log T) times.
+func (t *Table) MergeStep() (bool, error) {
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+
+	now := t.opts.Clock.Now()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false, ErrTableClosed
+	}
+	inputs := t.pickMergeLocked(now)
+	if inputs == nil {
+		t.mu.Unlock()
+		return false, nil
+	}
+	for _, dt := range inputs {
+		dt.busy = true
+		t.acquireLocked(dt)
+	}
+	seq := t.nextSeq
+	t.nextSeq++
+	sc := t.sc
+	ttl := t.ttl
+	t.mu.Unlock()
+
+	out, err := t.mergeTablets(sc, inputs, seq, expireBefore(now, ttl), now)
+
+	t.mu.Lock()
+	for _, dt := range inputs {
+		dt.busy = false
+	}
+	if err != nil || t.closed {
+		t.mu.Unlock()
+		for _, dt := range inputs {
+			t.release(dt)
+		}
+		if err == nil {
+			err = ErrTableClosed
+		}
+		return false, err
+	}
+	for _, dt := range inputs {
+		t.dropLocked(dt)
+	}
+	t.disk = append(t.disk, out)
+	t.sortDiskLocked()
+	derr := t.writeDescriptorLocked()
+	t.mu.Unlock()
+	for _, dt := range inputs {
+		t.release(dt)
+	}
+	if derr != nil {
+		return false, fmt.Errorf("core: descriptor update after merge: %w", derr)
+	}
+	t.stats.Merges.Add(1)
+	t.stats.BytesMerged.Add(out.rec.Bytes)
+	t.stats.RowsRewritten.Add(out.rec.RowCount)
+	return true, nil
+}
+
+// pickMergeLocked selects the input tablets for the next merge, or nil.
+// Caller holds t.mu.
+func (t *Table) pickMergeLocked(now int64) []*diskTablet {
+	if t.opts.MergeAcrossPeriods {
+		// Ablation baseline: one group spanning all time, no rollover
+		// delay — the merge-as-much-as-possible policy of §6's systems.
+		return t.pickWithinGroupLocked(t.disk, period.Period{
+			Start: minInt64, End: maxInt64, Gran: period.FourHour,
+		}, now)
+	}
+	// Walk groups of same-period tablets in timespan order.
+	i := 0
+	for i < len(t.disk) {
+		p := period.For(t.disk[i].rec.MinTs, now)
+		j := i
+		for j < len(t.disk) && p.Contains(t.disk[j].rec.MinTs) {
+			j++
+		}
+		if ins := t.pickWithinGroupLocked(t.disk[i:j], p, now); ins != nil {
+			return ins
+		}
+		i = j
+	}
+	return nil
+}
+
+func (t *Table) pickWithinGroupLocked(group []*diskTablet, p period.Period, now int64) []*diskTablet {
+	if len(group) < 2 {
+		return nil
+	}
+	// Rollover delay (§3.4.2): periods coarser than 4h gained their current
+	// granularity when they ended; delay merging by a pseudorandom fraction
+	// of the period length, seeded per (table, period).
+	if p.Gran != period.FourHour {
+		frac := period.MergeDelayFraction(mergeSeed(t.name, p.Start))
+		if now < p.End+int64(frac*float64(p.Gran.Length())) {
+			return nil
+		}
+	}
+	eligible := func(dt *diskTablet) bool {
+		return !dt.busy && now-dt.addedAt >= t.opts.MergeDelay
+	}
+	for i := 0; i+1 < len(group); i++ {
+		a, b := group[i], group[i+1]
+		if !eligible(a) || !eligible(b) {
+			continue
+		}
+		if a.rec.Bytes > 2*b.rec.Bytes {
+			continue
+		}
+		total := a.rec.Bytes + b.rec.Bytes
+		if total > t.opts.MaxTabletSize {
+			continue
+		}
+		ins := []*diskTablet{a, b}
+		// "It includes in this merge any newer tablets adjacent to this
+		// pair, up to a maximum tablet size" (§3.4.1).
+		for k := i + 2; k < len(group); k++ {
+			c := group[k]
+			if !eligible(c) || total+c.rec.Bytes > t.opts.MaxTabletSize {
+				break
+			}
+			ins = append(ins, c)
+			total += c.rec.Bytes
+		}
+		return ins
+	}
+	return nil
+}
+
+// mergeSeed hashes (table, period start) for the rollover delay fraction.
+func mergeSeed(name string, periodStart int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= uint64(periodStart)
+	h *= 1099511628211
+	return h
+}
+
+// mergeTablets merge-sorts the inputs into one new tablet in a single pass
+// (§3.4.1), translating rows to the current schema and dropping rows whose
+// timestamps have expired.
+func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64, expireLT int64, now int64) (*diskTablet, error) {
+	path := filepath.Join(t.dir, tabletFileName(seq))
+	w, err := tablet.Create(path, sc, tablet.WriterOptions{
+		BlockSize:          t.opts.BlockSize,
+		DisableCompression: t.opts.DisableCompression,
+		DisableBloom:       t.opts.DisableBloom,
+		Sync:               t.opts.SyncWrites,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var scanned int64
+	q := NewQuery()
+	h := &mergeHeap{sc: sc, asc: true}
+	var srcs []rowSource
+	for ord, dt := range inputs {
+		src, err := newDiskSource(sc, dt.tab, &q, &scanned)
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		srcs = append(srcs, src)
+		if row, ok := src.next(); ok {
+			heap.Push(h, heapItem{row: row, src: src, ord: ord})
+		} else if e := src.err(); e != nil {
+			w.Abort()
+			return nil, e
+		}
+	}
+	var lastKey schema.Row
+	for h.Len() > 0 {
+		top := h.item[0]
+		row := top.row
+		if next, ok := top.src.next(); ok {
+			h.item[0].row = next
+			heap.Fix(h, 0)
+		} else {
+			if e := top.src.err(); e != nil {
+				w.Abort()
+				return nil, e
+			}
+			heap.Pop(h)
+		}
+		if lastKey != nil && sc.CompareKeys(row, lastKey) == 0 {
+			continue
+		}
+		lastKey = row
+		if sc.Ts(row) < expireLT {
+			continue // row already expired; reclaim during the rewrite
+		}
+		if err := w.Append(row); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if w.RowCount() == 0 {
+		// Everything expired: still produce the (empty) tablet so the
+		// inputs can be dropped; the TTL reaper will delete it promptly.
+		// Simpler than a special-case descriptor path.
+	}
+	info, err := w.Close()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := tablet.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t.attachCache(tab)
+	minTs, maxTs := info.MinTs, info.MaxTs
+	if info.RowCount == 0 {
+		// Preserve the inputs' span so ordering invariants hold.
+		minTs, maxTs = inputs[0].rec.MinTs, inputs[0].rec.MaxTs
+	}
+	return &diskTablet{
+		rec: tabletRecord{
+			File:     filepath.Base(path),
+			Seq:      seq,
+			RowCount: info.RowCount,
+			MinTs:    minTs,
+			MaxTs:    maxTs,
+			Bytes:    info.Bytes,
+		},
+		tab:       tab,
+		path:      path,
+		refs:      1,
+		addedAt:   now,
+		wroteGran: period.For(minTs, now).Gran,
+	}, nil
+}
+
+// MergeUntilStable runs merge rounds until none applies, returning the
+// number performed. Benchmarks for the appendix's logarithmic bounds and
+// Figure 3 use it.
+func (t *Table) MergeUntilStable() (int, error) {
+	n := 0
+	for {
+		ok, err := t.MergeStep()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

@@ -1,0 +1,124 @@
+// Package core implements the LittleTable table engine (§3): tables as
+// unions of in-memory and on-disk tablets, two-dimensional clustering by
+// timestamp and primary key, flush-dependency tracking for prefix
+// durability, the time-period-aware merge policy, TTL expiry, primary-key
+// uniqueness enforcement, bounded 2-D queries, and latest-row lookups.
+package core
+
+import (
+	"littletable/internal/block"
+	"littletable/internal/clock"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultFlushSize: "we set the default flush size to 16 MB, which is
+	// large enough to sustain roughly 95% of the disk's peak write rate"
+	// (§3.3).
+	DefaultFlushSize = 16 << 20
+
+	// DefaultFlushAge: "LittleTable by default flushes an in-memory tablet
+	// no longer than 10-minutes after it first adds a row" (§3.4.1).
+	DefaultFlushAge = 10 * clock.Minute
+
+	// DefaultMaxTabletSize: "limits merged tablet sizes to 128 MB, its
+	// default settings" (§5.1.3).
+	DefaultMaxTabletSize = 128 << 20
+
+	// DefaultMergeDelay: "LittleTable waits until 90 seconds after a tablet
+	// is written before merging it" (§5.1.3).
+	DefaultMergeDelay = 90 * clock.Second
+
+	// DefaultMaxPendingTablets caps frozen tablets awaiting flush; §5.1.3
+	// limits memory "so that at any time there are at most 100 outstanding
+	// tablets waiting to be flushed to disk".
+	DefaultMaxPendingTablets = 100
+
+	// DefaultQueryRowLimit is the server-side cap per query response; the
+	// client re-submits with an updated start bound when it sees the
+	// more-available flag (§3.5).
+	DefaultQueryRowLimit = 16384
+)
+
+// Options configure a Table. The zero value of each field selects the
+// paper's default.
+type Options struct {
+	// Clock supplies engine time; defaults to the wall clock.
+	Clock clock.Clock
+
+	// FlushSize is the in-memory tablet size that triggers a flush.
+	FlushSize int
+
+	// FlushAge is the maximum age of an in-memory tablet before flushing,
+	// bounding crash data loss.
+	FlushAge int64
+
+	// MaxTabletSize caps merged tablet output size.
+	MaxTabletSize int64
+
+	// MergeDelay is the minimum age of an on-disk tablet before it may be
+	// merged, so each merge sees more input.
+	MergeDelay int64
+
+	// MaxPendingTablets caps frozen tablets awaiting flush; inserts flush
+	// synchronously beyond it (backpressure).
+	MaxPendingTablets int
+
+	// BlockSize is the on-disk block size; default 64 kB.
+	BlockSize int
+
+	// QueryRowLimit is the server-enforced per-response row cap.
+	QueryRowLimit int
+
+	// BlockCacheBytes enables a per-table LRU over parsed blocks. The
+	// paper's deployment leans on the OS page cache; an explicit cache
+	// additionally skips checksum, decompression, and parsing on repeat
+	// reads. 0 disables it.
+	BlockCacheBytes int64
+
+	// DisableCompression turns off lzf for blocks and footers.
+	DisableCompression bool
+
+	// DisableBloom turns off per-tablet Bloom filters.
+	DisableBloom bool
+
+	// SyncWrites fsyncs tablets and descriptors. LittleTable trades
+	// durability for write load (§2.3.4); off by default like production.
+	SyncWrites bool
+
+	// MergeAcrossPeriods is an ABLATION switch: it disables the time-period
+	// isolation of §3.4.2, making the merge policy behave like the systems
+	// the paper contrasts with, whose "merge policies aim to combine as
+	// many tablets as possible" (§6). Old and new rows then share tablets,
+	// and recent-window queries scan rows they do not return. Benchmarks
+	// only; never enable in production use.
+	MergeAcrossPeriods bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = clock.Real{}
+	}
+	if o.FlushSize == 0 {
+		o.FlushSize = DefaultFlushSize
+	}
+	if o.FlushAge == 0 {
+		o.FlushAge = DefaultFlushAge
+	}
+	if o.MaxTabletSize == 0 {
+		o.MaxTabletSize = DefaultMaxTabletSize
+	}
+	if o.MergeDelay == 0 {
+		o.MergeDelay = DefaultMergeDelay
+	}
+	if o.MaxPendingTablets == 0 {
+		o.MaxPendingTablets = DefaultMaxPendingTablets
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = block.TargetSize
+	}
+	if o.QueryRowLimit == 0 {
+		o.QueryRowLimit = DefaultQueryRowLimit
+	}
+	return o
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"littletable/internal/ltval"
+	"littletable/internal/memtable"
+	"littletable/internal/schema"
+	"littletable/internal/tablet"
+)
+
+// Query is a two-dimensional bounding box (§3.1): primary keys or prefixes
+// thereof in one dimension, timestamps in the other. Bounds may be
+// inclusive or exclusive. Use NewQuery for an unbounded starting point.
+type Query struct {
+	// Lower and Upper bound the primary key; nil means unbounded. A bound
+	// shorter than the full key acts as a prefix: rows equal on the prefix
+	// are inside an inclusive bound and outside an exclusive one.
+	Lower, Upper       []ltval.Value
+	LowerInc, UpperInc bool
+
+	// MinTs and MaxTs bound row timestamps, inclusive.
+	MinTs, MaxTs int64
+
+	// Descending reverses the result order (§3.5).
+	Descending bool
+
+	// Limit caps returned rows; 0 means no client limit. The server applies
+	// its own limit on top and signals more-available.
+	Limit int
+}
+
+// TsMin and TsMax are the unbounded timestamp sentinels for Query.
+const (
+	TsMin int64 = minInt64
+	TsMax int64 = maxInt64
+)
+
+// NewQuery returns a query matching every row, to be narrowed by callers.
+func NewQuery() Query {
+	return Query{LowerInc: true, UpperInc: true, MinTs: minInt64, MaxTs: maxInt64}
+}
+
+// rowSource yields rows of the table's current schema in key order.
+type rowSource interface {
+	// next advances and returns the next row, or ok=false when exhausted.
+	next() (schema.Row, bool)
+	err() error
+	close()
+}
+
+// memSource iterates rows copied out of a memtable at snapshot time, so
+// queries never race concurrent inserts into the live tree. The copies are
+// bounded by the query's box.
+type memSource struct {
+	rows []schema.Row
+	i    int
+}
+
+func (m *memSource) next() (schema.Row, bool) {
+	if m.i >= len(m.rows) {
+		return nil, false
+	}
+	r := m.rows[m.i]
+	m.i++
+	return r, true
+}
+func (m *memSource) err() error { return nil }
+func (m *memSource) close()     {}
+
+// collectMemRows copies the rows of mt that fall inside the query's key
+// box, in the query's direction. Time filtering happens at the iterator.
+func collectMemRows(cur *schema.Schema, mt *memtable.Memtable, q *Query, scanned *int64) *memSource {
+	var c *memtable.Cursor
+	asc := !q.Descending
+	start := q.Lower
+	if !asc {
+		start = q.Upper
+	}
+	if start == nil {
+		c = mt.Cursor(asc)
+	} else {
+		c = mt.Seek(start, asc)
+	}
+	sc := mt.Schema()
+	ms := &memSource{}
+	for c.Next() {
+		row := c.Row()
+		*scanned++
+		if asc {
+			if !q.LowerInc && q.Lower != nil && sc.CompareRowToKey(row, q.Lower) == 0 {
+				continue
+			}
+			if q.Upper != nil {
+				cmp := sc.CompareRowToKey(row, q.Upper)
+				if cmp > 0 || (cmp == 0 && !q.UpperInc) {
+					break
+				}
+			}
+		} else {
+			if !q.UpperInc && q.Upper != nil && sc.CompareRowToKey(row, q.Upper) == 0 {
+				continue
+			}
+			if q.Lower != nil {
+				cmp := sc.CompareRowToKey(row, q.Lower)
+				if cmp < 0 || (cmp == 0 && !q.LowerInc) {
+					break
+				}
+			}
+		}
+		// Copy: the live tree may keep growing under the inserter.
+		ms.rows = append(ms.rows, cur.Translate(sc, schema.CloneRow(row)))
+	}
+	return ms
+}
+
+// diskSource adapts a tablet cursor: bound-aware stopping, exclusive-bound
+// skipping, schema translation, and scan accounting.
+type diskSource struct {
+	cur     *schema.Schema
+	tabSc   *schema.Schema
+	c       *tablet.Cursor
+	q       *Query
+	scanned *int64
+	done    bool
+}
+
+func newDiskSource(cur *schema.Schema, tab *tablet.Tablet, q *Query, scanned *int64) (*diskSource, error) {
+	asc := !q.Descending
+	start := q.Lower
+	if !asc {
+		start = q.Upper
+	}
+	var c *tablet.Cursor
+	var err error
+	if start == nil {
+		c = tab.Cursor(asc)
+	} else {
+		c, err = tab.Seek(start, asc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &diskSource{cur: cur, tabSc: tab.Schema(), c: c, q: q, scanned: scanned}, nil
+}
+
+func (d *diskSource) next() (schema.Row, bool) {
+	if d.done {
+		return nil, false
+	}
+	asc := !d.q.Descending
+	for d.c.Next() {
+		row := d.c.Row()
+		*d.scanned++
+		if asc {
+			if !d.q.LowerInc && d.q.Lower != nil && d.tabSc.CompareRowToKey(row, d.q.Lower) == 0 {
+				continue
+			}
+			if d.q.Upper != nil {
+				cmp := d.tabSc.CompareRowToKey(row, d.q.Upper)
+				if cmp > 0 || (cmp == 0 && !d.q.UpperInc) {
+					d.done = true
+					return nil, false
+				}
+			}
+		} else {
+			if !d.q.UpperInc && d.q.Upper != nil && d.tabSc.CompareRowToKey(row, d.q.Upper) == 0 {
+				continue
+			}
+			if d.q.Lower != nil {
+				cmp := d.tabSc.CompareRowToKey(row, d.q.Lower)
+				if cmp < 0 || (cmp == 0 && !d.q.LowerInc) {
+					d.done = true
+					return nil, false
+				}
+			}
+		}
+		return d.cur.Translate(d.tabSc, row), true
+	}
+	d.done = true
+	return nil, false
+}
+
+func (d *diskSource) err() error { return d.c.Err() }
+func (d *diskSource) close()     {}
+
+// mergeHeap merge-sorts rowSources by primary key (§3.2: "merge-sorts the
+// resulting streams to form a single result stream ordered by primary
+// key").
+type mergeHeap struct {
+	sc   *schema.Schema
+	asc  bool
+	item []heapItem
+}
+
+type heapItem struct {
+	row schema.Row
+	src rowSource
+	ord int // source index, breaking ties deterministically (newer first)
+}
+
+func (h *mergeHeap) Len() int { return len(h.item) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.sc.CompareKeys(h.item[i].row, h.item[j].row)
+	if c == 0 {
+		return h.item[i].ord > h.item[j].ord // newer source wins ties
+	}
+	if h.asc {
+		return c < 0
+	}
+	return c > 0
+}
+func (h *mergeHeap) Swap(i, j int)      { h.item[i], h.item[j] = h.item[j], h.item[i] }
+func (h *mergeHeap) Push(x interface{}) { h.item = append(h.item, x.(heapItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.item
+	n := len(old)
+	it := old[n-1]
+	h.item = old[:n-1]
+	return it
+}
+
+// Iterator streams a query's result rows. It is single-goroutine; Close
+// must be called to release tablet references.
+type Iterator struct {
+	t        *Table
+	q        Query
+	sc       *schema.Schema
+	h        *mergeHeap
+	sources  []rowSource
+	disks    []*diskTablet
+	expireLT int64 // rows with ts < expireLT are expired (TTL)
+	row      schema.Row
+	returned int
+	scanned  int64
+	firstErr error
+	closed   bool
+	lastKey  schema.Row // for duplicate suppression across sources
+}
+
+// Query opens an iterator over the bounding box q. The iterator sees a
+// snapshot of the tablet list; rows inserted concurrently may or may not
+// appear (§3.1's weak read guarantee), but the result is always key-ordered
+// and duplicate-free.
+func (t *Table) Query(q Query) (*Iterator, error) {
+	if q.MinTs > q.MaxTs {
+		return nil, fmt.Errorf("%w: MinTs %d > MaxTs %d", ErrBadQuery, q.MinTs, q.MaxTs)
+	}
+	if q.Lower != nil && q.Upper != nil {
+		// Compare only the common prefix: a lower bound that extends the
+		// upper prefix (e.g. lower (n, d, ts₀) under upper prefix (n, d))
+		// is a legitimate box, not an inversion.
+		n := len(q.Lower)
+		if len(q.Upper) < n {
+			n = len(q.Upper)
+		}
+		for i := 0; i < n; i++ {
+			c := q.Lower[i].Compare(q.Upper[i])
+			if c > 0 {
+				return nil, fmt.Errorf("%w: lower key above upper key", ErrBadQuery)
+			}
+			if c < 0 {
+				break
+			}
+		}
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrTableClosed
+	}
+	sc := t.sc
+	ttl := t.ttl
+	it := &Iterator{
+		t:        t,
+		q:        q,
+		sc:       sc,
+		expireLT: expireBefore(t.opts.Clock.Now(), ttl),
+		h:        &mergeHeap{sc: sc, asc: !q.Descending},
+	}
+	var disks []*diskTablet
+	for _, dt := range t.disk {
+		if dt.rec.MinTs <= q.MaxTs && dt.rec.MaxTs >= q.MinTs {
+			t.acquireLocked(dt)
+			disks = append(disks, dt)
+		}
+	}
+	it.disks = disks
+	// Memtable rows are copied out while holding the lock: the filling
+	// trees mutate under concurrent inserts, and §3.1 only promises that a
+	// concurrent query returns some, all, or none of the racing rows — it
+	// must still never corrupt or mis-order.
+	var memSrcs []*memSource
+	collectMem := func(f *fillingTablet) {
+		if f.mt.Empty() {
+			return
+		}
+		lo, hi := f.mt.Timespan()
+		if lo <= q.MaxTs && hi >= q.MinTs {
+			memSrcs = append(memSrcs, collectMemRows(sc, f.mt, &it.q, &it.scanned))
+		}
+	}
+	for _, f := range t.filling {
+		collectMem(f)
+	}
+	for _, g := range t.pending {
+		for _, f := range g.tablets {
+			collectMem(f)
+		}
+	}
+	t.mu.Unlock()
+
+	t.stats.Queries.Add(1)
+	ord := 0
+	// Disk sources open outside the lock: seeks touch the filesystem.
+	for _, dt := range disks {
+		src, err := newDiskSource(sc, dt.tab, &it.q, &it.scanned)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.push(src, ord)
+		ord++
+	}
+	for _, src := range memSrcs {
+		it.push(src, ord)
+		ord++
+	}
+	return it, nil
+}
+
+func (it *Iterator) push(src rowSource, ord int) {
+	it.sources = append(it.sources, src)
+	if row, ok := src.next(); ok {
+		heap.Push(it.h, heapItem{row: row, src: src, ord: ord})
+	} else if err := src.err(); err != nil && it.firstErr == nil {
+		it.firstErr = err
+	}
+}
+
+// Next advances to the next result row.
+func (it *Iterator) Next() bool {
+	if it.closed || it.firstErr != nil {
+		return false
+	}
+	if it.q.Limit > 0 && it.returned >= it.q.Limit {
+		return false
+	}
+	for it.h.Len() > 0 {
+		top := it.h.item[0]
+		row := top.row
+		if next, ok := top.src.next(); ok {
+			it.h.item[0].row = next
+			heap.Fix(it.h, 0)
+		} else {
+			if err := top.src.err(); err != nil && it.firstErr == nil {
+				it.firstErr = err
+				return false
+			}
+			heap.Pop(it.h)
+		}
+		// Duplicate keys across tablets cannot arise from correct inserts,
+		// but suppress them defensively; the newest source surfaced first.
+		if it.lastKey != nil && it.sc.CompareKeys(row, it.lastKey) == 0 {
+			continue
+		}
+		it.lastKey = row
+		ts := it.sc.Ts(row)
+		if ts < it.q.MinTs || ts > it.q.MaxTs {
+			continue // outside the box's time bounds (§3.2)
+		}
+		if ts < it.expireLT {
+			continue // expired by TTL but not yet reclaimed (§3.3)
+		}
+		it.row = row
+		it.returned++
+		return true
+	}
+	return false
+}
+
+// Row returns the current row; valid after Next reports true, until the
+// following Next call.
+func (it *Iterator) Row() schema.Row { return it.row }
+
+// Err returns the first error the iterator encountered.
+func (it *Iterator) Err() error { return it.firstErr }
+
+// Scanned returns rows examined so far, the numerator of Figure 9's
+// scan-efficiency ratio.
+func (it *Iterator) Scanned() int64 { return it.scanned }
+
+// Returned returns rows yielded so far.
+func (it *Iterator) Returned() int { return it.returned }
+
+// Close releases tablet references and records scan statistics.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	for _, src := range it.sources {
+		src.close()
+	}
+	for _, dt := range it.disks {
+		it.t.release(dt)
+	}
+	it.t.stats.RowsScanned.Add(it.scanned)
+	it.t.stats.RowsReturned.Add(int64(it.returned))
+	return nil
+}
+
+// QueryAll is a convenience that materializes a query's full result.
+func (t *Table) QueryAll(q Query) ([]schema.Row, error) {
+	it, err := t.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []schema.Row
+	for it.Next() {
+		rows = append(rows, schema.CloneRow(it.Row()))
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

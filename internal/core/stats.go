@@ -1,0 +1,82 @@
+package core
+
+import "sync/atomic"
+
+// Stats are per-table counters, exported for the production-metrics
+// reproduction (§5.2): scan efficiency (Figure 9), insert/query rates
+// (§5.2.3), and merge write amplification (§5.1.3).
+type Stats struct {
+	RowsInserted   atomic.Int64
+	InsertBatches  atomic.Int64
+	RowsReturned   atomic.Int64
+	RowsScanned    atomic.Int64
+	Queries        atomic.Int64
+	TabletsFlushed atomic.Int64
+	BytesFlushed   atomic.Int64
+	Merges         atomic.Int64
+	BytesMerged    atomic.Int64 // bytes written by merges (rewrite cost)
+	RowsRewritten  atomic.Int64 // rows rewritten by merges
+	TabletsExpired atomic.Int64
+	UniqueFastNew  atomic.Int64 // uniqueness via newest-timestamp fast path
+	UniqueFastKey  atomic.Int64 // uniqueness via largest-key fast path
+	UniqueBloom    atomic.Int64 // uniqueness resolved by Bloom filters alone
+	UniqueProbes   atomic.Int64 // uniqueness requiring a point read
+}
+
+// StatsSnapshot is a plain copy of the counters at one instant.
+type StatsSnapshot struct {
+	RowsInserted   int64
+	InsertBatches  int64
+	RowsReturned   int64
+	RowsScanned    int64
+	Queries        int64
+	TabletsFlushed int64
+	BytesFlushed   int64
+	Merges         int64
+	BytesMerged    int64
+	RowsRewritten  int64
+	TabletsExpired int64
+	UniqueFastNew  int64
+	UniqueFastKey  int64
+	UniqueBloom    int64
+	UniqueProbes   int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RowsInserted:   s.RowsInserted.Load(),
+		InsertBatches:  s.InsertBatches.Load(),
+		RowsReturned:   s.RowsReturned.Load(),
+		RowsScanned:    s.RowsScanned.Load(),
+		Queries:        s.Queries.Load(),
+		TabletsFlushed: s.TabletsFlushed.Load(),
+		BytesFlushed:   s.BytesFlushed.Load(),
+		Merges:         s.Merges.Load(),
+		BytesMerged:    s.BytesMerged.Load(),
+		RowsRewritten:  s.RowsRewritten.Load(),
+		TabletsExpired: s.TabletsExpired.Load(),
+		UniqueFastNew:  s.UniqueFastNew.Load(),
+		UniqueFastKey:  s.UniqueFastKey.Load(),
+		UniqueBloom:    s.UniqueBloom.Load(),
+		UniqueProbes:   s.UniqueProbes.Load(),
+	}
+}
+
+// ScanRatio returns rows scanned / rows returned across all queries so far,
+// the per-table quantity behind Figure 9. Returns 0 with no returned rows.
+func (s StatsSnapshot) ScanRatio() float64 {
+	if s.RowsReturned == 0 {
+		return 0
+	}
+	return float64(s.RowsScanned) / float64(s.RowsReturned)
+}
+
+// WriteAmplification returns total bytes written (flushes + merges) per
+// byte flushed, the quantity behind Figure 3's equilibrium analysis.
+func (s StatsSnapshot) WriteAmplification() float64 {
+	if s.BytesFlushed == 0 {
+		return 0
+	}
+	return float64(s.BytesFlushed+s.BytesMerged) / float64(s.BytesFlushed)
+}

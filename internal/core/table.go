@@ -1,0 +1,584 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"littletable/internal/blockcache"
+	"littletable/internal/ltval"
+	"littletable/internal/memtable"
+	"littletable/internal/period"
+	"littletable/internal/schema"
+	"littletable/internal/tablet"
+)
+
+// Errors returned by table operations.
+var (
+	ErrDuplicateKey = errors.New("core: duplicate primary key")
+	ErrTableClosed  = errors.New("core: table closed")
+	ErrBadQuery     = errors.New("core: invalid query")
+)
+
+// fillingTablet is an in-memory tablet accepting inserts for one time
+// period (§3.4.3: LittleTable fills several in-memory tablets at once,
+// binned by the same periods it uses to limit merging).
+type fillingTablet struct {
+	mt  *memtable.Memtable
+	per period.Period
+	// prereqs are tablets that must be flushed before this one (the flush
+	// dependency graph of §3.4.3; edge u→t is stored as t.prereqs[u]).
+	prereqs map[*fillingTablet]bool
+	frozen  bool
+}
+
+// flushGroup is a set of frozen tablets that must reach the descriptor in a
+// single atomic update (a dependency closure).
+type flushGroup struct {
+	tablets []*fillingTablet
+}
+
+// diskTablet is an open on-disk tablet plus lifecycle state. The base
+// reference is held by the table; queries take additional references so
+// merges and TTL expiry can drop tablets without invalidating open cursors.
+type diskTablet struct {
+	rec       tabletRecord
+	tab       *tablet.Tablet
+	path      string
+	refs      int  // guarded by Table.mu
+	dropped   bool // no longer in the descriptor
+	busy      bool // being merged; excluded from further maintenance
+	addedAt   int64
+	wroteGran period.Granularity // granularity at write time, for merge delay
+}
+
+// Table is one LittleTable table: a union of in-memory and on-disk tablets
+// (§3.2). All methods are safe for concurrent use. Inserts to a table are
+// serialized with respect to each other but not with queries, mirroring the
+// paper's lock-table design (§3.4.4).
+type Table struct {
+	name string
+	dir  string
+	opts Options
+
+	// insertMu serializes Insert and schema changes; queries do not take it.
+	insertMu sync.Mutex
+
+	// flushMu serializes FlushStep and MergeStep against themselves.
+	flushMu sync.Mutex
+
+	// mu guards the fields below. It is held only for short, in-memory
+	// critical sections plus descriptor writes.
+	mu         sync.Mutex
+	flushCond  *sync.Cond
+	sc         *schema.Schema
+	ttl        int64
+	nextSeq    uint64
+	filling    map[period.Period]*fillingTablet
+	lastInsert *fillingTablet
+	pending    []flushGroup
+	disk       []*diskTablet // sorted by (MinTs, Seq)
+	maxTs      int64
+	hasRows    bool
+	closed     bool
+
+	stats Stats
+
+	// blockCache, when enabled, is shared by every tablet this table
+	// opens; handles make keys unique per open instance.
+	blockCache *blockcache.Cache
+	nextHandle atomic.Uint64
+}
+
+// CreateTable makes a new table directory under root and returns the open
+// table. ttl of 0 means rows never expire.
+func CreateTable(root, name string, sc *schema.Schema, ttl int64, opts Options) (*Table, error) {
+	dir := filepath.Join(root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, descriptorFile)); err == nil {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	d := &descriptor{Name: name, Schema: sc, TTL: ttl, NextSeq: 1}
+	o := opts.withDefaults()
+	if err := writeDescriptor(dir, d, o.SyncWrites); err != nil {
+		return nil, err
+	}
+	return openTable(dir, d, o)
+}
+
+// OpenTable opens an existing table directory, recovering from any crash:
+// tablet files not named by the descriptor are deleted (their rows were
+// never durable), preserving the prefix-of-insertion-order guarantee.
+func OpenTable(root, name string, opts Options) (*Table, error) {
+	dir := filepath.Join(root, name)
+	d, err := readDescriptor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := cleanOrphans(dir, d); err != nil {
+		return nil, err
+	}
+	return openTable(dir, d, opts.withDefaults())
+}
+
+func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
+	t := &Table{
+		name:    d.Name,
+		dir:     dir,
+		opts:    opts,
+		sc:      d.Schema,
+		ttl:     d.TTL,
+		nextSeq: d.NextSeq,
+		filling: make(map[period.Period]*fillingTablet),
+	}
+	t.flushCond = sync.NewCond(&t.mu)
+	if opts.BlockCacheBytes > 0 {
+		t.blockCache = blockcache.New(opts.BlockCacheBytes)
+	}
+	now := opts.Clock.Now()
+	for _, rec := range d.Tablets {
+		loc := dir
+		if rec.Dir != "" {
+			loc = rec.Dir // cold-tiered tablet (§6)
+		}
+		path := filepath.Join(loc, rec.File)
+		tab, err := tablet.Open(path)
+		if err != nil {
+			t.closeAllLocked()
+			return nil, fmt.Errorf("core: open tablet %s: %w", rec.File, err)
+		}
+		t.attachCache(tab)
+		dt := &diskTablet{
+			rec:       rec,
+			tab:       tab,
+			path:      path,
+			refs:      1,
+			addedAt:   now,
+			wroteGran: period.For(rec.MinTs, now).Gran,
+		}
+		t.disk = append(t.disk, dt)
+		if rec.MaxTs > t.maxTs || !t.hasRows {
+			t.maxTs = rec.MaxTs
+			t.hasRows = true
+		}
+	}
+	t.sortDiskLocked()
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the current schema.
+func (t *Table) Schema() *schema.Schema {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sc
+}
+
+// TTL returns the row time-to-live in microseconds (0 = never expires).
+func (t *Table) TTL() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ttl
+}
+
+// Stats exposes the table's counters.
+func (t *Table) Stats() *Stats { return &t.stats }
+
+// Now returns the engine's current time in microseconds; the server uses
+// it to timestamp rows whose clients omitted one (§3.1).
+func (t *Table) Now() int64 { return t.opts.Clock.Now() }
+
+// attachCache connects a freshly opened tablet to the table's shared block
+// cache, when one is configured.
+func (t *Table) attachCache(tab *tablet.Tablet) {
+	if t.blockCache != nil {
+		tab.SetBlockCache(t.blockCache, t.nextHandle.Add(1))
+	}
+}
+
+// BlockCacheStats reports cumulative cache hits and misses (zeros when the
+// cache is disabled).
+func (t *Table) BlockCacheStats() (hits, misses int64) {
+	if t.blockCache == nil {
+		return 0, 0
+	}
+	return t.blockCache.Stats()
+}
+
+// DiskTabletCount returns the number of on-disk tablets.
+func (t *Table) DiskTabletCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.disk)
+}
+
+// MemTabletCount returns filling plus frozen-pending in-memory tablets.
+func (t *Table) MemTabletCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.filling)
+	for _, g := range t.pending {
+		n += len(g.tablets)
+	}
+	return n
+}
+
+// DiskBytes returns the on-disk size of all tablets.
+func (t *Table) DiskBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, dt := range t.disk {
+		n += dt.rec.Bytes
+	}
+	return n
+}
+
+// RowEstimate returns the row count across disk tablets and memtables.
+func (t *Table) RowEstimate() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, dt := range t.disk {
+		n += dt.rec.RowCount
+	}
+	for _, f := range t.filling {
+		n += int64(f.mt.Len())
+	}
+	for _, g := range t.pending {
+		for _, f := range g.tablets {
+			n += int64(f.mt.Len())
+		}
+	}
+	return n
+}
+
+func (t *Table) sortDiskLocked() {
+	// Insertion sort: the list is nearly sorted after every mutation.
+	d := t.disk
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && diskLess(d[j], d[j-1]); j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// diskLess orders tablets by their timespans' lower bounds (§3.4.1), with
+// creation sequence as the tiebreaker.
+func diskLess(a, b *diskTablet) bool {
+	if a.rec.MinTs != b.rec.MinTs {
+		return a.rec.MinTs < b.rec.MinTs
+	}
+	return a.rec.Seq < b.rec.Seq
+}
+
+// Insert adds a batch of rows. Each row must match the schema; a row whose
+// timestamp is zero and whose key duplicates nothing is NOT timestamped
+// here — timestamp defaulting is the wire layer's job (§3.1). Inserts are
+// atomic per row, not per batch: on error, rows before the failing one
+// remain inserted, matching a database whose batches are a transport
+// optimization rather than transactions.
+func (t *Table) Insert(rows []schema.Row) error {
+	t.insertMu.Lock()
+	defer t.insertMu.Unlock()
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	sc := t.sc
+	t.mu.Unlock()
+
+	for _, row := range rows {
+		if err := sc.Validate(row); err != nil {
+			return err
+		}
+	}
+
+	now := t.opts.Clock.Now()
+	inserted := int64(0)
+	defer func() {
+		// Count exactly what landed: a mid-batch failure (duplicate key)
+		// leaves the earlier rows inserted (batches are a transport
+		// optimization, not transactions).
+		t.stats.RowsInserted.Add(inserted)
+		t.stats.InsertBatches.Add(1)
+	}()
+	for _, row := range rows {
+		unique, err := t.checkUnique(sc, row, now)
+		if err != nil {
+			return err
+		}
+		if !unique {
+			return fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+		}
+		if err := t.insertOne(sc, row, now); err != nil {
+			return err
+		}
+		inserted++
+	}
+	return nil
+}
+
+// insertOne routes one validated, uniqueness-checked row to its period's
+// filling tablet, maintaining the flush-dependency graph.
+func (t *Table) insertOne(sc *schema.Schema, row schema.Row, now int64) error {
+	ts := sc.Ts(row)
+	per := period.For(ts, now)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	ft := t.filling[per]
+	if ft == nil {
+		ft = &fillingTablet{mt: memtable.New(sc), per: per}
+		t.filling[per] = ft
+	}
+	// Flush-dependency edge (§3.4.3): if the previous insert landed in a
+	// different, still-unflushed tablet u, then u must flush before ft so
+	// that retained rows are always a prefix of insertion order.
+	if t.lastInsert != nil && t.lastInsert != ft && !t.lastInsert.frozen {
+		if ft.prereqs == nil {
+			ft.prereqs = make(map[*fillingTablet]bool)
+		}
+		ft.prereqs[t.lastInsert] = true
+	}
+	t.lastInsert = ft
+	if !ft.mt.Insert(now, row) {
+		// checkUnique already vetted the row; a duplicate here means two
+		// rows in this very batch collide.
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+	}
+	if ts > t.maxTs || !t.hasRows {
+		t.maxTs = ts
+		t.hasRows = true
+	}
+	var needFlush bool
+	if ft.mt.SizeBytes() >= t.opts.FlushSize {
+		t.freezeLocked(ft)
+		needFlush = true
+	}
+	backlogged := t.pendingTabletsLocked() >= t.opts.MaxPendingTablets
+	t.mu.Unlock()
+
+	if needFlush && backlogged {
+		// Backpressure (§5.1.3's 100-tablet limit): the inserter becomes
+		// disk-bound, draining its own backlog.
+		for {
+			ok, err := t.FlushStep()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			t.mu.Lock()
+			under := t.pendingTabletsLocked() < t.opts.MaxPendingTablets
+			t.mu.Unlock()
+			if under {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Table) pendingTabletsLocked() int {
+	n := 0
+	for _, g := range t.pending {
+		n += len(g.tablets)
+	}
+	return n
+}
+
+// freezeLocked freezes ft together with the transitive closure of tablets
+// that must flush before it, appending them to the pending queue as one
+// atomic flush group. Cycles in the dependency graph (§3.4.3) simply land
+// in the same group.
+func (t *Table) freezeLocked(ft *fillingTablet) {
+	if ft.frozen {
+		return
+	}
+	var group []*fillingTablet
+	var visit func(f *fillingTablet)
+	visit = func(f *fillingTablet) {
+		if f.frozen {
+			return
+		}
+		f.frozen = true
+		f.mt.Freeze()
+		delete(t.filling, f.per)
+		if t.lastInsert == f {
+			t.lastInsert = nil
+		}
+		for u := range f.prereqs {
+			visit(u)
+		}
+		group = append(group, f)
+	}
+	visit(ft)
+	// Order within the group doesn't affect durability (the descriptor
+	// update is atomic), but flushing older periods first keeps the disk
+	// list closer to sorted.
+	for i := 1; i < len(group); i++ {
+		for j := i; j > 0 && group[j].per.Start < group[j-1].per.Start; j-- {
+			group[j], group[j-1] = group[j-1], group[j]
+		}
+	}
+	t.pending = append(t.pending, flushGroup{tablets: group})
+}
+
+// acquireLocked takes a read reference on dt.
+func (t *Table) acquireLocked(dt *diskTablet) { dt.refs++ }
+
+// release drops a reference; the last release of a dropped tablet closes
+// and deletes it.
+func (t *Table) release(dt *diskTablet) {
+	t.mu.Lock()
+	dt.refs--
+	drop := dt.dropped && dt.refs == 0
+	t.mu.Unlock()
+	if drop {
+		dt.tab.Close()
+		os.Remove(dt.path)
+	}
+}
+
+// Close flushes nothing (matching the durability model: a crash and a
+// close lose the same unflushed rows unless FlushAll is called first) and
+// releases all resources.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.closeAllLocked()
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *Table) closeAllLocked() {
+	for _, dt := range t.disk {
+		dt.tab.Close()
+	}
+	t.disk = nil
+	t.filling = map[period.Period]*fillingTablet{}
+	t.pending = nil
+}
+
+// AlterTTL changes the table's time-to-live and persists it.
+func (t *Table) AlterTTL(ttl int64) error {
+	t.insertMu.Lock()
+	defer t.insertMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTableClosed
+	}
+	old := t.ttl
+	t.ttl = ttl
+	if err := t.writeDescriptorLocked(); err != nil {
+		t.ttl = old
+		return err
+	}
+	return nil
+}
+
+// AddColumn appends a column to the schema (§3.5). Existing tablets keep
+// their old schema version; reads translate.
+func (t *Table) AddColumn(col schema.Column) error {
+	return t.alterSchema(func(sc *schema.Schema) (*schema.Schema, error) {
+		return sc.AddColumn(col)
+	})
+}
+
+// WidenColumn widens an int32 value column to int64 (§3.5).
+func (t *Table) WidenColumn(name string) error {
+	return t.alterSchema(func(sc *schema.Schema) (*schema.Schema, error) {
+		return sc.WidenColumn(name)
+	})
+}
+
+func (t *Table) alterSchema(f func(*schema.Schema) (*schema.Schema, error)) error {
+	t.insertMu.Lock()
+	defer t.insertMu.Unlock()
+	// Schema changes must not interleave with a flush writing the old
+	// schema header after the descriptor says otherwise; flushing pending
+	// tablets first keeps every on-disk tablet self-describing anyway, so
+	// just drain.
+	if err := t.flushPending(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTableClosed
+	}
+	next, err := f(t.sc)
+	if err != nil {
+		return err
+	}
+	old := t.sc
+	t.sc = next
+	// In-memory filling tablets hold rows of the old schema; freeze them so
+	// subsequent inserts (new arity) start fresh tablets.
+	for _, ft := range t.filling {
+		t.freezeLocked(ft)
+	}
+	if err := t.writeDescriptorLocked(); err != nil {
+		t.sc = old
+		return err
+	}
+	return nil
+}
+
+// writeDescriptorLocked persists current state; callers hold t.mu.
+func (t *Table) writeDescriptorLocked() error {
+	d := &descriptor{
+		Name:    t.name,
+		Schema:  t.sc,
+		TTL:     t.ttl,
+		NextSeq: t.nextSeq,
+	}
+	for _, dt := range t.disk {
+		d.Tablets = append(d.Tablets, dt.rec)
+	}
+	return writeDescriptor(t.dir, d, t.opts.SyncWrites)
+}
+
+// expireBefore returns the timestamp before which rows are expired, or
+// math.MinInt64-ish sentinel when no TTL is set.
+func expireBefore(now, ttl int64) int64 {
+	if ttl <= 0 {
+		return minInt64
+	}
+	return now - ttl
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// LastKeyInPeriod support: maxKeyOf returns the largest key in a memtable
+// as encoded values, for the uniqueness fast path.
+func memMaxKey(sc *schema.Schema, mt *memtable.Memtable) ([]ltval.Value, bool) {
+	row, ok := mt.MaxKeyRow()
+	if !ok {
+		return nil, false
+	}
+	return sc.KeyOf(row), true
+}

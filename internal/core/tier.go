@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"littletable/internal/tablet"
+)
+
+// TierColdTablets implements the cold-storage offload the paper's related
+// work discusses (§6): "LHAM introduced the idea of moving older data in a
+// log-structured system to write-once media. This approach is especially
+// attractive for time-series data, where very old values are accessed
+// infrequently but remain valuable, and we are considering using Amazon S3
+// or another cloud service as an additional backing store."
+//
+// Tablets whose newest row is older than olderThan are copied into
+// coldDir — the stand-in for the cheaper backing store — and the table's
+// descriptor is updated to reference them there; the hot copies are then
+// removed. Queries keep working transparently: a tablet's location is
+// invisible above the descriptor. Returns the number of tablets moved.
+func (t *Table) TierColdTablets(olderThan int64, coldDir string) (int, error) {
+	if err := os.MkdirAll(coldDir, 0o755); err != nil {
+		return 0, err
+	}
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return 0, ErrTableClosed
+	}
+	var victims []*diskTablet
+	for _, dt := range t.disk {
+		if dt.busy || dt.rec.Dir != "" {
+			continue // already cold
+		}
+		if dt.rec.MaxTs < olderThan {
+			dt.busy = true
+			t.acquireLocked(dt)
+			victims = append(victims, dt)
+		}
+	}
+	t.mu.Unlock()
+
+	moved := 0
+	var firstErr error
+	for _, dt := range victims {
+		if firstErr != nil {
+			break
+		}
+		coldPath := filepath.Join(coldDir, dt.rec.File)
+		if err := copyFileAtomic(dt.path, coldPath); err != nil {
+			firstErr = fmt.Errorf("core: tier %s: %w", dt.rec.File, err)
+			break
+		}
+		tab, err := tablet.Open(coldPath)
+		if err != nil {
+			os.Remove(coldPath)
+			firstErr = fmt.Errorf("core: open cold tablet: %w", err)
+			break
+		}
+		t.attachCache(tab)
+		rec := dt.rec
+		rec.Dir = coldDir
+		cold := &diskTablet{
+			rec:       rec,
+			tab:       tab,
+			path:      coldPath,
+			refs:      1,
+			addedAt:   dt.addedAt,
+			wroteGran: dt.wroteGran,
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			tab.Close()
+			os.Remove(coldPath)
+			firstErr = ErrTableClosed
+			break
+		}
+		t.dropLocked(dt) // hot copy deleted once readers drain
+		t.disk = append(t.disk, cold)
+		t.sortDiskLocked()
+		err = t.writeDescriptorLocked()
+		t.mu.Unlock()
+		if err != nil {
+			firstErr = fmt.Errorf("core: descriptor update after tiering: %w", err)
+			break
+		}
+		moved++
+	}
+	t.mu.Lock()
+	for _, dt := range victims {
+		dt.busy = false
+	}
+	t.mu.Unlock()
+	for _, dt := range victims {
+		t.release(dt)
+	}
+	return moved, firstErr
+}
+
+// ColdTabletCount reports how many tablets live in a cold directory.
+func (t *Table) ColdTabletCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, dt := range t.disk {
+		if dt.rec.Dir != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func copyFileAtomic(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := dst + ".tmp"
+	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dst)
+}

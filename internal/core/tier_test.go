@@ -1,0 +1,153 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"littletable/internal/clock"
+)
+
+func TestTierColdTablets(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	// Old data (a quarter back) and fresh data.
+	for i := int64(0); i < 50; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now-90*clock.Day+i, 0, i))
+	}
+	for i := int64(0); i < 50; i++ {
+		mustInsert(t, tt.Table, usageRow(2, i, now-i*clock.Second, 0, 100+i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	coldDir := filepath.Join(t.TempDir(), "cold")
+	moved, err := tt.TierColdTablets(now-30*clock.Day, coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("no tablets tiered")
+	}
+	if tt.ColdTabletCount() != moved {
+		t.Fatalf("ColdTabletCount = %d, moved %d", tt.ColdTabletCount(), moved)
+	}
+	// Cold files exist; their hot twins are gone.
+	ents, err := os.ReadDir(coldDir)
+	if err != nil || len(ents) != moved {
+		t.Fatalf("cold dir: %d files, %v", len(ents), err)
+	}
+	for _, e := range ents {
+		if _, err := os.Stat(filepath.Join(tt.dir, "usage", e.Name())); !os.IsNotExist(err) {
+			t.Fatalf("hot copy of %s survives", e.Name())
+		}
+	}
+	// Queries read cold data transparently.
+	rows := queryBox(t, tt.Table, NewQuery())
+	if len(rows) != 100 {
+		t.Fatalf("query across tiers: %d rows", len(rows))
+	}
+	// Idempotent: nothing left to move.
+	again, err := tt.TierColdTablets(now-30*clock.Day, coldDir)
+	if err != nil || again != 0 {
+		t.Fatalf("second tiering moved %d, %v", again, err)
+	}
+}
+
+func TestTierSurvivesReopen(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 30; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now-90*clock.Day+i, 0, i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	coldDir := filepath.Join(t.TempDir(), "cold")
+	if _, err := tt.TierColdTablets(now-clock.Day, coldDir); err != nil {
+		t.Fatal(err)
+	}
+	tt2 := reopen(t, tt)
+	if tt2.ColdTabletCount() == 0 {
+		t.Fatal("cold location lost across reopen")
+	}
+	rows := queryBox(t, tt2.Table, NewQuery())
+	if len(rows) != 30 {
+		t.Fatalf("rows after reopen: %d", len(rows))
+	}
+}
+
+func TestTierFreshDataStaysHot(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 20; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now-i, 0, i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := tt.TierColdTablets(now-clock.Day, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 || tt.ColdTabletCount() != 0 {
+		t.Fatalf("fresh tablets tiered: %d", moved)
+	}
+}
+
+func TestTieredTabletExpiresByTTL(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 20; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now-100*clock.Day+i, 0, i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	coldDir := filepath.Join(t.TempDir(), "cold")
+	if _, err := tt.TierColdTablets(now-clock.Day, coldDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AlterTTL(50 * clock.Day); err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.ExpireNow(); err != nil {
+		t.Fatal(err)
+	}
+	if tt.DiskTabletCount() != 0 {
+		t.Fatal("expired cold tablet not reclaimed")
+	}
+	ents, _ := os.ReadDir(coldDir)
+	if len(ents) != 0 {
+		t.Fatalf("cold file not deleted on expiry: %d remain", len(ents))
+	}
+}
+
+func TestTieredTabletQueriedWithConcurrentReader(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 40; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now-90*clock.Day+i, 0, i))
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := tt.Query(NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tt.TierColdTablets(now-clock.Day, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if n != 40 {
+		t.Fatalf("snapshot under tiering saw %d rows", n)
+	}
+}

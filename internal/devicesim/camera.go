@@ -1,0 +1,176 @@
+package devicesim
+
+import "littletable/internal/clock"
+
+// Camera motion encoding (§4.3): a 960×540 frame divides into 60×34
+// macroblocks of 16×16 pixels, grouped into coarse cells of six columns
+// and four rows of macroblocks — a 10×9 grid of coarse cells. A motion
+// event is one 32-bit word: a nibble each for the coarse cell's row and
+// column, and one bit for each of the cell's 24 macroblocks. Successive
+// frames with motion in the same cell coalesce, OR-ing their bit vectors
+// into one event with a duration.
+const (
+	FrameWidth  = 960
+	FrameHeight = 540
+	MacroSize   = 16 // 16×16 pixel macroblocks
+
+	// Macroblock grid: 60 × 34 (540/16 rounds up).
+	MacroCols = FrameWidth / MacroSize                    // 60
+	MacroRows = (FrameHeight + MacroSize - 1) / MacroSize // 34
+
+	// Coarse cells: 6 × 4 macroblocks each.
+	CellMacroCols = 6
+	CellMacroRows = 4
+	CoarseCols    = MacroCols / CellMacroCols                       // 10
+	CoarseRows    = (MacroRows + CellMacroRows - 1) / CellMacroRows // 9
+)
+
+// MotionEvent is one coalesced motion observation.
+type MotionEvent struct {
+	ID         int64
+	Ts         int64 // start of motion
+	DurationMs int32
+	Word       uint32 // encoded cell + macroblock bits
+}
+
+// EncodeMotionWord packs a coarse cell position and macroblock bit vector:
+// bits 31–28 row nibble, 27–24 column nibble, 23–0 macroblock bits (row-
+// major within the cell: bit = mrow*CellMacroCols + mcol).
+func EncodeMotionWord(cellRow, cellCol int, blocks uint32) uint32 {
+	return uint32(cellRow&0xf)<<28 | uint32(cellCol&0xf)<<24 | blocks&0xffffff
+}
+
+// DecodeMotionWord unpacks EncodeMotionWord.
+func DecodeMotionWord(w uint32) (cellRow, cellCol int, blocks uint32) {
+	return int(w >> 28), int(w >> 24 & 0xf), w & 0xffffff
+}
+
+// maxRetainedMotion bounds the camera-side ring buffer.
+const maxRetainedMotion = 16384
+
+// Camera simulates the on-camera background process of §4.3: objects move
+// through the frame producing coalesced per-cell motion events. Over a
+// recent week production cameras averaged 51,000 rows each; the default
+// rates land in that regime when advanced over simulated days.
+type Camera struct {
+	events []MotionEvent
+	nextID int64
+	// A wandering "object" drives spatial locality in the motion.
+	objRow, objCol int
+}
+
+func newCamera(r *rng) *Camera {
+	return &Camera{
+		nextID: 1,
+		objRow: int(r.intn(CoarseRows)),
+		objCol: int(r.intn(CoarseCols)),
+	}
+}
+
+// advance generates motion events in (from, to]. Event rate ≈ one
+// coalesced event per ~12 seconds of wall time, matching 51k/week.
+func (c *Camera) advance(r *rng, from, to int64) {
+	const meanGap = 12 * clock.Second
+	t := from + r.intn(meanGap)
+	for t < to {
+		// The object drifts to an adjacent cell.
+		c.objRow = clampInt(c.objRow+int(r.intn(3))-1, 0, CoarseRows-1)
+		c.objCol = clampInt(c.objCol+int(r.intn(3))-1, 0, CoarseCols-1)
+		// Motion covers a random subset of the cell's macroblocks, biased
+		// toward contiguous runs.
+		blocks := uint32(0)
+		start := int(r.intn(24))
+		run := 1 + int(r.intn(12))
+		for i := 0; i < run; i++ {
+			blocks |= 1 << uint((start+i)%24)
+		}
+		// The bottom coarse-cell row extends past the 540-pixel frame edge
+		// (34 macroblock rows don't divide evenly by 4); cameras never
+		// report motion in macroblocks outside the frame.
+		blocks &= ValidBlockMask(c.objRow)
+		if blocks == 0 {
+			blocks = 1
+		}
+		c.events = append(c.events, MotionEvent{
+			ID:         c.nextID,
+			Ts:         t,
+			DurationMs: int32(200 + r.intn(5000)),
+			Word:       EncodeMotionWord(c.objRow, c.objCol, blocks),
+		})
+		c.nextID++
+		if len(c.events) > maxRetainedMotion {
+			c.events = c.events[len(c.events)-maxRetainedMotion:]
+		}
+		t += meanGap/2 + r.intn(meanGap)
+	}
+}
+
+// ValidBlockMask returns the macroblock bits of a coarse-cell row that lie
+// inside the frame: the last row of cells is only half-covered because 34
+// macroblock rows do not divide evenly into rows of 4.
+func ValidBlockMask(cellRow int) uint32 {
+	mask := uint32(0)
+	for lr := 0; lr < CellMacroRows; lr++ {
+		if cellRow*CellMacroRows+lr >= MacroRows {
+			break
+		}
+		for lc := 0; lc < CellMacroCols; lc++ {
+			mask |= 1 << uint(lr*CellMacroCols+lc)
+		}
+	}
+	return mask
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CellsForRect returns the coarse cells and per-cell macroblock masks that
+// intersect a pixel rectangle [x0,x1)×[y0,y1) — the search geometry for
+// "any rectangular area of interest in a camera's video frame" (§4.3).
+func CellsForRect(x0, y0, x1, y1 int) map[[2]int]uint32 {
+	out := map[[2]int]uint32{}
+	if x0 >= x1 || y0 >= y1 {
+		return out
+	}
+	if x1 > FrameWidth {
+		x1 = FrameWidth
+	}
+	if y1 > FrameHeight+MacroSize {
+		y1 = FrameHeight + MacroSize
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	for mr := 0; mr < MacroRows; mr++ {
+		for mc := 0; mc < MacroCols; mc++ {
+			px0, py0 := mc*MacroSize, mr*MacroSize
+			px1, py1 := px0+MacroSize, py0+MacroSize
+			if px1 <= x0 || px0 >= x1 || py1 <= y0 || py0 >= y1 {
+				continue
+			}
+			cellRow, cellCol := mr/CellMacroRows, mc/CellMacroCols
+			bit := uint32(1) << uint((mr%CellMacroRows)*CellMacroCols+(mc%CellMacroCols))
+			key := [2]int{cellRow, cellCol}
+			out[key] |= bit
+		}
+	}
+	return out
+}
+
+// MotionMatchesRect reports whether an encoded motion word indicates
+// motion inside the pixel rectangle.
+func MotionMatchesRect(word uint32, cells map[[2]int]uint32) bool {
+	row, col, blocks := DecodeMotionWord(word)
+	mask, ok := cells[[2]int{row, col}]
+	return ok && blocks&mask != 0
+}

@@ -1,0 +1,297 @@
+// Package devicesim simulates the Meraki device fleet the paper's
+// applications gather time-series data from (§2.1, §4). It stands in for
+// real hardware reached over mtunnel, preserving the protocol properties
+// the applications depend on:
+//
+//   - byte counters are monotonically increasing current values, so a
+//     grabber that re-polls after a crash recovers recent data (§4.1.1);
+//   - event logs carry unique ids from a monotonically increasing counter,
+//     support fetch-after-id, and report their oldest retained event for
+//     grabbers whose cache is arbitrarily stale (§4.2);
+//   - cameras coalesce per-coarse-cell motion into single 32-bit-encoded
+//     events (§4.3);
+//   - devices go offline and come back, producing the unavailability gaps
+//     and out-of-order timestamps the engine must absorb (§3.4.3).
+//
+// Simulation is deterministic per (seed, device id) and driven by an
+// injected clock.
+package devicesim
+
+import (
+	"sort"
+	"sync"
+
+	"littletable/internal/clock"
+)
+
+// Event is one device log entry (DHCP lease, 802.1X auth, association...).
+type Event struct {
+	ID   int64
+	Ts   int64 // device-side time the event occurred
+	Type string
+	Info string
+}
+
+// Event types devices emit (§4.2).
+var eventTypes = []string{
+	"dhcp_lease", "assoc", "disassoc", "8021x_auth", "dfs_event", "vpn_up",
+}
+
+// maxRetainedEvents bounds the device-side log ring; devices have finite
+// flash.
+const maxRetainedEvents = 4096
+
+// Device is one simulated device.
+type Device struct {
+	ID        int64
+	NetworkID int64
+	Kind      string
+
+	mu          sync.Mutex
+	rng         rng
+	online      bool
+	counter     uint64 // lifetime bytes transferred
+	rateBase    uint64 // bytes/second baseline
+	lastAdvance int64
+	nextEventID int64
+	events      []Event
+	eventRate   float64 // expected events per minute
+	camera      *Camera
+}
+
+// rng is xorshift64*, deterministic and dependency-free (the paper's
+// benchmarks use an xorshift generator, §5.1.1).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// Fleet is a set of devices sharing a clock.
+type Fleet struct {
+	clk  clock.Clock
+	mu   sync.Mutex
+	devs map[int64]*Device
+	seed uint64
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet(clk clock.Clock, seed uint64) *Fleet {
+	return &Fleet{clk: clk, devs: map[int64]*Device{}, seed: seed}
+}
+
+// AddDevice creates a device. Cameras additionally produce motion events.
+func (f *Fleet) AddDevice(id, networkID int64, kind string) *Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := &Device{
+		ID:          id,
+		NetworkID:   networkID,
+		Kind:        kind,
+		rng:         rng{s: f.seed ^ uint64(id)*0x9e3779b97f4a7c15 ^ 1},
+		online:      true,
+		nextEventID: 1,
+		lastAdvance: f.clk.Now(),
+	}
+	d.rateBase = 1000 + uint64(d.rng.intn(500_000)) // 1 kB/s – 500 kB/s
+	d.eventRate = 0.2 + d.rng.float()*2             // 0.2–2.2 events/min
+	if kind == "camera" {
+		d.camera = newCamera(&d.rng)
+	}
+	f.devs[id] = d
+	return d
+}
+
+// Device returns a device by id, or nil.
+func (f *Fleet) Device(id int64) *Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.devs[id]
+}
+
+// Devices returns all devices (unordered).
+func (f *Fleet) Devices() []*Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Device, 0, len(f.devs))
+	for _, d := range f.devs {
+		out = append(out, d)
+	}
+	return out
+}
+
+// AdvanceAll simulates every device up to the fleet clock's current time.
+func (f *Fleet) AdvanceAll() {
+	now := f.clk.Now()
+	for _, d := range f.Devices() {
+		d.Advance(now)
+	}
+}
+
+// Advance simulates device activity up to time `to`. Devices keep
+// operating while offline — counters advance and events accumulate — which
+// is exactly why recently-lost data is recoverable once they reconnect.
+func (d *Device) Advance(to int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if to <= d.lastAdvance {
+		return
+	}
+	elapsed := to - d.lastAdvance
+	// Byte counter: baseline rate with multiplicative noise.
+	secs := float64(elapsed) / float64(clock.Second)
+	noise := 0.5 + d.rng.float()
+	d.counter += uint64(float64(d.rateBase) * secs * noise)
+	// Events: Poisson-ish via per-minute expectation.
+	expected := d.eventRate * secs / 60
+	n := int64(expected)
+	if d.rng.float() < expected-float64(n) {
+		n++
+	}
+	// Event ids are assigned in timestamp order on the device, so sort the
+	// window's timestamps before appending.
+	if n > 0 {
+		tss := make([]int64, n)
+		for i := range tss {
+			tss[i] = d.lastAdvance + d.rng.intn(elapsed)
+		}
+		sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+		for _, ts := range tss {
+			d.appendEventLocked(ts)
+		}
+	}
+	if d.camera != nil {
+		d.camera.advance(&d.rng, d.lastAdvance, to)
+	}
+	d.lastAdvance = to
+}
+
+func (d *Device) appendEventLocked(ts int64) {
+	// Event timestamps are strictly increasing on the device, matching the
+	// monotonic id counter; this also keeps (network, device, ts) keys
+	// unique when grabbers store events (§4.2).
+	if n := len(d.events); n > 0 && ts <= d.events[n-1].Ts {
+		ts = d.events[n-1].Ts + 1
+	}
+	ev := Event{
+		ID:   d.nextEventID,
+		Ts:   ts,
+		Type: eventTypes[d.rng.intn(int64(len(eventTypes)))],
+		Info: "client=" + macString(d.rng.next()),
+	}
+	d.nextEventID++
+	d.events = append(d.events, ev)
+	if len(d.events) > maxRetainedEvents {
+		d.events = d.events[len(d.events)-maxRetainedEvents:]
+	}
+}
+
+func macString(u uint64) string {
+	const hexdig = "0123456789abcdef"
+	b := make([]byte, 0, 17)
+	for i := 0; i < 6; i++ {
+		c := byte(u >> (8 * i))
+		if i > 0 {
+			b = append(b, ':')
+		}
+		b = append(b, hexdig[c>>4], hexdig[c&0xf])
+	}
+	return string(b)
+}
+
+// SetOnline changes reachability; fetches fail while offline.
+func (d *Device) SetOnline(online bool) {
+	d.mu.Lock()
+	d.online = online
+	d.mu.Unlock()
+}
+
+// Online reports reachability.
+func (d *Device) Online() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.online
+}
+
+// FetchCounter returns the device's lifetime byte counter, or ok=false if
+// the device is unreachable (§4.1.1: UsageGrabber polls this).
+func (d *Device) FetchCounter() (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.online {
+		return 0, false
+	}
+	return d.counter, true
+}
+
+// FetchEventsAfter returns up to max events with id > afterID, oldest
+// first (§4.2: the grabber supplies its latest seen id and the device
+// replies with anything newer). ok=false means unreachable.
+func (d *Device) FetchEventsAfter(afterID int64, max int) ([]Event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.online {
+		return nil, false
+	}
+	var out []Event
+	for _, ev := range d.events {
+		if ev.ID > afterID {
+			out = append(out, ev)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// OldestEvent returns the oldest retained event (§4.2: a device polled
+// without a previous id "responds with the oldest event it has stored").
+func (d *Device) OldestEvent() (Event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.online || len(d.events) == 0 {
+		return Event{}, false
+	}
+	return d.events[0], true
+}
+
+// LatestEventID returns the most recent event id assigned.
+func (d *Device) LatestEventID() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextEventID - 1
+}
+
+// FetchMotionAfter returns camera motion events with id > afterID
+// (cameras only).
+func (d *Device) FetchMotionAfter(afterID int64, max int) ([]MotionEvent, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.online || d.camera == nil {
+		return nil, d.online && d.camera != nil
+	}
+	var out []MotionEvent
+	for _, ev := range d.camera.events {
+		if ev.ID > afterID {
+			out = append(out, ev)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out, true
+}

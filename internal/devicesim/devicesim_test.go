@@ -1,0 +1,263 @@
+package devicesim
+
+import (
+	"testing"
+
+	"littletable/internal/clock"
+)
+
+const start = 1_782_018_420 * clock.Second
+
+func newFleet(t *testing.T) (*Fleet, *clock.Fake) {
+	t.Helper()
+	clk := clock.NewFake(start)
+	return NewFleet(clk, 42), clk
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "access_point")
+	var prev uint64
+	for i := 0; i < 20; i++ {
+		clk.Advance(clock.Minute)
+		d.Advance(clk.Now())
+		c, ok := d.FetchCounter()
+		if !ok {
+			t.Fatal("online fetch failed")
+		}
+		if c < prev {
+			t.Fatalf("counter went backwards: %d < %d", c, prev)
+		}
+		if i > 0 && c == prev {
+			t.Fatal("counter did not advance over a minute")
+		}
+		prev = c
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func() uint64 {
+		clk := clock.NewFake(start)
+		f := NewFleet(clk, 7)
+		d := f.AddDevice(1, 1, "switch")
+		clk.Advance(clock.Hour)
+		d.Advance(clk.Now())
+		c, _ := d.FetchCounter()
+		return c
+	}
+	if run() != run() {
+		t.Error("same seed produced different counters")
+	}
+}
+
+func TestOfflineFetchFails(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "access_point")
+	d.SetOnline(false)
+	if _, ok := d.FetchCounter(); ok {
+		t.Error("offline counter fetch succeeded")
+	}
+	if _, ok := d.FetchEventsAfter(0, 10); ok {
+		t.Error("offline event fetch succeeded")
+	}
+	// Device keeps operating while offline: on reconnect, the counter has
+	// advanced (recoverability, §4.1.1).
+	before := d.counterSnapshot()
+	clk.Advance(clock.Hour)
+	d.Advance(clk.Now())
+	d.SetOnline(true)
+	after, ok := d.FetchCounter()
+	if !ok || after <= before {
+		t.Error("offline period did not accumulate counter growth")
+	}
+}
+
+func (d *Device) counterSnapshot() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counter
+}
+
+func TestEventsMonotonicIDs(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "access_point")
+	clk.Advance(6 * clock.Hour)
+	d.Advance(clk.Now())
+	evs, ok := d.FetchEventsAfter(0, 0)
+	if !ok {
+		t.Fatal("fetch failed")
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events after 6 hours")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].ID != evs[i-1].ID+1 {
+			t.Fatalf("non-contiguous ids at %d", i)
+		}
+		if evs[i].Ts < evs[i-1].Ts {
+			t.Fatalf("event timestamps out of order at %d", i)
+		}
+	}
+}
+
+func TestFetchAfterID(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "access_point")
+	clk.Advance(6 * clock.Hour)
+	d.Advance(clk.Now())
+	all, _ := d.FetchEventsAfter(0, 0)
+	if len(all) < 3 {
+		t.Skip("too few events for this seed")
+	}
+	mid := all[len(all)/2].ID
+	tail, _ := d.FetchEventsAfter(mid, 0)
+	if len(tail) != len(all)-len(all)/2-1 {
+		t.Fatalf("fetch after %d returned %d events, want %d", mid, len(tail), len(all)-len(all)/2-1)
+	}
+	for _, ev := range tail {
+		if ev.ID <= mid {
+			t.Fatal("returned event at or before the requested id")
+		}
+	}
+	// Cap respected.
+	capped, _ := d.FetchEventsAfter(0, 2)
+	if len(capped) != 2 {
+		t.Fatalf("max cap returned %d", len(capped))
+	}
+}
+
+func TestOldestEventAfterRetentionDrop(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "access_point")
+	// Long enough that the 4096-event ring drops the head.
+	for i := 0; i < 400; i++ {
+		clk.Advance(24 * clock.Hour)
+		d.Advance(clk.Now())
+	}
+	oldest, ok := d.OldestEvent()
+	if !ok {
+		t.Fatal("no oldest event")
+	}
+	if d.LatestEventID() > maxRetainedEvents && oldest.ID == 1 {
+		t.Error("retention never dropped old events")
+	}
+	evs, _ := d.FetchEventsAfter(0, 0)
+	if evs[0].ID != oldest.ID {
+		t.Error("OldestEvent disagrees with FetchEventsAfter(0)")
+	}
+}
+
+func TestMotionWordRoundTrip(t *testing.T) {
+	for row := 0; row < CoarseRows; row++ {
+		for col := 0; col < CoarseCols; col++ {
+			blocks := uint32(0xabcdef) & 0xffffff
+			w := EncodeMotionWord(row, col, blocks)
+			r, c, b := DecodeMotionWord(w)
+			if r != row || c != col || b != blocks {
+				t.Fatalf("round trip (%d,%d): got (%d,%d,%x)", row, col, r, c, b)
+			}
+		}
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	if MacroCols != 60 || MacroRows != 34 {
+		t.Errorf("macroblock grid %dx%d, want 60x34 (§4.3)", MacroCols, MacroRows)
+	}
+	if CellMacroCols*CellMacroRows != 24 {
+		t.Error("coarse cells must hold 24 macroblocks (24 bits)")
+	}
+	if CoarseCols > 16 || CoarseRows > 16 {
+		t.Error("coarse coordinates must fit in a nibble")
+	}
+}
+
+func TestCameraGeneratesMotion(t *testing.T) {
+	f, clk := newFleet(t)
+	cam := f.AddDevice(1, 10, "camera")
+	clk.Advance(clock.Hour)
+	cam.Advance(clk.Now())
+	evs, ok := cam.FetchMotionAfter(0, 0)
+	if !ok || len(evs) == 0 {
+		t.Fatal("camera produced no motion in an hour")
+	}
+	// Roughly one event per ~12-18s: an hour gives 200-300.
+	if len(evs) < 100 || len(evs) > 600 {
+		t.Errorf("motion rate off: %d events/hour", len(evs))
+	}
+	for i, ev := range evs {
+		r, c, blocks := DecodeMotionWord(ev.Word)
+		if r >= CoarseRows || c >= CoarseCols {
+			t.Fatalf("event %d outside grid: (%d,%d)", i, r, c)
+		}
+		if blocks == 0 {
+			t.Fatalf("event %d has no macroblock bits", i)
+		}
+		if i > 0 && ev.ID != evs[i-1].ID+1 {
+			t.Fatalf("motion ids not contiguous at %d", i)
+		}
+	}
+}
+
+func TestNonCameraHasNoMotion(t *testing.T) {
+	f, clk := newFleet(t)
+	d := f.AddDevice(1, 10, "switch")
+	clk.Advance(clock.Hour)
+	d.Advance(clk.Now())
+	evs, ok := d.FetchMotionAfter(0, 0)
+	if ok || evs != nil {
+		t.Error("non-camera returned motion")
+	}
+}
+
+func TestCellsForRect(t *testing.T) {
+	// Full frame covers every cell.
+	all := CellsForRect(0, 0, FrameWidth, FrameHeight)
+	if len(all) != CoarseCols*CoarseRows {
+		t.Errorf("full frame covers %d cells, want %d", len(all), CoarseCols*CoarseRows)
+	}
+	// A single macroblock's rectangle maps to exactly one cell, one bit.
+	one := CellsForRect(0, 0, MacroSize, MacroSize)
+	if len(one) != 1 {
+		t.Fatalf("one-macroblock rect covers %d cells", len(one))
+	}
+	for _, mask := range one {
+		if mask != 1 {
+			t.Errorf("one-macroblock mask = %x", mask)
+		}
+	}
+	// Degenerate rectangle.
+	if len(CellsForRect(100, 100, 100, 100)) != 0 {
+		t.Error("empty rect matched cells")
+	}
+}
+
+func TestMotionMatchesRect(t *testing.T) {
+	cells := CellsForRect(0, 0, 96, 64) // cell (0,0) region
+	w := EncodeMotionWord(0, 0, 0x1)
+	if !MotionMatchesRect(w, cells) {
+		t.Error("motion in rect not matched")
+	}
+	w2 := EncodeMotionWord(5, 5, 0xffffff)
+	if MotionMatchesRect(w2, cells) {
+		t.Error("motion outside rect matched")
+	}
+}
+
+func TestAdvanceAll(t *testing.T) {
+	f, clk := newFleet(t)
+	for i := int64(1); i <= 5; i++ {
+		f.AddDevice(i, 1, "access_point")
+	}
+	clk.Advance(clock.Minute)
+	f.AdvanceAll()
+	for _, d := range f.Devices() {
+		c, _ := d.FetchCounter()
+		if c == 0 {
+			t.Fatalf("device %d did not advance", d.ID)
+		}
+	}
+	if f.Device(3) == nil || f.Device(99) != nil {
+		t.Error("Device lookup wrong")
+	}
+}

@@ -1,0 +1,154 @@
+// Package iotrace wraps an io.ReaderAt to record the access pattern a
+// tablet reader produces: every (offset, length) in order. The disk-model
+// benchmarks (Figures 5 and 6) replay these traces through a simulated
+// spinning disk, so the figures measure the engine's real I/O behaviour
+// under the paper's hardware model rather than this machine's SSD or page
+// cache.
+package iotrace
+
+import (
+	"io"
+	"sync"
+)
+
+// Access is one read: offset and length in bytes.
+type Access struct {
+	Offset int64
+	Len    int
+}
+
+// Tracer records accesses through an io.ReaderAt. Safe for concurrent use.
+type Tracer struct {
+	r io.ReaderAt
+
+	mu       sync.Mutex
+	accesses []Access
+	closed   bool
+	closer   io.Closer
+}
+
+// New wraps r. If r also implements io.Closer, Close forwards.
+func New(r io.ReaderAt) *Tracer {
+	t := &Tracer{r: r}
+	if c, ok := r.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// ReadAt implements io.ReaderAt, recording the access.
+func (t *Tracer) ReadAt(p []byte, off int64) (int, error) {
+	t.mu.Lock()
+	t.accesses = append(t.accesses, Access{Offset: off, Len: len(p)})
+	t.mu.Unlock()
+	return t.r.ReadAt(p, off)
+}
+
+// Close implements io.Closer.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	if t.closer != nil {
+		return t.closer.Close()
+	}
+	return nil
+}
+
+// Accesses returns a copy of the recorded trace in order.
+func (t *Tracer) Accesses() []Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Access, len(t.accesses))
+	copy(out, t.accesses)
+	return out
+}
+
+// Reset clears the trace, e.g. between the footer-read phase and the
+// query phase of a first-row-latency measurement.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.accesses = nil
+	t.mu.Unlock()
+}
+
+// Count returns the number of accesses so far.
+func (t *Tracer) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.accesses)
+}
+
+// BytesRead sums the access lengths.
+func (t *Tracer) BytesRead() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, a := range t.accesses {
+		n += int64(a.Len)
+	}
+	return n
+}
+
+// Multi aggregates traces from several tracers (one per tablet file) into
+// a single interleaved stream for the disk model; the interleaving is the
+// order ReadAt calls actually happened across files.
+type Multi struct {
+	mu       sync.Mutex
+	accesses []TaggedAccess
+}
+
+// TaggedAccess is an access tagged with the file it hit, so the disk model
+// can account per-file head positions.
+type TaggedAccess struct {
+	File   int
+	Offset int64
+	Len    int
+}
+
+// NewMulti returns an empty aggregate trace.
+func NewMulti() *Multi { return &Multi{} }
+
+// Wrap returns a tracer for file index i that also appends into m.
+func (m *Multi) Wrap(i int, r io.ReaderAt) *FileTracer {
+	return &FileTracer{m: m, file: i, r: r}
+}
+
+// FileTracer is Multi's per-file wrapper.
+type FileTracer struct {
+	m    *Multi
+	file int
+	r    io.ReaderAt
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *FileTracer) ReadAt(p []byte, off int64) (int, error) {
+	f.m.mu.Lock()
+	f.m.accesses = append(f.m.accesses, TaggedAccess{File: f.file, Offset: off, Len: len(p)})
+	f.m.mu.Unlock()
+	return f.r.ReadAt(p, off)
+}
+
+// Close implements io.Closer.
+func (f *FileTracer) Close() error {
+	if c, ok := f.r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Accesses returns the interleaved trace.
+func (m *Multi) Accesses() []TaggedAccess {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TaggedAccess, len(m.accesses))
+	copy(out, m.accesses)
+	return out
+}
+
+// Reset clears the trace.
+func (m *Multi) Reset() {
+	m.mu.Lock()
+	m.accesses = nil
+	m.mu.Unlock()
+}

@@ -1,0 +1,135 @@
+package iotrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+type fakeReaderAt struct {
+	data   []byte
+	closed bool
+}
+
+func (f *fakeReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *fakeReaderAt) Close() error {
+	f.closed = true
+	return nil
+}
+
+func TestTracerRecordsAccesses(t *testing.T) {
+	src := &fakeReaderAt{data: bytes.Repeat([]byte{7}, 1024)}
+	tr := New(src)
+	buf := make([]byte, 100)
+	if _, err := tr.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ReadAt(buf[:50], 500); err != nil {
+		t.Fatal(err)
+	}
+	acc := tr.Accesses()
+	if len(acc) != 2 {
+		t.Fatalf("accesses: %v", acc)
+	}
+	if acc[0] != (Access{Offset: 0, Len: 100}) || acc[1] != (Access{Offset: 500, Len: 50}) {
+		t.Fatalf("accesses: %v", acc)
+	}
+	if tr.Count() != 2 || tr.BytesRead() != 150 {
+		t.Errorf("Count=%d BytesRead=%d", tr.Count(), tr.BytesRead())
+	}
+	// Reads pass data through.
+	if buf[0] != 7 {
+		t.Error("data not forwarded")
+	}
+	tr.Reset()
+	if tr.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTracerCloseForwards(t *testing.T) {
+	src := &fakeReaderAt{}
+	tr := New(src)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.closed {
+		t.Error("Close not forwarded")
+	}
+	// A plain ReaderAt without Close is fine too.
+	tr2 := New(bytes.NewReader([]byte("x")))
+	if err := tr2.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiInterleaving(t *testing.T) {
+	m := NewMulti()
+	a := m.Wrap(0, bytes.NewReader(bytes.Repeat([]byte{1}, 100)))
+	b := m.Wrap(1, bytes.NewReader(bytes.Repeat([]byte{2}, 100)))
+	buf := make([]byte, 10)
+	a.ReadAt(buf, 0)
+	b.ReadAt(buf, 20)
+	a.ReadAt(buf, 30)
+	acc := m.Accesses()
+	if len(acc) != 3 {
+		t.Fatalf("accesses: %v", acc)
+	}
+	want := []TaggedAccess{
+		{File: 0, Offset: 0, Len: 10},
+		{File: 1, Offset: 20, Len: 10},
+		{File: 0, Offset: 30, Len: 10},
+	}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("access %d = %v, want %v", i, acc[i], want[i])
+		}
+	}
+	m.Reset()
+	if len(m.Accesses()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	tr := New(bytes.NewReader([]byte("abc")))
+	buf := make([]byte, 10)
+	if _, err := tr.ReadAt(buf, 100); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+	// The failed access is still recorded (it happened).
+	if tr.Count() != 1 {
+		t.Error("failed access not recorded")
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := New(bytes.NewReader(bytes.Repeat([]byte{9}, 4096)))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for j := 0; j < 100; j++ {
+				tr.ReadAt(buf, int64(j*16))
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Count() != 800 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}

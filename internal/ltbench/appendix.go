@@ -1,0 +1,110 @@
+package ltbench
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// AppendixConfig scales the merge-policy bound measurements (the paper's
+// appendix): flush many tablets into one time period, merge until stable,
+// and compare the surviving tablet count and per-row rewrite count against
+// the proved O(log T) bounds.
+type AppendixConfig struct {
+	Flushes      int
+	RowsPerFlush int
+	Dir          string
+}
+
+func (c *AppendixConfig) defaults() {
+	if c.Flushes == 0 {
+		c.Flushes = 64
+	}
+	if c.RowsPerFlush == 0 {
+		c.RowsPerFlush = 256
+	}
+}
+
+// RunAppendix measures the merge policy's logarithmic bounds.
+func RunAppendix(cfg AppendixConfig) (*Result, error) {
+	cfg.defaults()
+	dir, err := os.MkdirTemp(cfg.Dir, "appendix")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	sc := schema.MustNew([]schema.Column{
+		{Name: "k", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+	}, []string{"k", "ts"})
+	tab, err := core.CreateTable(dir, "bench", sc, 0, core.Options{
+		Clock:         clk,
+		MergeDelay:    1,
+		MaxTabletSize: 1 << 40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tab.Close()
+
+	// All rows land in one long-past week period so merging is never
+	// blocked by period boundaries.
+	base := clk.Now() - 60*clock.Day
+	seq := int64(0)
+	counts := Series{Name: "tablets after merge vs log2(rows)"}
+	for f := 0; f < cfg.Flushes; f++ {
+		rows := make([]schema.Row, 0, cfg.RowsPerFlush)
+		for i := 0; i < cfg.RowsPerFlush; i++ {
+			rows = append(rows, schema.Row{
+				ltval.NewInt64(seq), ltval.NewTimestamp(base + seq),
+			})
+			seq++
+		}
+		if err := tab.Insert(rows); err != nil {
+			return nil, err
+		}
+		if err := tab.FlushAll(); err != nil {
+			return nil, err
+		}
+		clk.Advance(clock.Second)
+		if _, err := tab.MergeUntilStable(); err != nil {
+			return nil, err
+		}
+		if f%8 == 7 {
+			counts.Points = append(counts.Points, Point{
+				X:     math.Log2(float64(seq)),
+				Y:     float64(tab.DiskTabletCount()),
+				Label: fmt.Sprintf("%d rows", seq),
+			})
+		}
+	}
+	s := tab.Stats().Snapshot()
+	total := float64(seq)
+	avgRewrites := float64(s.RowsRewritten) / total
+	res := &Result{
+		Figure: "Appendix",
+		Title:  "Merge policy: logarithmic tablet count and rewrite bounds",
+	}
+	res.Series = append(res.Series, counts, Series{
+		Name: "rewrite accounting",
+		Points: []Point{
+			{Label: "rows inserted", Y: total},
+			{Label: "stable tablet count", Y: float64(tab.DiskTabletCount())},
+			{Label: "log2(rows)", Y: math.Log2(total)},
+			{Label: "avg rewrites per row", Y: avgRewrites},
+			{Label: "write amplification", Y: s.WriteAmplification()},
+		},
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("tablet count %d ≤ O(log T) = O(%.1f): %v",
+			tab.DiskTabletCount(), math.Log2(total), float64(tab.DiskTabletCount()) <= 3*math.Log2(total)+3),
+		fmt.Sprintf("avg rewrites/row %.2f ≤ O(log T): %v",
+			avgRewrites, avgRewrites <= 2*math.Log2(total)+2))
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package ltbench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"littletable/internal/client"
+	"littletable/internal/schema"
+	"littletable/internal/server"
+)
+
+// Fig2Config scales the single-writer insert-throughput experiments
+// (§5.1.2). The paper inserts 500 MB per configuration; the default here
+// scales down while keeping the swept parameter ranges.
+type Fig2Config struct {
+	// BytesPerRun is the data volume inserted per configuration.
+	BytesPerRun int64
+	// BatchSizes sweeps the solid line (bytes per insert command, with
+	// 128-byte rows). Paper: 256 B – 1 MB.
+	BatchSizes []int
+	// RowSizes sweeps the dashed line (row size with 64 kB batches).
+	// Paper: 32 B – 32 kB (64 kB in the figure axis).
+	RowSizes []int
+	Dir      string
+}
+
+func (c *Fig2Config) defaults() {
+	if c.BytesPerRun == 0 {
+		c.BytesPerRun = 32 << 20
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 1 << 20}
+	}
+	if len(c.RowSizes) == 0 {
+		c.RowSizes = []int{32, 64, 128, 256, 512, 1 << 10, 4 << 10, 16 << 10, 32 << 10}
+	}
+}
+
+// RunFig2 regenerates Figure 2: insert throughput vs batch size (128-byte
+// rows) and vs row size (64 kB batches), measured through the full wire
+// path — client adaptor, TCP loopback, server, engine — like the paper's
+// single-writer benchmark.
+func RunFig2(cfg Fig2Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "Figure 2",
+		Title:  "Insert throughput vs. batch size and row size (measured)",
+	}
+	batch := Series{Name: "varying batch size, 128 B rows (MB/s)"}
+	for _, bs := range cfg.BatchSizes {
+		rows := bs / 128
+		if rows < 1 {
+			rows = 1
+		}
+		mbps, err := insertRun(cfg, 128, rows)
+		if err != nil {
+			return nil, err
+		}
+		batch.Points = append(batch.Points, Point{
+			X: float64(bs), Y: mbps, Label: humanBytes(bs) + " batch"})
+	}
+	rowSz := Series{Name: "varying row size, 64 kB batches (MB/s)"}
+	for _, rs := range cfg.RowSizes {
+		rows := (64 << 10) / rs
+		if rows < 1 {
+			rows = 1
+		}
+		mbps, err := insertRun(cfg, rs, rows)
+		if err != nil {
+			return nil, err
+		}
+		rowSz.Points = append(rowSz.Points, Point{
+			X: float64(rs), Y: mbps, Label: humanBytes(rs) + " rows"})
+	}
+	res.Series = append(res.Series, batch, rowSz)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("throughput rises with batch size: %.1f → %.1f MB/s (paper: per-command overhead amortizes)",
+			batch.Points[0].Y, batch.Points[len(batch.Points)-1].Y),
+		fmt.Sprintf("throughput rises with row size: %.1f → %.1f MB/s (paper: 12%% → 63%% of disk peak)",
+			rowSz.Points[0].Y, rowSz.Points[len(rowSz.Points)-1].Y))
+	return res, nil
+}
+
+// insertRun inserts cfg.BytesPerRun through the wire into a fresh table
+// and returns MB/s.
+func insertRun(cfg Fig2Config, rowBytes, rowsPerBatch int) (float64, error) {
+	dir, err := os.MkdirTemp(cfg.Dir, "fig2")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Options{
+		Root:                dir,
+		MaintenanceInterval: 100 * time.Millisecond,
+		Logf:                func(string, ...interface{}) {},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go srv.Serve(lis)
+	c, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.CreateTable("bench", benchSchema(), 0); err != nil {
+		return 0, err
+	}
+	tab, err := c.OpenTable("bench")
+	if err != nil {
+		return 0, err
+	}
+	rng := newXorshift(2)
+	var written int64
+	seq := int64(0)
+	start := time.Now()
+	batch := make([]schema.Row, 0, rowsPerBatch)
+	for written < cfg.BytesPerRun {
+		batch = batch[:0]
+		for i := 0; i < rowsPerBatch; i++ {
+			batch = append(batch, benchRow(rng, seq, seq, rowBytes))
+			seq++
+			written += int64(rowBytes)
+		}
+		if err := tab.InsertNow(batch); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(written) / elapsed / 1e6, nil
+}
+
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d kB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,167 @@
+package ltbench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"littletable/internal/client"
+	"littletable/internal/schema"
+	"littletable/internal/server"
+)
+
+// Fig4Config scales the multi-writer experiment (§5.1.4): each writer
+// writes its own table over the wire in 32-row batches of 128-byte rows,
+// matching Dashboard's many-grabbers-many-tables pattern.
+type Fig4Config struct {
+	BytesPerWriter int64
+	WriterCounts   []int
+	RowBytes       int
+	RowsPerBatch   int
+	Dir            string
+}
+
+func (c *Fig4Config) defaults() {
+	if c.BytesPerWriter == 0 {
+		c.BytesPerWriter = 8 << 20
+	}
+	if len(c.WriterCounts) == 0 {
+		c.WriterCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 128
+	}
+	if c.RowsPerBatch == 0 {
+		c.RowsPerBatch = 32
+	}
+}
+
+// RunFig4 regenerates Figure 4: aggregate insert throughput vs number of
+// concurrent writers, each to its own table. The server shares almost no
+// state between tables, so throughput should rise with writers until the
+// storage device saturates.
+func RunFig4(cfg Fig4Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "Figure 4",
+		Title:  "Aggregate insert throughput vs. number of writers (measured)",
+	}
+	s := Series{Name: "aggregate throughput (MB/s)"}
+	for _, writers := range cfg.WriterCounts {
+		mbps, err := multiWriterRun(cfg, writers)
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(writers), Y: mbps, Label: fmt.Sprintf("%d writers", writers)})
+	}
+	res.Series = append(res.Series, s)
+
+	// Modeled series: the paper's 12-core machine parallelizes the
+	// CPU-bound insert path until the 7,200 RPM disk saturates at ~75% of
+	// its 120 MB/s peak. Project the measured single-writer rate through
+	// that model so the figure's shape is visible even on hosts with fewer
+	// cores than writers.
+	const (
+		paperCores = 12
+		diskCapMBs = 0.75 * 120
+	)
+	perWriter := s.Points[0].Y
+	model := Series{Name: fmt.Sprintf("modeled: %d cores, disk cap %.0f MB/s", paperCores, diskCapMBs)}
+	for _, p := range s.Points {
+		w := p.X
+		concurrent := w
+		if concurrent > paperCores {
+			concurrent = paperCores
+		}
+		y := perWriter * concurrent
+		if y > diskCapMBs {
+			y = diskCapMBs
+		}
+		model.Points = append(model.Points, Point{X: p.X, Y: y, Label: p.Label})
+	}
+	res.Series = append(res.Series, model)
+
+	first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("measured on GOMAXPROCS=%d: 1 writer %.1f MB/s, %d writers %.1f MB/s (%.1fx)",
+			runtime.GOMAXPROCS(0), first, cfg.WriterCounts[len(cfg.WriterCounts)-1], last, last/first),
+		"paper (12 cores, one spindle): rises from 37 MB/s to ~75% of the disk's peak at 32 writers;",
+		"on hosts with fewer cores than writers the measured curve flattens or declines — the modeled series projects the paper's hardware")
+	return res, nil
+}
+
+func multiWriterRun(cfg Fig4Config, writers int) (float64, error) {
+	dir, err := os.MkdirTemp(cfg.Dir, "fig4")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Options{
+		Root:                dir,
+		MaintenanceInterval: 100 * time.Millisecond,
+		Logf:                func(string, ...interface{}) {},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go srv.Serve(lis)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(lis.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			name := fmt.Sprintf("bench_%d", w)
+			if err := c.CreateTable(name, benchSchema(), 0); err != nil {
+				errCh <- err
+				return
+			}
+			tab, err := c.OpenTable(name)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rng := newXorshift(uint64(w) + 10)
+			var written int64
+			seq := int64(0)
+			batch := make([]schema.Row, 0, cfg.RowsPerBatch)
+			for written < cfg.BytesPerWriter {
+				batch = batch[:0]
+				for i := 0; i < cfg.RowsPerBatch; i++ {
+					batch = append(batch, benchRow(rng, seq, seq, cfg.RowBytes))
+					seq++
+					written += int64(cfg.RowBytes)
+				}
+				if err := tab.InsertNow(batch); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	total := float64(writers) * float64(cfg.BytesPerWriter)
+	return total / elapsed / 1e6, nil
+}

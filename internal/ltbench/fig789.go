@@ -1,0 +1,259 @@
+package ltbench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/prodsim"
+	"littletable/internal/schema"
+)
+
+// RunFig7 regenerates Figure 7: the CDFs of LittleTable and PostgreSQL
+// sizes across the production fleet, from the calibrated synthesizer.
+func RunFig7(shards int, seed int64) *Result {
+	ss := prodsim.Shards(shards, seed)
+	lt := make([]float64, len(ss))
+	pg := make([]float64, len(ss))
+	var ltTotal, pgTotal float64
+	for i, s := range ss {
+		lt[i] = float64(s.LittleTableBytes)
+		pg[i] = float64(s.PostgresBytes)
+		ltTotal += lt[i]
+		pgTotal += pg[i]
+	}
+	res := &Result{
+		Figure: "Figure 7",
+		Title:  "Distribution of PostgreSQL and LittleTable sizes in production (synthesized fleet)",
+	}
+	res.Series = append(res.Series,
+		cdfSeries("LittleTable size (TB) at cumulative fraction", lt, 1e12),
+		cdfSeries("PostgreSQL size (GB) at cumulative fraction", pg, 1e9))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("totals: %.0f TB LittleTable, %.1f TB PostgreSQL (paper: 320 / 14)", ltTotal/1e12, pgTotal/1e12),
+		fmt.Sprintf("maxima: %.1f TB / %.0f GB (paper: 6.7 TB / 341 GB)",
+			prodsim.Quantile(lt, 1)/1e12, prodsim.Quantile(pg, 1)/1e9))
+	return res
+}
+
+// RunFig8 regenerates Figure 8: CDFs of per-table key and value sizes.
+func RunFig8(tables int, seed int64) *Result {
+	ts := prodsim.Tables(tables, seed)
+	keys := make([]float64, len(ts))
+	vals := make([]float64, len(ts))
+	for i, t := range ts {
+		keys[i] = float64(t.KeyBytes)
+		vals[i] = float64(t.ValueBytes)
+	}
+	res := &Result{
+		Figure: "Figure 8",
+		Title:  "Distribution of key and value sizes per table (synthesized catalog)",
+	}
+	res.Series = append(res.Series,
+		cdfSeries("key size (B) at cumulative fraction", keys, 1),
+		cdfSeries("value size (B) at cumulative fraction", vals, 1))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("median key %.0f B (paper: 45), max %.0f (paper: <128)",
+			prodsim.Quantile(keys, 0.5), prodsim.Quantile(keys, 1)),
+		fmt.Sprintf("median value %.0f B (paper: 61), max %.0f kB (paper: 75)",
+			prodsim.Quantile(vals, 0.5), prodsim.Quantile(vals, 1)/1024))
+	return res
+}
+
+// RunFig10 regenerates Figure 10: CDFs of query lookback and table TTL.
+func RunFig10(samples int, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed))
+	look := make([]float64, samples)
+	for i := range look {
+		look[i] = float64(prodsim.LookbackSample(rng)) / float64(clock.Day)
+	}
+	ts := prodsim.Tables(prodsim.TablesPerShard, seed)
+	ttls := make([]float64, len(ts))
+	for i, t := range ts {
+		ttls[i] = float64(t.TTL) / float64(clock.Day)
+	}
+	res := &Result{
+		Figure: "Figure 10",
+		Title:  "Query lookback and row TTL distributions (synthesized workload)",
+	}
+	res.Series = append(res.Series,
+		cdfSeries("query lookback (days) at cumulative fraction", look, 1),
+		cdfSeries("row TTL (days) at cumulative fraction", ttls, 1))
+	withinWeek := 0
+	for _, l := range look {
+		if l <= 7 {
+			withinWeek++
+		}
+	}
+	yearPlus := 0
+	for _, t := range ttls {
+		if t >= 365 {
+			yearPlus++
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%.0f%% of queries look back ≤1 week (paper: >90%%)",
+			100*float64(withinWeek)/float64(len(look))),
+		fmt.Sprintf("%.0f%% of tables retain ≥1 year (paper: most)",
+			100*float64(yearPlus)/float64(len(ttls))))
+	return res
+}
+
+// cdfSeries renders a CDF at decile fractions.
+func cdfSeries(name string, values []float64, scale float64) Series {
+	s := Series{Name: name}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		s.Points = append(s.Points, Point{
+			X: q, Y: prodsim.Quantile(values, q) / scale,
+			Label: fmt.Sprintf("p%02.0f", q*100),
+		})
+	}
+	return s
+}
+
+// Fig9Config scales the scan-efficiency measurement: real tables, a
+// Dashboard-like query mix, measured rows scanned / rows returned per
+// table (§5.2.4).
+type Fig9Config struct {
+	Tables   int
+	Networks int64
+	Devices  int64 // per network
+	Samples  int64 // per device
+	Queries  int
+	Seed     int64
+	Dir      string
+}
+
+func (c *Fig9Config) defaults() {
+	if c.Tables == 0 {
+		c.Tables = 12
+	}
+	if c.Networks == 0 {
+		c.Networks = 4
+	}
+	if c.Devices == 0 {
+		c.Devices = 8
+	}
+	if c.Samples == 0 {
+		c.Samples = 400
+	}
+	if c.Queries == 0 {
+		c.Queries = 120
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunFig9 regenerates Figure 9: the CDF across tables of the average ratio
+// of rows scanned to rows returned — measured against real tables whose
+// layout and query mix mirror Dashboard's. Most queries are clustered
+// rectangles (ratio near 1); a minority are latest-row-for-prefix lookups
+// that scan many rows (the paper's heavy tail).
+func RunFig9(cfg Fig9Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dir, err := os.MkdirTemp(cfg.Dir, "fig9")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	ratios := make([]float64, 0, cfg.Tables)
+	for ti := 0; ti < cfg.Tables; ti++ {
+		tab, err := core.CreateTable(dir, fmt.Sprintf("t%d", ti), usageLikeSchema(), 0,
+			core.Options{Clock: clk})
+		if err != nil {
+			return nil, err
+		}
+		now := clk.Now()
+		// Populate: per device, Samples rows one minute apart.
+		for n := int64(0); n < cfg.Networks; n++ {
+			for d := int64(0); d < cfg.Devices; d++ {
+				rows := make([]schema.Row, 0, cfg.Samples)
+				for s := int64(0); s < cfg.Samples; s++ {
+					rows = append(rows, schema.Row{
+						ltval.NewInt64(n), ltval.NewInt64(d),
+						ltval.NewTimestamp(now - s*clock.Minute),
+						ltval.NewDouble(float64(s)),
+					})
+				}
+				if err := tab.Insert(rows); err != nil {
+					tab.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := tab.FlushAll(); err != nil {
+			tab.Close()
+			return nil, err
+		}
+		// Query mix: mostly clustered rectangles with realistic lookbacks,
+		// a few latest-row probes with short prefixes (the tail).
+		for q := 0; q < cfg.Queries; q++ {
+			u := rng.Float64()
+			switch {
+			case u < 0.55: // device graph over a lookback
+				lb := prodsim.LookbackSample(rng)
+				qq := core.NewQuery()
+				n, d := rng.Int63n(cfg.Networks), rng.Int63n(cfg.Devices)
+				qq.Lower = []ltval.Value{ltval.NewInt64(n), ltval.NewInt64(d)}
+				qq.Upper = qq.Lower
+				qq.MinTs, qq.MaxTs = now-lb, now
+				if _, err := tab.QueryAll(qq); err != nil {
+					tab.Close()
+					return nil, err
+				}
+			case u < 0.92: // network graph over a lookback
+				lb := prodsim.LookbackSample(rng)
+				qq := core.NewQuery()
+				n := rng.Int63n(cfg.Networks)
+				qq.Lower = []ltval.Value{ltval.NewInt64(n)}
+				qq.Upper = qq.Lower
+				qq.MinTs, qq.MaxTs = now-lb, now
+				if _, err := tab.QueryAll(qq); err != nil {
+					tab.Close()
+					return nil, err
+				}
+			default: // latest row for a short prefix: the inefficient case
+				n := rng.Int63n(cfg.Networks)
+				if _, _, err := tab.LatestRow([]ltval.Value{ltval.NewInt64(n)}); err != nil {
+					tab.Close()
+					return nil, err
+				}
+			}
+		}
+		s := tab.Stats().Snapshot()
+		if s.RowsReturned > 0 {
+			ratios = append(ratios, s.ScanRatio())
+		}
+		tab.Close()
+	}
+	res := &Result{
+		Figure: "Figure 9",
+		Title:  "Rows scanned / rows returned per table (measured on real tables)",
+	}
+	res.Series = append(res.Series, cdfSeries("scan ratio at cumulative fraction", ratios, 1))
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("mean ratio %.2f (paper: 1.4); p80 %.2f (paper: ≤3.3)",
+			mean, prodsim.Quantile(ratios, 0.8)))
+	return res, nil
+}
+
+func usageLikeSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "value", Type: ltval.Double},
+	}, []string{"network", "device", "ts"})
+}

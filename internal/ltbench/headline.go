@@ -1,0 +1,127 @@
+package ltbench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"littletable/internal/diskmodel"
+	"littletable/internal/iotrace"
+	"littletable/internal/tablet"
+)
+
+// RunHeadline regenerates the paper's headline numbers (§1, §2.3):
+//
+//   - first matching row from an uncached table in 31 ms (≈4 seeks at
+//     8 ms on the modeled disk);
+//   - 500,000 rows/second scan throughput thereafter for 128-byte rows,
+//     about 50% of the disk's 120 MB/s peak. On the paper's 2013 Xeon that
+//     rate was CPU-bound; here the disk-bound ceiling comes from the model
+//     and the CPU-bound ceiling from the host, and the effective rate is
+//     the minimum of the two;
+//   - 512-row insert batches at 42% of the disk's peak write throughput,
+//     measured through the full wire path.
+func RunHeadline(dir string) (*Result, error) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "headline")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	res := &Result{
+		Figure: "Headline",
+		Title:  "First-row latency, scan rate, and insert efficiency",
+	}
+	d := diskmodel.Paper()
+
+	// One 16 MB tablet of 128-byte rows, like the paper's query setup.
+	const rowBytes = 128
+	rowsPer := (16 << 20) / rowBytes
+	paths, err := buildTablets(dir, 1, rowsPer, rowBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := fileSizes(paths)
+	if err != nil {
+		return nil, err
+	}
+
+	// First-row latency: cold open (footer) + one block read, modeled.
+	f, err := os.Open(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	tracer := iotrace.New(f)
+	tab, err := tablet.OpenFile(tracer, sizes[0])
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer tab.Close()
+	probe := probeKey(int64(rowsPer / 3))
+	c, err := tab.Seek(probe, true)
+	if err != nil {
+		return nil, err
+	}
+	c.Next()
+	sim := diskmodel.NewSim(d, sizes)
+	for _, a := range tracer.Accesses() {
+		sim.Read(0, a.Offset, a.Len)
+	}
+	firstRowMs := sim.Seconds() * 1000
+
+	// Scan: disk-bound ceiling from the model, CPU-bound ceiling from the
+	// host, effective = min.
+	tracer.Reset()
+	full := tab.Cursor(true)
+	hostStart := time.Now()
+	n := 0
+	for full.Next() {
+		n++
+	}
+	hostSecs := time.Since(hostStart).Seconds()
+	if err := full.Err(); err != nil {
+		return nil, err
+	}
+	sim2 := diskmodel.NewSim(d, sizes)
+	for _, a := range tracer.Accesses() {
+		sim2.Read(0, a.Offset, a.Len)
+	}
+	logical := int64(n * rowBytes)
+	diskRowsPerSec := float64(n) / sim2.Seconds()
+	diskMBps := sim2.ThroughputBytesPerSec(logical) / 1e6
+	cpuRowsPerSec := float64(n) / hostSecs
+	effRowsPerSec := math.Min(diskRowsPerSec, cpuRowsPerSec)
+
+	// Insert: the paper's common case, 512-row batches of 128 B rows,
+	// through the full client/TCP/server path; efficiency against the
+	// modeled disk's peak write rate.
+	insMBps, err := insertRun(Fig2Config{BytesPerRun: 16 << 20, Dir: dir}, rowBytes, 512)
+	if err != nil {
+		return nil, err
+	}
+	insFrac := insMBps * 1e6 / d.Throughput
+
+	res.Series = append(res.Series, Series{
+		Name: "headline metrics",
+		Points: []Point{
+			{Label: "first-row latency (ms, modeled)", Y: firstRowMs},
+			{Label: "scan ceiling (rows/s, modeled disk)", Y: diskRowsPerSec},
+			{Label: "scan ceiling (rows/s, host CPU)", Y: cpuRowsPerSec},
+			{Label: "scan rate (rows/s, effective)", Y: effRowsPerSec},
+			{Label: "scan throughput (MB/s, modeled disk)", Y: diskMBps},
+			{Label: "insert, 512-row batches (MB/s, measured)", Y: insMBps},
+			{Label: "insert fraction of modeled disk peak", Y: insFrac},
+		},
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("paper: 31 ms first row — modeled %.0f ms (≈4 seeks × 8 ms)", firstRowMs),
+		fmt.Sprintf("paper: 500k rows/s ≈ 50%% of peak, CPU-bound on a 2013 Xeon — here disk ceiling %.0fk rows/s (%.0f%% of peak), host CPU ceiling %.0fk rows/s",
+			diskRowsPerSec/1000, 100*diskMBps/120, cpuRowsPerSec/1000),
+		fmt.Sprintf("paper: inserts at 42%% of disk peak — measured %.1f MB/s = %.0f%% of the modeled 120 MB/s (host CPU differs from the paper's)",
+			insMBps, 100*insFrac))
+	return res, nil
+}

@@ -1,0 +1,183 @@
+// Package ltbench regenerates every table and figure from the paper's
+// evaluation (§5). Each figure has a Run function returning structured
+// series; cmd/ltbench prints them and bench_test.go wraps them in
+// testing.B benchmarks. Figures measuring disk economics (5, 6, and the
+// first-row headline) replay the engine's real I/O traces through
+// internal/diskmodel's §5.1.1 hardware; throughput figures (2, 3, 4)
+// measure the real engine on the host and report the modeled disk
+// baseline alongside.
+package ltbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+	"littletable/internal/tablet"
+)
+
+// Point is one (x, y) sample of a figure's series.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Label annotates the x value ("64 kB", "8 tablets").
+	Label string `json:"label,omitempty"`
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Result is one figure's regenerated data.
+type Result struct {
+	Figure string   `json:"figure"`
+	Title  string   `json:"title"`
+	Series []Series `json:"series"`
+	// Notes carry shape observations (crossovers, level-offs, slopes).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// FprintJSON renders a Result as indented JSON, for plotting pipelines.
+func (r *Result) FprintJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Fprint renders a Result as aligned text.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.Figure, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "-- %s\n", s.Name)
+		for _, p := range s.Points {
+			label := p.Label
+			if label == "" {
+				label = fmt.Sprintf("%g", p.X)
+			}
+			fmt.Fprintf(w, "  %-16s %14.3f\n", label, p.Y)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Print renders to stdout.
+func (r *Result) Print() { r.Fprint(os.Stdout) }
+
+// benchSchema is the microbenchmark schema: §5.1.2 fixes six key columns
+// "to keep the amount of work for performing key comparisons constant"
+// plus one blob value column whose size sets the row size.
+func benchSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "k1", Type: ltval.Int64},
+		{Name: "k2", Type: ltval.Int64},
+		{Name: "k3", Type: ltval.Int64},
+		{Name: "k4", Type: ltval.Int64},
+		{Name: "k5", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "payload", Type: ltval.Blob},
+	}, []string{"k1", "k2", "k3", "k4", "k5", "ts"})
+}
+
+// keyOverheadBytes is the encoded size of the six key columns.
+const keyOverheadBytes = 6 * 8
+
+// benchRow builds a row of approximately rowBytes total encoded size with
+// xorshift-random payload (incompressible, as §5.1.1 requires: random data
+// "effectively disabling LittleTable's LZO compression").
+func benchRow(rng *xorshift, seq int64, ts int64, rowBytes int) schema.Row {
+	payloadLen := rowBytes - keyOverheadBytes - 2 // 2 ≈ varint length prefix
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	payload := make([]byte, payloadLen)
+	for i := 0; i+8 <= len(payload); i += 8 {
+		v := rng.next()
+		for j := 0; j < 8; j++ {
+			payload[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return schema.Row{
+		ltval.NewInt64(seq >> 40),
+		ltval.NewInt64(seq >> 30 & 0x3ff),
+		ltval.NewInt64(seq >> 20 & 0x3ff),
+		ltval.NewInt64(seq >> 10 & 0x3ff),
+		ltval.NewInt64(seq & 0x3ff),
+		ltval.NewTimestamp(ts),
+		ltval.NewBlob(payload),
+	}
+}
+
+// xorshift is the pseudorandom generator the paper's benchmarks use
+// (§5.1.1).
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) *xorshift {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s >> 12
+	x.s ^= x.s << 25
+	x.s ^= x.s >> 27
+	return x.s * 2685821657736338717
+}
+
+// buildTablets writes `count` on-disk tablets of `rowsPer` rows each with
+// the given row size into dir and returns their paths. Keys are assigned
+// round-robin across tablets — tablet t holds keys t, t+count, t+2·count…
+// — because that is what time-partitioned tablets look like to a key-
+// ordered scan: every tablet covers the whole key space, so a merge scan
+// alternates between them. That alternation is the seek pressure Figures
+// 5 and 6 measure.
+func buildTablets(dir string, count, rowsPer, rowBytes int, startTs int64) ([]string, error) {
+	rng := newXorshift(1)
+	paths := make([]string, 0, count)
+	for t := 0; t < count; t++ {
+		path := filepath.Join(dir, fmt.Sprintf("bench-%04d.tab", t))
+		// Compression disabled: §5.1.1 fills rows from a xorshift generator
+		// "effectively disabling LittleTable's LZO compression"; the fixed
+		// low-valued key columns would otherwise compress and let modeled
+		// logical throughput exceed the disk's physical rate.
+		w, err := tablet.Create(path, benchSchema(), tablet.WriterOptions{DisableCompression: true})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rowsPer; i++ {
+			seq := int64(i*count + t)
+			ts := startTs + seq
+			if err := w.Append(benchRow(rng, seq, ts, rowBytes)); err != nil {
+				w.Abort()
+				return nil, err
+			}
+		}
+		if _, err := w.Close(); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// fileSizes stats the given paths.
+func fileSizes(paths []string) ([]int64, error) {
+	out := make([]int64, len(paths))
+	for i, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fi.Size()
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package ltbench
+
+// raceEnabled reports that the race detector is active; timing-sensitive
+// shape assertions relax themselves under its ~10x slowdown.
+const raceEnabled = false

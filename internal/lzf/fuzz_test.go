@@ -1,0 +1,42 @@
+package lzf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip: any input must compress and decompress back to itself.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp := Compress(nil, src)
+		if len(comp) > MaxCompressedLen(len(src)) {
+			t.Fatalf("compressed %d > bound %d", len(comp), MaxCompressedLen(len(src)))
+		}
+		got, err := Decompress(make([]byte, len(src)), comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecompress: arbitrary bytes fed to the decoder must never panic or
+// overrun; errors are fine.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{0x00}, 10)
+	f.Add(Compress(nil, []byte("seed data seed data")), 19)
+	f.Add([]byte{0xf0, 0xff, 0xff}, 100)
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		if size < 0 || size > 1<<16 {
+			return
+		}
+		Decompress(make([]byte, size), data)
+	})
+}

@@ -1,0 +1,227 @@
+// Package lzf implements a fast, stdlib-only, byte-oriented LZ77 block
+// codec. It stands in for the LZO1X-1 library the paper uses to compress
+// tablet blocks and footers (§3.5): like LZO it favors speed over ratio,
+// compresses each block independently, and stores nothing but literal runs
+// and back-references.
+//
+// Format (LZ4-block-like): a sequence of tokens. Each token byte holds the
+// literal run length in its high nibble and (match length - MinMatch) in
+// its low nibble; a nibble of 15 is extended by subsequent bytes of 255
+// terminated by a byte < 255. Literal bytes follow, then a two-byte
+// little-endian match offset (1-based, back from the current position).
+// The final sequence has no match: its token's low nibble is 0 and the
+// stream ends after its literals.
+package lzf
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// MinMatch is the shortest back-reference worth encoding.
+	MinMatch = 4
+	// maxOffset is the farthest back a match may reach (2-byte offset).
+	maxOffset = 65535
+	hashLog   = 14
+	hashSize  = 1 << hashLog
+	// lastLiterals: the final MinMatch+1 bytes are always emitted as
+	// literals so the decoder's copy loops never read past the end.
+	lastLiterals = MinMatch + 1
+)
+
+// Errors returned by Decompress.
+var (
+	ErrCorrupt  = errors.New("lzf: corrupt compressed data")
+	ErrTooShort = errors.New("lzf: destination buffer too short")
+)
+
+// MaxCompressedLen returns an upper bound on the compressed size of n input
+// bytes, for sizing destination buffers.
+func MaxCompressedLen(n int) int {
+	// Worst case: all literals. One token per 15+254*k literals plus the
+	// literals themselves; n + n/255 + 16 is a comfortable bound.
+	return n + n/255 + 16
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashLog)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice. Compress never fails; incompressible input grows by at
+// most MaxCompressedLen(len(src)) - len(src) bytes.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < MinMatch+lastLiterals {
+		return emitFinal(dst, src)
+	}
+
+	var table [hashSize]int32 // position+1 of last occurrence of each hash; 0 = empty
+	litStart := 0             // start of the pending literal run
+	i := 0
+	limit := len(src) - lastLiterals
+
+	for i <= limit-MinMatch {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > maxOffset || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		// Extend the match forward. Overlapping matches (offset < length)
+		// are legal: the decoder copies byte-by-byte, which is what makes
+		// them encode runs cheaply.
+		mlen := MinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		// Extend backward into pending literals.
+		for i > litStart && cand > 0 && src[i-1] == src[cand-1] {
+			i--
+			cand--
+			mlen++
+		}
+		dst = emitSequence(dst, src[litStart:i], i-cand, mlen)
+		i += mlen
+		litStart = i
+		// Seed the table at the match tail to catch runs.
+		if i <= limit-MinMatch {
+			table[hash4(load32(src, i-2))] = int32(i - 1)
+		}
+	}
+	return emitFinal(dst, src[litStart:])
+}
+
+// emitSequence writes one token: literals then a match of mlen at offset.
+func emitSequence(dst, lits []byte, offset, mlen int) []byte {
+	llen := len(lits)
+	mext := mlen - MinMatch
+	token := byte(0)
+	if llen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(llen) << 4
+	}
+	if mext >= 15 {
+		token |= 15
+	} else {
+		token |= byte(mext)
+	}
+	dst = append(dst, token)
+	if llen >= 15 {
+		dst = appendExt(dst, llen-15)
+	}
+	dst = append(dst, lits...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mext >= 15 {
+		dst = appendExt(dst, mext-15)
+	}
+	return dst
+}
+
+// emitFinal writes the trailing literal-only token.
+func emitFinal(dst, lits []byte) []byte {
+	llen := len(lits)
+	if llen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = appendExt(dst, llen-15)
+	} else {
+		dst = append(dst, byte(llen)<<4)
+	}
+	return append(dst, lits...)
+}
+
+func appendExt(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress decodes src into dst, which must be exactly the original
+// length (tablet block headers record it). It returns the filled dst.
+func Decompress(dst, src []byte) ([]byte, error) {
+	di, si := 0, 0
+	for si < len(src) {
+		token := src[si]
+		si++
+		// Literals.
+		llen := int(token >> 4)
+		if llen == 15 {
+			n, ns, err := readExt(src, si)
+			if err != nil {
+				return nil, err
+			}
+			llen += n
+			si = ns
+		}
+		if si+llen > len(src) || di+llen > len(dst) {
+			return nil, ErrCorrupt
+		}
+		copy(dst[di:], src[si:si+llen])
+		si += llen
+		di += llen
+		if si == len(src) {
+			// Final literal-only sequence.
+			if token&0x0f != 0 {
+				return nil, ErrCorrupt
+			}
+			break
+		}
+		// Match.
+		if si+2 > len(src) {
+			return nil, ErrCorrupt
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		mlen := int(token&0x0f) + MinMatch
+		if token&0x0f == 15 {
+			n, ns, err := readExt(src, si)
+			if err != nil {
+				return nil, err
+			}
+			mlen += n
+			si = ns
+		}
+		if offset == 0 || offset > di {
+			return nil, ErrCorrupt
+		}
+		if di+mlen > len(dst) {
+			return nil, ErrTooShort
+		}
+		// Byte-by-byte copy: matches may overlap their own output.
+		m := di - offset
+		for k := 0; k < mlen; k++ {
+			dst[di+k] = dst[m+k]
+		}
+		di += mlen
+	}
+	if di != len(dst) {
+		return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, di, len(dst))
+	}
+	return dst, nil
+}
+
+func readExt(src []byte, si int) (int, int, error) {
+	n := 0
+	for {
+		if si >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		c := src[si]
+		si++
+		n += int(c)
+		if c != 255 {
+			return n, si, nil
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package lzf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, src)
+	if len(comp) > MaxCompressedLen(len(src)) {
+		t.Fatalf("compressed %d bytes into %d, beyond MaxCompressedLen %d",
+			len(src), len(comp), MaxCompressedLen(len(src)))
+	}
+	got, err := Decompress(make([]byte, len(src)), comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(src))
+	}
+	return comp
+}
+
+func TestEmpty(t *testing.T) {
+	comp := Compress(nil, nil)
+	if len(comp) != 0 {
+		t.Errorf("Compress(nil) = %d bytes", len(comp))
+	}
+	got, err := Decompress(nil, nil)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Decompress(empty): %v, %d bytes", err, len(got))
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestAllSameByte(t *testing.T) {
+	src := bytes.Repeat([]byte{0x42}, 100000)
+	comp := roundTrip(t, src)
+	if len(comp) > len(src)/100 {
+		t.Errorf("run of %d identical bytes compressed to %d; expected >100x", len(src), len(comp))
+	}
+}
+
+func TestRepetitiveText(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog ", 2000))
+	comp := roundTrip(t, src)
+	if len(comp) > len(src)/4 {
+		t.Errorf("repetitive text compressed to %d of %d; expected >4x", len(comp), len(src))
+	}
+}
+
+func TestIncompressibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 64*1024)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	if len(comp) > MaxCompressedLen(len(src)) {
+		t.Errorf("incompressible input exceeded bound")
+	}
+}
+
+func TestLongLiteralRuns(t *testing.T) {
+	// Force literal lengths past the 15 and 15+255 extension boundaries.
+	for _, n := range []int{14, 15, 16, 269, 270, 271, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		src := make([]byte, n)
+		rng.Read(src)
+		roundTrip(t, src)
+	}
+}
+
+func TestLongMatches(t *testing.T) {
+	// Force match lengths past the 15+MinMatch and extension boundaries.
+	for _, n := range []int{MinMatch, 18, 19, 20, 273, 274, 1 << 16} {
+		src := append([]byte("abcdefgh"), bytes.Repeat([]byte{'z'}, n)...)
+		src = append(src, []byte("tailtail")...)
+		roundTrip(t, src)
+	}
+}
+
+func TestFarOffsets(t *testing.T) {
+	// A match just inside and just outside the 64k offset window.
+	pattern := []byte("0123456789abcdef")
+	src := append([]byte{}, pattern...)
+	src = append(src, bytes.Repeat([]byte{0}, maxOffset-len(pattern)+1)...)
+	src = append(src, pattern...)
+	roundTrip(t, src)
+}
+
+func TestOverlappingMatch(t *testing.T) {
+	// "ababab..." forces offset-2 matches longer than the offset.
+	src := bytes.Repeat([]byte("ab"), 5000)
+	comp := roundTrip(t, src)
+	if len(comp) > 200 {
+		t.Errorf("overlapping-match input compressed to %d bytes", len(comp))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		got, err := Decompress(make([]byte, len(src)), comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStructured(t *testing.T) {
+	// Structured inputs: repeated chunks with mutations, closer to rows.
+	f := func(seed int64, chunk []byte, reps uint8) bool {
+		if len(chunk) == 0 {
+			chunk = []byte{1}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var src []byte
+		for i := 0; i < int(reps)+2; i++ {
+			src = append(src, chunk...)
+			src = append(src, byte(rng.Intn(256)))
+		}
+		comp := Compress(nil, src)
+		got, err := Decompress(make([]byte, len(src)), comp)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := []byte(strings.Repeat("hello world ", 100))
+	comp := Compress(nil, src)
+	// Truncations must error, never panic or succeed with wrong data.
+	for cut := 1; cut < len(comp); cut += 7 {
+		got, err := Decompress(make([]byte, len(src)), comp[:cut])
+		if err == nil && bytes.Equal(got, src) {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+func TestDecompressBitFlips(t *testing.T) {
+	src := []byte(strings.Repeat("abcdefg", 64))
+	comp := Compress(nil, src)
+	for i := 0; i < len(comp); i++ {
+		mut := append([]byte{}, comp...)
+		mut[i] ^= 0xff
+		// Must not panic; error or silent wrong output are both possible
+		// (the format has no checksum; the block layer adds one).
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit flip at %d: %v", i, r)
+				}
+			}()
+			Decompress(make([]byte, len(src)), mut)
+		}()
+	}
+}
+
+func TestDecompressWrongSize(t *testing.T) {
+	src := []byte("some compressible compressible compressible data")
+	comp := Compress(nil, src)
+	if _, err := Decompress(make([]byte, len(src)+5), comp); err == nil {
+		t.Error("oversized dst accepted")
+	}
+	if _, err := Decompress(make([]byte, 1), comp); err == nil {
+		t.Error("undersized dst accepted")
+	}
+}
+
+func TestCompressAppendsToDst(t *testing.T) {
+	prefix := []byte("HDR")
+	src := []byte(strings.Repeat("data", 50))
+	out := Compress(prefix, src)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Error("Compress clobbered dst prefix")
+	}
+	got, err := Decompress(make([]byte, len(src)), out[len(prefix):])
+	if err != nil || !bytes.Equal(got, src) {
+		t.Error("payload after prefix does not round trip")
+	}
+}
+
+func BenchmarkCompressRepetitive(b *testing.B) {
+	src := []byte(strings.Repeat("metric=bytes network=123 device=456 ", 2000))
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Compress(dst[:0], src)
+	}
+}
+
+func BenchmarkCompressRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 64*1024)
+	rng.Read(src)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Compress(dst[:0], src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := []byte(strings.Repeat("metric=bytes network=123 device=456 ", 2000))
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package memtable implements LittleTable's in-memory tablets (§3.2):
+// newly inserted rows go into a balanced binary tree ordered by primary
+// key. When a tablet reaches its size or age limit the engine marks it
+// read-only and flushes it to disk as a sorted on-disk tablet.
+//
+// The tree is a left-leaning red-black tree. Memtables are not internally
+// synchronized: the table engine serializes writers per table (the
+// applications are single-writer, §2.3.4) and freezes tablets before
+// flushing, after which concurrent readers are safe.
+package memtable
+
+import (
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node struct {
+	row         schema.Row
+	left, right *node
+	c           color
+}
+
+func isRed(n *node) bool { return n != nil && n.c == red }
+
+// Memtable is one in-memory tablet.
+type Memtable struct {
+	sc        *schema.Schema
+	root      *node
+	count     int
+	sizeBytes int
+	minTs     int64
+	maxTs     int64
+	createdAt int64 // engine time of first insert, for age-based flushing
+	frozen    bool
+
+	inserted bool // whether any row has ever been inserted
+	dup      bool // scratch flag for Insert
+}
+
+// New returns an empty memtable for rows of schema sc.
+func New(sc *schema.Schema) *Memtable {
+	return &Memtable{sc: sc}
+}
+
+// Schema returns the schema the memtable was created with.
+func (m *Memtable) Schema() *schema.Schema { return m.sc }
+
+// Len returns the number of rows.
+func (m *Memtable) Len() int { return m.count }
+
+// SizeBytes returns the approximate encoded size of the rows, the number
+// the 16 MB flush threshold (§3.3) is compared against.
+func (m *Memtable) SizeBytes() int { return m.sizeBytes }
+
+// Empty reports whether the memtable holds no rows.
+func (m *Memtable) Empty() bool { return m.count == 0 }
+
+// Timespan returns the minimum and maximum row timestamps. Valid only when
+// the memtable is non-empty.
+func (m *Memtable) Timespan() (minTs, maxTs int64) { return m.minTs, m.maxTs }
+
+// CreatedAt returns the engine time of the first insert, or 0 if empty.
+func (m *Memtable) CreatedAt() int64 { return m.createdAt }
+
+// Freeze marks the memtable read-only (§3.2). Inserts after Freeze panic:
+// the engine must never route rows to a flushing tablet.
+func (m *Memtable) Freeze() { m.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (m *Memtable) Frozen() bool { return m.frozen }
+
+// Insert adds row, which must match the schema, and reports whether it was
+// added: false means a row with the same primary key already exists, which
+// the engine surfaces as a uniqueness violation (§3.4.4). The row is
+// retained as-is; callers must not mutate it afterward.
+func (m *Memtable) Insert(now int64, row schema.Row) bool {
+	if m.frozen {
+		panic("memtable: insert into frozen tablet")
+	}
+	m.dup = false
+	m.root = m.insert(m.root, row)
+	m.root.c = black
+	if m.dup {
+		return false
+	}
+	ts := m.sc.Ts(row)
+	if !m.inserted {
+		m.minTs, m.maxTs = ts, ts
+		m.createdAt = now
+		m.inserted = true
+	} else {
+		if ts < m.minTs {
+			m.minTs = ts
+		}
+		if ts > m.maxTs {
+			m.maxTs = ts
+		}
+	}
+	m.count++
+	m.sizeBytes += m.sc.EncodedRowSize(row)
+	return true
+}
+
+func (m *Memtable) insert(n *node, row schema.Row) *node {
+	if n == nil {
+		return &node{row: row, c: red}
+	}
+	switch cmp := m.sc.CompareKeys(row, n.row); {
+	case cmp < 0:
+		n.left = m.insert(n.left, row)
+	case cmp > 0:
+		n.right = m.insert(n.right, row)
+	default:
+		m.dup = true
+		return n
+	}
+	if isRed(n.right) && !isRed(n.left) {
+		n = rotateLeft(n)
+	}
+	if isRed(n.left) && isRed(n.left.left) {
+		n = rotateRight(n)
+	}
+	if isRed(n.left) && isRed(n.right) {
+		flipColors(n)
+	}
+	return n
+}
+
+func rotateLeft(h *node) *node {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.c = h.c
+	h.c = red
+	return x
+}
+
+func rotateRight(h *node) *node {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.c = h.c
+	h.c = red
+	return x
+}
+
+func flipColors(h *node) {
+	h.c = red
+	h.left.c = black
+	h.right.c = black
+}
+
+// Get returns the row with exactly the given full primary key, if present.
+func (m *Memtable) Get(key []ltval.Value) (schema.Row, bool) {
+	n := m.root
+	for n != nil {
+		switch cmp := m.sc.CompareRowToKey(n.row, key); {
+		case cmp > 0:
+			n = n.left
+		case cmp < 0:
+			n = n.right
+		default:
+			return n.row, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether a row with the given full primary key exists.
+func (m *Memtable) Contains(key []ltval.Value) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// MaxKeyRow returns the row with the largest primary key, used by the
+// ascending-insert uniqueness fast path (§3.4.4).
+func (m *Memtable) MaxKeyRow() (schema.Row, bool) {
+	n := m.root
+	if n == nil {
+		return nil, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.row, true
+}
+
+// A Cursor iterates rows in key order. Next must be called before Row.
+type Cursor struct {
+	m     *Memtable
+	stack []*node
+	cur   *node
+	asc   bool
+}
+
+// Cursor returns an iterator over the whole memtable, ascending if asc.
+func (m *Memtable) Cursor(asc bool) *Cursor {
+	c := &Cursor{m: m, asc: asc}
+	n := m.root
+	for n != nil {
+		c.stack = append(c.stack, n)
+		if asc {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return c
+}
+
+// Seek returns a cursor positioned at the first row >= key (ascending) or
+// <= key (descending). A partial key acts as a prefix bound: ascending
+// seeks land on the first row with that prefix; descending seeks land on
+// the last row equal to the prefix or the greatest row below it.
+func (m *Memtable) Seek(key []ltval.Value, asc bool) *Cursor {
+	c := &Cursor{m: m, asc: asc}
+	n := m.root
+	for n != nil {
+		cmp := m.sc.CompareRowToKey(n.row, key)
+		if asc {
+			if cmp >= 0 {
+				c.stack = append(c.stack, n)
+				n = n.left
+			} else {
+				n = n.right
+			}
+		} else {
+			if cmp <= 0 {
+				c.stack = append(c.stack, n)
+				n = n.right
+			} else {
+				n = n.left
+			}
+		}
+	}
+	return c
+}
+
+// Next advances the cursor and reports whether a row is available.
+func (c *Cursor) Next() bool {
+	if len(c.stack) == 0 {
+		c.cur = nil
+		return false
+	}
+	n := c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	c.cur = n
+	child := n.right
+	if !c.asc {
+		child = n.left
+	}
+	for child != nil {
+		c.stack = append(c.stack, child)
+		if c.asc {
+			child = child.left
+		} else {
+			child = child.right
+		}
+	}
+	return true
+}
+
+// Row returns the current row. Valid after Next reports true.
+func (c *Cursor) Row() schema.Row { return c.cur.row }

@@ -1,0 +1,386 @@
+package memtable
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+func testSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "value", Type: ltval.Double},
+	}, []string{"network", "device", "ts"})
+}
+
+func row(n, d, ts int64, v float64) schema.Row {
+	return schema.Row{ltval.NewInt64(n), ltval.NewInt64(d), ltval.NewTimestamp(ts), ltval.NewDouble(v)}
+}
+
+func key(n, d, ts int64) []ltval.Value {
+	return []ltval.Value{ltval.NewInt64(n), ltval.NewInt64(d), ltval.NewTimestamp(ts)}
+}
+
+func collect(c *Cursor) []schema.Row {
+	var out []schema.Row
+	for c.Next() {
+		out = append(out, c.Row())
+	}
+	return out
+}
+
+func TestInsertAndGet(t *testing.T) {
+	m := New(testSchema(t))
+	if !m.Insert(100, row(1, 2, 50, 1.5)) {
+		t.Fatal("insert failed")
+	}
+	got, ok := m.Get(key(1, 2, 50))
+	if !ok || got[3].Float != 1.5 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := m.Get(key(1, 2, 51)); ok {
+		t.Error("Get found a missing key")
+	}
+	if !m.Contains(key(1, 2, 50)) || m.Contains(key(9, 9, 9)) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	m := New(testSchema(t))
+	if !m.Insert(0, row(1, 2, 50, 1)) {
+		t.Fatal("first insert failed")
+	}
+	if m.Insert(0, row(1, 2, 50, 99)) {
+		t.Fatal("duplicate key accepted")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d after duplicate", m.Len())
+	}
+	got, _ := m.Get(key(1, 2, 50))
+	if got[3].Float != 1 {
+		t.Error("duplicate overwrote original row")
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	sc := testSchema(t)
+	m := New(sc)
+	if !m.Empty() || m.Len() != 0 || m.SizeBytes() != 0 {
+		t.Error("fresh memtable not empty")
+	}
+	m.Insert(1000, row(1, 1, 500, 0))
+	m.Insert(1001, row(1, 1, 100, 0))
+	m.Insert(1002, row(1, 1, 900, 0))
+	lo, hi := m.Timespan()
+	if lo != 100 || hi != 900 {
+		t.Errorf("timespan [%d, %d], want [100, 900]", lo, hi)
+	}
+	if m.CreatedAt() != 1000 {
+		t.Errorf("CreatedAt = %d, want time of first insert", m.CreatedAt())
+	}
+	wantSize := 3 * sc.EncodedRowSize(row(1, 1, 1, 0))
+	if m.SizeBytes() != wantSize {
+		t.Errorf("SizeBytes = %d, want %d", m.SizeBytes(), wantSize)
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	m := New(testSchema(t))
+	rng := rand.New(rand.NewSource(7))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m.Insert(0, row(rng.Int63n(5), rng.Int63n(50), rng.Int63n(10000), 0))
+	}
+	rows := collect(m.Cursor(true))
+	if len(rows) != m.Len() {
+		t.Fatalf("cursor returned %d rows, Len = %d", len(rows), m.Len())
+	}
+	sc := m.Schema()
+	for i := 1; i < len(rows); i++ {
+		if sc.CompareKeys(rows[i-1], rows[i]) >= 0 {
+			t.Fatalf("ascending order violated at %d", i)
+		}
+	}
+	desc := collect(m.Cursor(false))
+	if len(desc) != len(rows) {
+		t.Fatalf("descending cursor returned %d rows", len(desc))
+	}
+	for i := range desc {
+		if sc.CompareKeys(desc[i], rows[len(rows)-1-i]) != 0 {
+			t.Fatalf("descending order is not the reverse of ascending at %d", i)
+		}
+	}
+}
+
+func TestSeekAscending(t *testing.T) {
+	m := New(testSchema(t))
+	for d := int64(0); d < 10; d++ {
+		for ts := int64(0); ts < 10; ts++ {
+			m.Insert(0, row(1, d, ts*10, 0))
+		}
+	}
+	// Exact key.
+	c := m.Seek(key(1, 5, 50), true)
+	if !c.Next() {
+		t.Fatal("seek found nothing")
+	}
+	r := c.Row()
+	if r[1].Int != 5 || r[2].Int != 50 {
+		t.Fatalf("seek landed on (%d, %d)", r[1].Int, r[2].Int)
+	}
+	// Between keys: lands on next greater.
+	c = m.Seek(key(1, 5, 55), true)
+	c.Next()
+	if r := c.Row(); r[1].Int != 5 || r[2].Int != 60 {
+		t.Fatalf("between-keys seek landed on (%d, %d)", r[1].Int, r[2].Int)
+	}
+	// Prefix seek: first row of device 7.
+	c = m.Seek([]ltval.Value{ltval.NewInt64(1), ltval.NewInt64(7)}, true)
+	c.Next()
+	if r := c.Row(); r[1].Int != 7 || r[2].Int != 0 {
+		t.Fatalf("prefix seek landed on (%d, %d)", r[1].Int, r[2].Int)
+	}
+	// Past the end.
+	c = m.Seek(key(2, 0, 0), true)
+	if c.Next() {
+		t.Error("seek past end returned a row")
+	}
+}
+
+func TestSeekDescending(t *testing.T) {
+	m := New(testSchema(t))
+	for d := int64(0); d < 10; d++ {
+		for ts := int64(0); ts < 10; ts++ {
+			m.Insert(0, row(1, d, ts*10, 0))
+		}
+	}
+	// Descending from exact key.
+	c := m.Seek(key(1, 5, 50), false)
+	c.Next()
+	if r := c.Row(); r[1].Int != 5 || r[2].Int != 50 {
+		t.Fatalf("descending seek landed on (%d, %d)", r[1].Int, r[2].Int)
+	}
+	if !c.Next() {
+		t.Fatal("descending cursor exhausted early")
+	}
+	if r := c.Row(); r[1].Int != 5 || r[2].Int != 40 {
+		t.Fatalf("descending next was (%d, %d)", r[1].Int, r[2].Int)
+	}
+	// Prefix seek descending: last row of device 7.
+	c = m.Seek([]ltval.Value{ltval.NewInt64(1), ltval.NewInt64(7)}, false)
+	c.Next()
+	if r := c.Row(); r[1].Int != 7 || r[2].Int != 90 {
+		t.Fatalf("descending prefix seek landed on (%d, %d)", r[1].Int, r[2].Int)
+	}
+	// Before the beginning.
+	c = m.Seek(key(0, 0, 0), false)
+	if c.Next() {
+		r := c.Row()
+		if r[0].Int >= 1 {
+			t.Error("descending seek below min returned a too-large row")
+		}
+	}
+}
+
+func TestMaxKeyRow(t *testing.T) {
+	m := New(testSchema(t))
+	if _, ok := m.MaxKeyRow(); ok {
+		t.Error("empty memtable has a max row")
+	}
+	m.Insert(0, row(1, 1, 10, 0))
+	m.Insert(0, row(3, 0, 5, 0))
+	m.Insert(0, row(2, 9, 99, 0))
+	r, ok := m.MaxKeyRow()
+	if !ok || r[0].Int != 3 {
+		t.Fatalf("MaxKeyRow = %v", r)
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	m := New(testSchema(t))
+	m.Insert(0, row(1, 1, 1, 0))
+	m.Freeze()
+	if !m.Frozen() {
+		t.Error("Frozen() false after Freeze")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("insert into frozen memtable did not panic")
+		}
+	}()
+	m.Insert(0, row(1, 1, 2, 0))
+}
+
+func TestRedBlackInvariants(t *testing.T) {
+	// The LLRB must stay balanced: validate no red right links, no two
+	// consecutive red left links, and equal black height on all paths.
+	m := New(testSchema(t))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		m.Insert(0, row(rng.Int63n(100), rng.Int63n(100), rng.Int63n(1000), 0))
+		if i%500 == 0 {
+			if h := checkLLRB(t, m.root); h < 0 {
+				t.Fatalf("LLRB invariants violated after %d inserts", i+1)
+			}
+		}
+	}
+	h := checkLLRB(t, m.root)
+	if h < 0 {
+		t.Fatal("final tree invalid")
+	}
+	// Black height of a balanced tree with n nodes is O(log n).
+	if h > 3+2*log2(m.Len()) {
+		t.Errorf("black height %d too large for %d nodes", h, m.Len())
+	}
+}
+
+func log2(n int) int {
+	h := 0
+	for n > 1 {
+		n >>= 1
+		h++
+	}
+	return h
+}
+
+// checkLLRB returns the black height, or -1 on violation.
+func checkLLRB(t *testing.T, n *node) int {
+	if n == nil {
+		return 0
+	}
+	if isRed(n.right) {
+		t.Error("red right link")
+		return -1
+	}
+	if isRed(n) && isRed(n.left) {
+		t.Error("two consecutive red links")
+		return -1
+	}
+	lh := checkLLRB(t, n.left)
+	rh := checkLLRB(t, n.right)
+	if lh < 0 || rh < 0 || lh != rh {
+		t.Error("unequal black heights")
+		return -1
+	}
+	if n.c == black {
+		return lh + 1
+	}
+	return lh
+}
+
+func TestQuickMatchesSortedSlice(t *testing.T) {
+	sc := testSchema(t)
+	f := func(keys []uint16) bool {
+		m := New(sc)
+		uniq := map[uint16]bool{}
+		for _, k := range keys {
+			r := row(int64(k>>8), int64(k&0xff), int64(k), float64(k))
+			if m.Insert(0, r) == uniq[k] {
+				return false // insert result must match prior presence
+			}
+			uniq[k] = true
+		}
+		var want []uint16
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			a, b := want[i], want[j]
+			if a>>8 != b>>8 {
+				return a>>8 < b>>8
+			}
+			if a&0xff != b&0xff {
+				return a&0xff < b&0xff
+			}
+			return a < b
+		})
+		got := collect(m.Cursor(true))
+		if len(got) != len(want) {
+			return false
+		}
+		for i, k := range want {
+			if got[i][0].Int != int64(k>>8) || got[i][1].Int != int64(k&0xff) || got[i][2].Int != int64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekQuick(t *testing.T) {
+	sc := testSchema(t)
+	m := New(sc)
+	present := map[int64]bool{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		ts := rng.Int63n(2000)
+		if m.Insert(0, row(1, 1, ts, 0)) {
+			present[ts] = true
+		}
+	}
+	var sorted []int64
+	for ts := range present {
+		sorted = append(sorted, ts)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for probe := int64(0); probe < 2000; probe += 13 {
+		// Ascending: first ts >= probe.
+		c := m.Seek(key(1, 1, probe), true)
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= probe })
+		if i == len(sorted) {
+			if c.Next() {
+				t.Fatalf("probe %d: expected exhausted ascending cursor", probe)
+			}
+		} else {
+			if !c.Next() || c.Row()[2].Int != sorted[i] {
+				t.Fatalf("probe %d: ascending got %v, want %d", probe, c.cur, sorted[i])
+			}
+		}
+		// Descending: last ts <= probe.
+		c = m.Seek(key(1, 1, probe), false)
+		j := sort.Search(len(sorted), func(i int) bool { return sorted[i] > probe }) - 1
+		if j < 0 {
+			if c.Next() {
+				t.Fatalf("probe %d: expected exhausted descending cursor", probe)
+			}
+		} else {
+			if !c.Next() || c.Row()[2].Int != sorted[j] {
+				t.Fatalf("probe %d: descending got wrong row", probe)
+			}
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	sc := testSchema(b)
+	m := New(sc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Insert(0, row(int64(i%16), int64(i%4096), int64(i), 0))
+	}
+}
+
+func BenchmarkCursorScan(b *testing.B) {
+	sc := testSchema(b)
+	m := New(sc)
+	for i := 0; i < 100000; i++ {
+		m.Insert(0, row(int64(i%16), int64(i%4096), int64(i), 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Cursor(true)
+		for c.Next() {
+		}
+	}
+}

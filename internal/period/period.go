@@ -1,0 +1,127 @@
+// Package period implements LittleTable's application-driven timespans
+// (§3.4.2). Time is grouped into three ranges, each measured in even
+// intervals from the Unix epoch:
+//
+//   - the six 4-hour periods of the most recent day,
+//   - the seven days of the most recent week,
+//   - and all the weeks previous to that.
+//
+// Rows from different periods never share an in-memory tablet, and tablets
+// from different periods are never merged, bounding both the number of
+// tablets a query must open and the fraction of scanned rows that fall
+// outside a query's time bounds.
+package period
+
+import "littletable/internal/clock"
+
+// Granularity classifies how fine a period is.
+type Granularity uint8
+
+// The three granularities, finest first.
+const (
+	FourHour Granularity = iota
+	Day
+	Week
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case FourHour:
+		return "4h"
+	case Day:
+		return "day"
+	default:
+		return "week"
+	}
+}
+
+// Length returns the period length in microseconds.
+func (g Granularity) Length() int64 {
+	switch g {
+	case FourHour:
+		return 4 * clock.Hour
+	case Day:
+		return clock.Day
+	default:
+		return clock.Week
+	}
+}
+
+// Period is a half-open time interval [Start, End) aligned to an even
+// multiple of its granularity from the Unix epoch.
+type Period struct {
+	Start, End int64
+	Gran       Granularity
+}
+
+// Contains reports whether ts falls inside the period.
+func (p Period) Contains(ts int64) bool { return ts >= p.Start && ts < p.End }
+
+// floorTo rounds ts down to an even multiple of unit from the epoch,
+// handling negative timestamps (pre-1970) correctly.
+func floorTo(ts, unit int64) int64 {
+	q := ts / unit
+	if ts%unit < 0 {
+		q--
+	}
+	return q * unit
+}
+
+// For returns the period containing ts, as seen at time now. The boundaries
+// move with now: the "most recent day" is the epoch-aligned day containing
+// now, and likewise for the week, matching the paper's even-interval rule.
+// Timestamps in the future (clients may insert them, §3.1) bin at 4-hour
+// granularity so they stay finely clustered until they age.
+func For(ts, now int64) Period {
+	dayStart := floorTo(now, clock.Day)
+	weekStart := floorTo(now, clock.Week)
+	switch {
+	case ts >= dayStart:
+		s := floorTo(ts, 4*clock.Hour)
+		return Period{Start: s, End: s + 4*clock.Hour, Gran: FourHour}
+	case ts >= weekStart:
+		s := floorTo(ts, clock.Day)
+		return Period{Start: s, End: s + clock.Day, Gran: Day}
+	default:
+		s := floorTo(ts, clock.Week)
+		return Period{Start: s, End: s + clock.Week, Gran: Week}
+	}
+}
+
+// SamePeriod reports whether a and b fall in the same period at time now.
+func SamePeriod(a, b, now int64) bool {
+	pa := For(a, now)
+	return pa.Contains(b)
+}
+
+// Covering returns the distinct periods that intersect [lo, hi] at time
+// now, oldest first. It is used to plan queries and to group tablets when
+// walking backwards for latest-row lookups.
+func Covering(lo, hi, now int64) []Period {
+	if hi < lo {
+		return nil
+	}
+	var out []Period
+	p := For(lo, now)
+	for {
+		out = append(out, p)
+		if p.End > hi {
+			return out
+		}
+		p = For(p.End, now)
+	}
+}
+
+// MergeDelayFraction returns a deterministic pseudorandom fraction in
+// [0, 1) derived from seed. When tablets from a smaller period roll over
+// into the next larger one, each table delays its merge by this fraction of
+// the larger period, spreading the merge load across tables (§3.4.2).
+func MergeDelayFraction(seed uint64) float64 {
+	// splitmix64 finalizer.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

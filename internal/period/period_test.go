@@ -1,0 +1,232 @@
+package period
+
+import (
+	"testing"
+	"testing/quick"
+
+	"littletable/internal/clock"
+)
+
+// now: an arbitrary instant chosen to fall mid-day and mid-week, so that
+// all three granularities appear in a one-week lookback. Epoch-aligned
+// weeks start on Thursday (1970-01-01); the tests rely only on epoch
+// arithmetic, never on calendar weekdays.
+const now = 1_782_018_420 * clock.Second // ≈ 2026-06-21, ~05:07 into the day
+
+func TestGranularityLength(t *testing.T) {
+	if FourHour.Length() != 4*clock.Hour {
+		t.Error("FourHour length")
+	}
+	if Day.Length() != clock.Day {
+		t.Error("Day length")
+	}
+	if Week.Length() != clock.Week {
+		t.Error("Week length")
+	}
+	if FourHour.String() != "4h" || Day.String() != "day" || Week.String() != "week" {
+		t.Error("granularity names")
+	}
+}
+
+func TestForRecentDay(t *testing.T) {
+	p := For(now, now)
+	if p.Gran != FourHour {
+		t.Fatalf("period for now has granularity %v", p.Gran)
+	}
+	if p.End-p.Start != 4*clock.Hour {
+		t.Errorf("period length %d", p.End-p.Start)
+	}
+	if p.Start%(4*clock.Hour) != 0 {
+		t.Error("period not epoch-aligned")
+	}
+	if !p.Contains(now) {
+		t.Error("period does not contain its own timestamp")
+	}
+}
+
+func TestForRecentWeek(t *testing.T) {
+	dayStart := (now / clock.Day) * clock.Day
+	weekStart := (now / clock.Week) * clock.Week
+	if weekStart >= dayStart {
+		t.Skip("now falls on the first day of an epoch week; pick a different constant")
+	}
+	ts := dayStart - clock.Hour // yesterday
+	p := For(ts, now)
+	if p.Gran != Day {
+		t.Fatalf("yesterday has granularity %v", p.Gran)
+	}
+	if p.Start%clock.Day != 0 || p.End-p.Start != clock.Day {
+		t.Errorf("day period misaligned: [%d, %d)", p.Start, p.End)
+	}
+}
+
+func TestForOldWeeks(t *testing.T) {
+	ts := now - 30*clock.Day
+	p := For(ts, now)
+	if p.Gran != Week {
+		t.Fatalf("a month ago has granularity %v", p.Gran)
+	}
+	if p.Start%clock.Week != 0 || p.End-p.Start != clock.Week {
+		t.Errorf("week period misaligned: [%d, %d)", p.Start, p.End)
+	}
+}
+
+func TestForFuture(t *testing.T) {
+	ts := now + 3*clock.Day
+	p := For(ts, now)
+	if p.Gran != FourHour {
+		t.Errorf("future timestamps should bin at 4h, got %v", p.Gran)
+	}
+	if !p.Contains(ts) {
+		t.Error("future period does not contain its timestamp")
+	}
+}
+
+func TestForNegativeTimestamps(t *testing.T) {
+	ts := int64(-3 * clock.Day)
+	p := For(ts, now)
+	if !p.Contains(ts) {
+		t.Errorf("pre-epoch period [%d,%d) does not contain %d", p.Start, p.End, ts)
+	}
+	if p.Start%clock.Week != 0 {
+		t.Error("pre-epoch period not week-aligned")
+	}
+	if p.Start > ts {
+		t.Error("floor rounded toward zero instead of down")
+	}
+}
+
+func TestContainsProperty(t *testing.T) {
+	f := func(tsRaw int64, offset uint32) bool {
+		ts := tsRaw % (100 * 365 * clock.Day) // keep within ±100 years
+		n := now + int64(offset%uint32(clock.Day*30/clock.Second))*clock.Second
+		p := For(ts, n)
+		if !p.Contains(ts) {
+			return false
+		}
+		// All timestamps within the period map back to the same period.
+		mid := p.Start + (p.End-p.Start)/2
+		q := For(mid, n)
+		return q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodsPartitionTime(t *testing.T) {
+	// Walk across 10 days around now in 1-hour steps: consecutive periods
+	// must tile the line exactly (disjoint, adjacent, no gaps).
+	start := now - 9*clock.Day
+	prev := For(start, now)
+	for ts := start; ts < now+clock.Day; ts += clock.Hour {
+		p := For(ts, now)
+		if p == prev {
+			continue
+		}
+		if p.Start != prev.End {
+			t.Fatalf("gap or overlap: prev [%d,%d) next [%d,%d)", prev.Start, prev.End, p.Start, p.End)
+		}
+		prev = p
+	}
+}
+
+func TestGranularityMonotone(t *testing.T) {
+	// Going back in time, granularity must never get finer.
+	rank := map[Granularity]int{FourHour: 0, Day: 1, Week: 2}
+	last := -1
+	for back := int64(0); back < 30*clock.Day; back += 2 * clock.Hour {
+		p := For(now-back, now)
+		r := rank[p.Gran]
+		if r < last {
+			t.Fatalf("granularity got finer going back: %v at -%dh", p.Gran, back/clock.Hour)
+		}
+		if r > last {
+			last = r
+		}
+	}
+	if last != rank[Week] {
+		t.Error("never reached week granularity")
+	}
+}
+
+func TestSamePeriod(t *testing.T) {
+	p := For(now, now)
+	if !SamePeriod(p.Start, p.End-1, now) {
+		t.Error("endpoints of one period not SamePeriod")
+	}
+	if SamePeriod(p.Start, p.End, now) {
+		t.Error("adjacent periods reported as same")
+	}
+}
+
+func TestCovering(t *testing.T) {
+	lo := now - 8*clock.Day
+	hi := now
+	ps := Covering(lo, hi, now)
+	if len(ps) == 0 {
+		t.Fatal("no covering periods")
+	}
+	if !ps[0].Contains(lo) {
+		t.Error("first period misses lo")
+	}
+	if !ps[len(ps)-1].Contains(hi) {
+		t.Error("last period misses hi")
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start != ps[i-1].End {
+			t.Fatalf("covering not contiguous at %d", i)
+		}
+	}
+	// At minimum: one week period, the days between week and day start,
+	// and the 4h periods of today. Sanity-bound the total.
+	if len(ps) < 4 || len(ps) > 60 {
+		t.Errorf("unexpected covering size %d", len(ps))
+	}
+	// All three granularities must appear for an 8-day lookback from a
+	// mid-day, mid-week now.
+	seen := map[Granularity]bool{}
+	for _, p := range ps {
+		seen[p.Gran] = true
+	}
+	if !seen[FourHour] || !seen[Day] || !seen[Week] {
+		t.Errorf("granularities seen: %v", seen)
+	}
+}
+
+func TestCoveringEmpty(t *testing.T) {
+	if ps := Covering(10, 5, now); ps != nil {
+		t.Errorf("inverted range returned %d periods", len(ps))
+	}
+}
+
+func TestCoveringSingle(t *testing.T) {
+	ps := Covering(now, now, now)
+	if len(ps) != 1 {
+		t.Errorf("point range covered by %d periods", len(ps))
+	}
+}
+
+func TestMergeDelayFraction(t *testing.T) {
+	seen := map[uint64]float64{}
+	for seed := uint64(0); seed < 1000; seed++ {
+		f := MergeDelayFraction(seed)
+		if f < 0 || f >= 1 {
+			t.Fatalf("fraction %v out of [0,1)", f)
+		}
+		seen[seed] = f
+	}
+	// Deterministic.
+	if MergeDelayFraction(42) != seen[42] {
+		t.Error("not deterministic")
+	}
+	// Roughly uniform: mean should be near 0.5.
+	sum := 0.0
+	for _, f := range seen {
+		sum += f
+	}
+	mean := sum / float64(len(seen))
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean fraction %.3f; poor spread defeats the point of the delay", mean)
+	}
+}

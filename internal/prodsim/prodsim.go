@@ -1,0 +1,285 @@
+// Package prodsim synthesizes the production-fleet characteristics behind
+// the paper's §5.2 measurements. The real inputs — several hundred shards,
+// 320 TB of LittleTable data, 270 tables per shard — are Meraki-internal,
+// so this package generates shard and table populations calibrated to the
+// quantiles the paper reports, and the ltbench harness renders the same
+// CDFs (Figures 7, 8, and 10). Figure 9 (rows scanned / rows returned) is
+// measured, not synthesized: ltbench replays a Dashboard-like query mix
+// against real tables built by this package's workload spec.
+package prodsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"littletable/internal/clock"
+)
+
+// Shard is one Dashboard shard's database sizes (Figure 7).
+type Shard struct {
+	LittleTableBytes int64
+	PostgresBytes    int64
+}
+
+// Paper-reported calibration targets (§5.2.1, January 4, 2017).
+const (
+	// TotalLittleTableBytes across the fleet: 320 TB.
+	TotalLittleTableBytes = 320e12
+	// MaxLittleTableBytes on one shard: 6.7 TB.
+	MaxLittleTableBytes = 6.7e12
+	// TotalPostgresBytes: 14 TB.
+	TotalPostgresBytes = 14e12
+	// MaxPostgresBytes: 341 GB.
+	MaxPostgresBytes = 341e9
+	// DefaultShardCount: "several hundred LittleTable servers".
+	DefaultShardCount = 250
+)
+
+// Shards generates n shards whose LittleTable and PostgreSQL sizes follow
+// right-skewed (lognormal) distributions rescaled to hit the paper's
+// totals and maxima: most shards are modest, a few are huge, and the
+// LittleTable:PostgreSQL ratio is ~20:1, "roughly corresponding to the
+// ratio of disk to main memory on our servers" (§5.2.1).
+func Shards(n int, seed int64) []Shard {
+	if n <= 0 {
+		n = DefaultShardCount
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lt := lognormalSamples(rng, n, 1.0)
+	pg := make([]float64, n)
+	for i := range pg {
+		// PostgreSQL size correlates with LittleTable size (both driven by
+		// device count) with independent noise.
+		pg[i] = lt[i] * math.Exp(rng.NormFloat64()*0.4)
+	}
+	scaleTo(lt, TotalLittleTableBytes, MaxLittleTableBytes)
+	scaleTo(pg, TotalPostgresBytes, MaxPostgresBytes)
+	out := make([]Shard, n)
+	for i := range out {
+		out[i] = Shard{LittleTableBytes: int64(lt[i]), PostgresBytes: int64(pg[i])}
+	}
+	return out
+}
+
+// lognormalSamples draws n samples with the given sigma (mu 0).
+func lognormalSamples(rng *rand.Rand, n int, sigma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(rng.NormFloat64() * sigma)
+	}
+	return out
+}
+
+// scaleTo rescales samples so they sum to total, then soft-caps the
+// maximum at max by clamping and redistributing proportionally.
+func scaleTo(xs []float64, total, max float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	f := total / sum
+	for i := range xs {
+		xs[i] *= f
+	}
+	// Clamp to max and redistribute the excess over the rest, iterating
+	// until no redistribution pushes another sample past the cap.
+	for iter := 0; iter < 16; iter++ {
+		excess := 0.0
+		var under float64
+		for i := range xs {
+			if xs[i] > max {
+				excess += xs[i] - max
+				xs[i] = max
+			} else {
+				under += xs[i]
+			}
+		}
+		if excess == 0 || under == 0 {
+			return
+		}
+		g := (under + excess) / under
+		grew := false
+		for i := range xs {
+			if xs[i] < max {
+				xs[i] *= g
+				grew = true
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+	for i := range xs {
+		if xs[i] > max {
+			xs[i] = max
+		}
+	}
+}
+
+// TableSpec describes one production table (Figure 8's key/value sizes,
+// Figure 10's TTLs, §5.2.4's batch sizes).
+type TableSpec struct {
+	Name       string
+	KeyBytes   int
+	ValueBytes int
+	TTL        int64
+	BatchRows  int
+	SizeBytes  int64
+}
+
+// Paper-reported table-population targets (§5.2.2).
+const (
+	// TablesPerShard: "approximately 270 LittleTable tables on each
+	// production shard".
+	TablesPerShard = 270
+	// MedianTableBytes: "the median table size is about 875 MB compressed".
+	MedianTableBytes = 875 << 20
+	// MaxTableBytes: "the largest table ... at 704 GB compressed".
+	MaxTableBytes = 704 << 30
+	// MedianKeyBytes / MaxKeyBytes: "the median key size is only 45 bytes
+	// and all keys are less than 128 bytes".
+	MedianKeyBytes = 45
+	MaxKeyBytes    = 127
+	// MedianValueBytes: "the median value is only 61 bytes"; 91% of tables
+	// average ≤ 1 kB; sketches reach 75 kB.
+	MedianValueBytes = 61
+	MaxValueBytes    = 75 << 10
+	// MeanRowBytes: "the average row is 791 bytes".
+	MeanRowBytes = 791
+)
+
+// Tables generates a shard's table population.
+func Tables(n int, seed int64) []TableSpec {
+	if n <= 0 {
+		n = TablesPerShard
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TableSpec, n)
+	for i := range out {
+		// Keys: lognormal around the 45-byte median, hard-capped at 127.
+		kb := int(float64(MedianKeyBytes) * math.Exp(rng.NormFloat64()*0.35))
+		if kb < 12 {
+			kb = 12 // network + device + ts is already 24 bytes
+		}
+		if kb > MaxKeyBytes {
+			kb = MaxKeyBytes
+		}
+		// Values: lognormal around 61 B; a sketch-storing minority reaches
+		// tens of kB (the paper's HLL blobs).
+		var vb int
+		if rng.Float64() < 0.03 {
+			vb = 8<<10 + rng.Intn(MaxValueBytes-8<<10)
+		} else {
+			vb = int(float64(MedianValueBytes) * math.Exp(rng.NormFloat64()*1.1))
+			if vb < 8 {
+				vb = 8
+			}
+			if vb > 4<<10 {
+				vb = 4 << 10
+			}
+		}
+		// Table sizes: lognormal around the 875 MB median, capped at 704 GB.
+		sz := float64(MedianTableBytes) * math.Exp(rng.NormFloat64()*1.8)
+		if sz > MaxTableBytes {
+			sz = MaxTableBytes
+		}
+		out[i] = TableSpec{
+			Name:       tableName(i),
+			KeyBytes:   kb,
+			ValueBytes: vb,
+			TTL:        sampleTTL(rng),
+			BatchRows:  sampleBatch(rng),
+			SizeBytes:  int64(sz),
+		}
+	}
+	return out
+}
+
+func tableName(i int) string {
+	kinds := []string{"usage", "events", "clients", "motion", "rollup", "latency", "airmarshal", "dhcp"}
+	return kinds[i%len(kinds)] + "_" + string(rune('a'+i/len(kinds)%26)) + string(rune('0'+i%10))
+}
+
+// sampleTTL draws from Figure 10's dashed line: most tables retain a year
+// or longer, removing old rows "only when limited by the available disk
+// space".
+func sampleTTL(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.05:
+		return 7 * clock.Day
+	case u < 0.13:
+		return 30 * clock.Day
+	case u < 0.25:
+		return 90 * clock.Day
+	case u < 0.38:
+		return 183 * clock.Day
+	case u < 0.70:
+		return 396 * clock.Day // 13 months
+	default:
+		return 792 * clock.Day // 26 months
+	}
+}
+
+// sampleBatch draws from §5.2.4: half of tables average ≥128 rows/insert,
+// the top 20% over 6,000, the bottom 20% a single row.
+func sampleBatch(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < 0.20:
+		return 1
+	case u < 0.50:
+		return 8 + rng.Intn(120)
+	case u < 0.80:
+		return 128 + rng.Intn(2000)
+	default:
+		return 6000 + rng.Intn(20000)
+	}
+}
+
+// LookbackSample draws one query's lookback duration from Figure 10's
+// solid line: anthropocentric ranges, over 90% within the most recent
+// week, with a long forensic tail.
+func LookbackSample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.30:
+		return 2 * clock.Hour
+	case u < 0.55:
+		return clock.Day
+	case u < 0.75:
+		return 3 * clock.Day
+	case u < 0.92:
+		return clock.Week
+	case u < 0.96:
+		return 30 * clock.Day
+	case u < 0.99:
+		return 90 * clock.Day
+	default:
+		return 396 * clock.Day
+	}
+}
+
+// CDF sorts values and returns (sorted values, cumulative fraction at each
+// value) — the rendering primitive for Figures 7, 8, and 10.
+func CDF(values []float64) (xs, fs []float64) {
+	xs = append([]float64(nil), values...)
+	sort.Float64s(xs)
+	fs = make([]float64, len(xs))
+	for i := range xs {
+		fs[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, fs
+}
+
+// Quantile returns the q-quantile (0..1) of values (unsorted input).
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -1,0 +1,152 @@
+package prodsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"littletable/internal/clock"
+)
+
+func TestShardsCalibration(t *testing.T) {
+	shards := Shards(DefaultShardCount, 1)
+	if len(shards) != DefaultShardCount {
+		t.Fatalf("count = %d", len(shards))
+	}
+	var ltTotal, pgTotal, ltMax, pgMax float64
+	for _, s := range shards {
+		ltTotal += float64(s.LittleTableBytes)
+		pgTotal += float64(s.PostgresBytes)
+		if float64(s.LittleTableBytes) > ltMax {
+			ltMax = float64(s.LittleTableBytes)
+		}
+		if float64(s.PostgresBytes) > pgMax {
+			pgMax = float64(s.PostgresBytes)
+		}
+	}
+	// Totals within 15% of the paper's 320 TB / 14 TB.
+	if ltTotal < 0.85*TotalLittleTableBytes || ltTotal > 1.15*TotalLittleTableBytes {
+		t.Errorf("LittleTable total %.1f TB, want ≈320", ltTotal/1e12)
+	}
+	if pgTotal < 0.85*TotalPostgresBytes || pgTotal > 1.15*TotalPostgresBytes {
+		t.Errorf("PostgreSQL total %.1f TB, want ≈14", pgTotal/1e12)
+	}
+	// Maxima bounded by the paper's 6.7 TB / 341 GB.
+	if ltMax > MaxLittleTableBytes*1.01 {
+		t.Errorf("LittleTable max %.2f TB exceeds 6.7", ltMax/1e12)
+	}
+	if pgMax > MaxPostgresBytes*1.01 {
+		t.Errorf("PostgreSQL max %.1f GB exceeds 341", pgMax/1e9)
+	}
+	// The ~20:1 ratio (§5.2.1).
+	ratio := ltTotal / pgTotal
+	if ratio < 15 || ratio > 30 {
+		t.Errorf("LT:PG ratio %.1f, want ≈20", ratio)
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(50, 7)
+	b := Shards(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different shards")
+		}
+	}
+}
+
+func TestTablesCalibration(t *testing.T) {
+	tables := Tables(TablesPerShard, 2)
+	if len(tables) != TablesPerShard {
+		t.Fatalf("count = %d", len(tables))
+	}
+	keys := make([]float64, len(tables))
+	vals := make([]float64, len(tables))
+	under1k := 0
+	for i, ts := range tables {
+		keys[i] = float64(ts.KeyBytes)
+		vals[i] = float64(ts.ValueBytes)
+		if ts.KeyBytes >= 128 {
+			t.Errorf("key %d bytes ≥ 128 (paper: all keys < 128)", ts.KeyBytes)
+		}
+		if ts.ValueBytes > MaxValueBytes {
+			t.Errorf("value %d bytes > 75 kB", ts.ValueBytes)
+		}
+		if ts.ValueBytes <= 1024 {
+			under1k++
+		}
+		if ts.TTL <= 0 || ts.BatchRows <= 0 || ts.SizeBytes <= 0 {
+			t.Errorf("degenerate spec: %+v", ts)
+		}
+	}
+	// Median key ≈ 45 B (±40%), median value ≈ 61 B (±60%).
+	mk := Quantile(keys, 0.5)
+	if mk < 27 || mk > 63 {
+		t.Errorf("median key %.0f B, want ≈45", mk)
+	}
+	mv := Quantile(vals, 0.5)
+	if mv < 25 || mv > 100 {
+		t.Errorf("median value %.0f B, want ≈61", mv)
+	}
+	// "91% of LittleTable tables have an average value size of 1 kB or
+	// less" — allow ±8 points.
+	frac := float64(under1k) / float64(len(tables))
+	if frac < 0.83 || frac > 0.99 {
+		t.Errorf("≤1kB fraction %.2f, want ≈0.91", frac)
+	}
+}
+
+func TestTTLDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	yearPlus := 0
+	for i := 0; i < n; i++ {
+		ttl := sampleTTL(rng)
+		if ttl >= 365*clock.Day {
+			yearPlus++
+		}
+	}
+	// Figure 10: "Dashboard is able to retain data in most tables for a
+	// year or longer".
+	frac := float64(yearPlus) / float64(n)
+	if frac < 0.5 {
+		t.Errorf("year-plus TTL fraction %.2f, want majority", frac)
+	}
+}
+
+func TestLookbackDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 10000
+	withinWeek := 0
+	for i := 0; i < n; i++ {
+		lb := LookbackSample(rng)
+		if lb <= clock.Week {
+			withinWeek++
+		}
+	}
+	// Figure 10: "over 90% of requests are for data from the most recent
+	// week".
+	frac := float64(withinWeek) / float64(n)
+	if frac < 0.88 || frac > 0.97 {
+		t.Errorf("within-week fraction %.3f, want ≈0.92", frac)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs, fs := CDF([]float64{3, 1, 2})
+	if xs[0] != 1 || xs[2] != 3 {
+		t.Error("CDF not sorted")
+	}
+	if fs[0] != 1.0/3 || fs[2] != 1.0 {
+		t.Errorf("fractions: %v", fs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 50 || Quantile(xs, 0.5) != 30 {
+		t.Error("quantiles wrong")
+	}
+}

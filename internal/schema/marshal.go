@@ -1,0 +1,120 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"littletable/internal/ltval"
+)
+
+// The JSON form is used in table descriptor files and tablet footers, where
+// debuggability beats compactness: schemas are tiny and read rarely.
+
+type jsonColumn struct {
+	Name    string          `json:"name"`
+	Type    string          `json:"type"`
+	Default json.RawMessage `json:"default,omitempty"`
+}
+
+type jsonSchema struct {
+	Columns []jsonColumn `json:"columns"`
+	Key     []string     `json:"key"`
+	Version uint32       `json:"version"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	js := jsonSchema{Version: s.Version}
+	for _, c := range s.Columns {
+		jc := jsonColumn{Name: c.Name, Type: c.Type.String()}
+		if !c.Default.IsZero() {
+			d, err := marshalValue(c.Default)
+			if err != nil {
+				return nil, err
+			}
+			jc.Default = d
+		}
+		js.Columns = append(js.Columns, jc)
+	}
+	js.Key = s.KeyNames()
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Schema) UnmarshalJSON(b []byte) error {
+	var js jsonSchema
+	if err := json.Unmarshal(b, &js); err != nil {
+		return err
+	}
+	cols := make([]Column, 0, len(js.Columns))
+	for _, jc := range js.Columns {
+		t, err := ltval.ParseType(jc.Type)
+		if err != nil {
+			return err
+		}
+		c := Column{Name: jc.Name, Type: t}
+		if jc.Default != nil {
+			v, err := unmarshalValue(t, jc.Default)
+			if err != nil {
+				return fmt.Errorf("schema: column %q default: %w", jc.Name, err)
+			}
+			c.Default = v
+		}
+		cols = append(cols, c)
+	}
+	n, err := New(cols, js.Key)
+	if err != nil {
+		return err
+	}
+	if js.Version > 0 {
+		n.Version = js.Version
+	}
+	*s = *n
+	return nil
+}
+
+func marshalValue(v ltval.Value) (json.RawMessage, error) {
+	switch v.Type {
+	case ltval.Int32, ltval.Int64, ltval.Timestamp:
+		return json.Marshal(v.Int)
+	case ltval.Double:
+		return json.Marshal(v.Float)
+	case ltval.String:
+		return json.Marshal(string(v.Bytes))
+	case ltval.Blob:
+		return json.Marshal(v.Bytes) // base64
+	default:
+		return nil, fmt.Errorf("schema: cannot marshal %v value", v.Type)
+	}
+}
+
+func unmarshalValue(t ltval.Type, b json.RawMessage) (ltval.Value, error) {
+	switch t {
+	case ltval.Int32, ltval.Int64, ltval.Timestamp:
+		var i int64
+		if err := json.Unmarshal(b, &i); err != nil {
+			return ltval.Value{}, err
+		}
+		return ltval.Value{Type: t, Int: i}, nil
+	case ltval.Double:
+		var f float64
+		if err := json.Unmarshal(b, &f); err != nil {
+			return ltval.Value{}, err
+		}
+		return ltval.NewDouble(f), nil
+	case ltval.String:
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return ltval.Value{}, err
+		}
+		return ltval.NewString(s), nil
+	case ltval.Blob:
+		var raw []byte
+		if err := json.Unmarshal(b, &raw); err != nil {
+			return ltval.Value{}, err
+		}
+		return ltval.NewBlob(raw), nil
+	default:
+		return ltval.Value{}, fmt.Errorf("schema: cannot unmarshal %v value", t)
+	}
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"littletable/internal/core"
+	"littletable/internal/schema"
+	"littletable/internal/wire"
+)
+
+// handleConn serves one client session: a loop of request/response pairs.
+// The client keeps the connection persistent to detect server crashes
+// (§3.1).
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	for {
+		mt, payload, err := wc.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.opts.Logf("littletable: read: %v", err)
+			}
+			return
+		}
+		if err := s.dispatch(wc, mt, payload); err != nil {
+			// Transport errors end the session; request errors were already
+			// reported to the client inline.
+			s.opts.Logf("littletable: conn: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) sendErr(wc *wire.Conn, err error) error {
+	m := &wire.ErrorMsg{Message: err.Error()}
+	return wc.WriteMsg(wire.MsgError, m.Encode())
+}
+
+func (s *Server) sendOK(wc *wire.Conn) error {
+	return wc.WriteMsg(wire.MsgOK, nil)
+}
+
+func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error {
+	switch mt {
+	case wire.MsgHello:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			return err
+		}
+		if h.Version != wire.ProtocolVersion {
+			return s.sendErr(wc, fmt.Errorf("server: protocol version %d unsupported", h.Version))
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgListTables:
+		m := &wire.TableList{Names: s.TableNames()}
+		return wc.WriteMsg(wire.MsgTableList, m.Encode())
+
+	case wire.MsgCreateTable:
+		m, err := wire.DecodeCreateTable(payload)
+		if err != nil {
+			return err
+		}
+		if _, err := s.CreateTable(m.Name, m.Schema, m.TTL); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgDropTable:
+		m, err := wire.DecodeTableName(payload)
+		if err != nil {
+			return err
+		}
+		if err := s.DropTable(m.Name); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgGetSchema:
+		m, err := wire.DecodeTableName(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Name)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		resp := &wire.SchemaResp{Schema: t.Schema(), TTL: t.TTL()}
+		b, err := resp.Encode()
+		if err != nil {
+			return err
+		}
+		return wc.WriteMsg(wire.MsgSchema, b)
+
+	case wire.MsgInsert:
+		return s.handleInsert(wc, payload)
+
+	case wire.MsgQuery:
+		return s.handleQuery(wc, payload)
+
+	case wire.MsgLatestRow:
+		return s.handleLatestRow(wc, payload)
+
+	case wire.MsgAlterTTL:
+		m, err := wire.DecodeAlterTTL(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Table)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		if err := t.AlterTTL(m.TTL); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgAddColumn:
+		m, err := wire.DecodeAddColumn(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Table)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		col := schema.Column{Name: m.Name, Type: m.Type, Default: m.Default}
+		if err := t.AddColumn(col); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgWidenColumn:
+		m, err := wire.DecodeWidenColumn(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Table)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		if err := t.WidenColumn(m.Name); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgFlushTable:
+		// The explicit flush command §4.1.2 proposes so aggregators can
+		// know their source data reached disk.
+		m, err := wire.DecodeTableName(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Name)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		if err := t.FlushAll(); err != nil {
+			return s.sendErr(wc, err)
+		}
+		return s.sendOK(wc)
+
+	case wire.MsgDelete:
+		m, err := wire.DecodeDelete(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Table)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		q := core.Query{
+			LowerInc: m.LowerInc, UpperInc: m.UpperInc,
+			MinTs: m.MinTs, MaxTs: m.MaxTs,
+		}
+		if m.HasLower {
+			q.Lower = m.Lower
+		}
+		if m.HasUpper {
+			q.Upper = m.Upper
+		}
+		n, err := t.DeleteWhere(q, nil)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		resp := &wire.DeleteResult{Deleted: n}
+		return wc.WriteMsg(wire.MsgDeleteResult, resp.Encode())
+
+	case wire.MsgStats:
+		m, err := wire.DecodeTableName(payload)
+		if err != nil {
+			return err
+		}
+		t, err := s.Table(m.Name)
+		if err != nil {
+			return s.sendErr(wc, err)
+		}
+		st := t.Stats().Snapshot()
+		resp := &wire.StatsResult{
+			RowsInserted:  st.RowsInserted,
+			RowsReturned:  st.RowsReturned,
+			RowsScanned:   st.RowsScanned,
+			Queries:       st.Queries,
+			DiskTablets:   int64(t.DiskTabletCount()),
+			DiskBytes:     t.DiskBytes(),
+			MemTablets:    int64(t.MemTabletCount()),
+			Merges:        st.Merges,
+			BytesFlushed:  st.BytesFlushed,
+			BytesMerged:   st.BytesMerged,
+			RowEstimate:   t.RowEstimate(),
+			TabletsLapsed: st.TabletsExpired,
+		}
+		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())
+
+	default:
+		return s.sendErr(wc, fmt.Errorf("server: unknown message type %d", mt))
+	}
+}
+
+func (s *Server) handleInsert(wc *wire.Conn, payload []byte) error {
+	m, d, err := wire.DecodeInsertHeader(payload)
+	if err != nil {
+		return err
+	}
+	t, err := s.Table(m.Table)
+	if err != nil {
+		return s.sendErr(wc, err)
+	}
+	sc := t.Schema()
+	if m.SchemaVersion != sc.Version {
+		return s.sendErr(wc, fmt.Errorf("server: stale schema version %d (current %d); refresh",
+			m.SchemaVersion, sc.Version))
+	}
+	if err := m.FinishDecode(d, sc); err != nil {
+		return s.sendErr(wc, err)
+	}
+	if m.ServerTimestamps {
+		now := serverNow(t)
+		for _, row := range m.Rows {
+			if sc.Ts(row) == 0 {
+				sc.SetTs(row, now)
+			}
+		}
+	}
+	if err := t.Insert(m.Rows); err != nil {
+		return s.sendErr(wc, err)
+	}
+	return s.sendOK(wc)
+}
+
+func serverNow(t *core.Table) int64 {
+	return t.Now()
+}
+
+func (s *Server) handleQuery(wc *wire.Conn, payload []byte) error {
+	m, err := wire.DecodeQuery(payload)
+	if err != nil {
+		return err
+	}
+	t, err := s.Table(m.Table)
+	if err != nil {
+		return s.sendErr(wc, err)
+	}
+	q := core.Query{
+		LowerInc:   m.LowerInc,
+		UpperInc:   m.UpperInc,
+		MinTs:      m.MinTs,
+		MaxTs:      m.MaxTs,
+		Descending: m.Descending,
+	}
+	if m.HasLower {
+		q.Lower = m.Lower
+	}
+	if m.HasUpper {
+		q.Upper = m.Upper
+	}
+	// The server enforces its own row limit and sets a more-available flag
+	// when it hits it (§3.5).
+	limit := s.opts.QueryRowLimit
+	if m.Limit > 0 && int(m.Limit) < limit {
+		limit = int(m.Limit)
+	}
+	it, err := t.Query(q)
+	if err != nil {
+		return s.sendErr(wc, err)
+	}
+	defer it.Close()
+	sc := t.Schema()
+	resp := &wire.Rows{SchemaVersion: sc.Version}
+	for len(resp.Rows) < limit && it.Next() {
+		resp.Rows = append(resp.Rows, schema.CloneRow(it.Row()))
+	}
+	if err := it.Err(); err != nil {
+		return s.sendErr(wc, err)
+	}
+	if len(resp.Rows) == limit && it.Next() {
+		resp.More = true
+	}
+	return wc.WriteMsg(wire.MsgRows, resp.Encode(sc))
+}
+
+func (s *Server) handleLatestRow(wc *wire.Conn, payload []byte) error {
+	m, err := wire.DecodeLatestRow(payload)
+	if err != nil {
+		return err
+	}
+	t, err := s.Table(m.Table)
+	if err != nil {
+		return s.sendErr(wc, err)
+	}
+	row, found, err := t.LatestRow(m.Prefix)
+	if err != nil {
+		return s.sendErr(wc, err)
+	}
+	resp := &wire.RowResult{Found: found, Row: row}
+	return wc.WriteMsg(wire.MsgRowResult, resp.Encode(t.Schema()))
+}

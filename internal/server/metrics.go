@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"littletable/internal/core"
+)
+
+// WriteMetrics renders every table's counters in the Prometheus text
+// exposition format, for the daemon's optional /metrics endpoint. Meraki
+// monitors shard load to decide splits (§2.2); these are the numbers that
+// decision needs.
+func (s *Server) WriteMetrics(w io.Writer) {
+	tables := s.snapshotTables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
+	snaps := make([]core.StatsSnapshot, len(tables))
+	for i, t := range tables {
+		snaps[i] = t.Stats().Snapshot()
+	}
+
+	type metric struct {
+		name, help, typ string
+		value           func(i int) int64
+	}
+	metrics := []metric{
+		{"littletable_rows_inserted_total", "Rows inserted", "counter",
+			func(i int) int64 { return snaps[i].RowsInserted }},
+		{"littletable_rows_returned_total", "Rows returned to queries", "counter",
+			func(i int) int64 { return snaps[i].RowsReturned }},
+		{"littletable_rows_scanned_total", "Rows scanned by queries", "counter",
+			func(i int) int64 { return snaps[i].RowsScanned }},
+		{"littletable_queries_total", "Queries executed", "counter",
+			func(i int) int64 { return snaps[i].Queries }},
+		{"littletable_merges_total", "Tablet merges performed", "counter",
+			func(i int) int64 { return snaps[i].Merges }},
+		{"littletable_bytes_flushed_total", "Bytes written by flushes", "counter",
+			func(i int) int64 { return snaps[i].BytesFlushed }},
+		{"littletable_bytes_merged_total", "Bytes written by merges", "counter",
+			func(i int) int64 { return snaps[i].BytesMerged }},
+		{"littletable_tablets_expired_total", "Tablets reclaimed by TTL", "counter",
+			func(i int) int64 { return snaps[i].TabletsExpired }},
+		{"littletable_disk_tablets", "On-disk tablets", "gauge",
+			func(i int) int64 { return int64(tables[i].DiskTabletCount()) }},
+		{"littletable_mem_tablets", "In-memory tablets", "gauge",
+			func(i int) int64 { return int64(tables[i].MemTabletCount()) }},
+		{"littletable_disk_bytes", "On-disk size", "gauge",
+			func(i int) int64 { return tables[i].DiskBytes() }},
+		{"littletable_row_estimate", "Approximate row count", "gauge",
+			func(i int) int64 { return tables[i].RowEstimate() }},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for i, t := range tables {
+			fmt.Fprintf(w, "%s{table=%q} %d\n", m.name, t.Name(), m.value(i))
+		}
+	}
+}
+
+// MetricsHandler returns an http.Handler serving /metrics and /healthz for
+// the daemon's -metrics-addr listener.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		closed := s.closed
+		n := len(s.tables)
+		s.mu.Unlock()
+		if closed {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "ok %d tables\n", n)
+	})
+	return mux
+}

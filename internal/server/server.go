@@ -1,0 +1,304 @@
+// Package server implements the LittleTable server process (§3.1): an
+// independent daemon owning a directory of tables, serving the wire
+// protocol over TCP, and running each table's background maintenance
+// (flushing, merging, TTL expiry).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/schema"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Root is the data directory; one subdirectory per table.
+	Root string
+
+	// Core options are applied to every table.
+	Core core.Options
+
+	// MaintenanceInterval is how often the background loop flushes aged
+	// tablets, merges, and expires TTLs. Default 1s.
+	MaintenanceInterval time.Duration
+
+	// QueryRowLimit caps rows per query response; the client re-submits on
+	// the more-available flag (§3.5). Default core.DefaultQueryRowLimit.
+	QueryRowLimit int
+
+	// Logf sinks server logs; default log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+var tableNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]{0,127}$`)
+
+// Errors returned by table management.
+var (
+	ErrNoSuchTable  = errors.New("server: no such table")
+	ErrBadTableName = errors.New("server: invalid table name")
+	ErrClosed       = errors.New("server: closed")
+)
+
+// Server owns a directory of LittleTable tables.
+type Server struct {
+	opts Options
+
+	mu     sync.Mutex
+	tables map[string]*core.Table
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	lis     net.Listener
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	maintWG sync.WaitGroup
+}
+
+// New opens (or creates) the data directory and all tables within it, and
+// starts the maintenance loop.
+func New(opts Options) (*Server, error) {
+	if opts.MaintenanceInterval == 0 {
+		opts.MaintenanceInterval = time.Second
+	}
+	if opts.QueryRowLimit == 0 {
+		opts.QueryRowLimit = core.DefaultQueryRowLimit
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if opts.Core.Clock == nil {
+		opts.Core.Clock = clock.Real{}
+	}
+	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		tables: make(map[string]*core.Table),
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	ents, err := os.ReadDir(opts.Root)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() || !tableNameRE.MatchString(e.Name()) {
+			continue
+		}
+		t, err := core.OpenTable(opts.Root, e.Name(), opts.Core)
+		if err != nil {
+			s.closeTablesLocked()
+			return nil, fmt.Errorf("server: open table %s: %w", e.Name(), err)
+		}
+		s.tables[e.Name()] = t
+	}
+	s.maintWG.Add(1)
+	go s.maintainLoop()
+	return s, nil
+}
+
+// maintainLoop periodically runs each table's Tick: age-based flushes,
+// merges, and TTL expiry.
+func (s *Server) maintainLoop() {
+	defer s.maintWG.Done()
+	tick := time.NewTicker(s.opts.MaintenanceInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			for _, t := range s.snapshotTables() {
+				if err := t.Tick(); err != nil && !errors.Is(err, core.ErrTableClosed) {
+					s.opts.Logf("littletable: maintenance on %s: %v", t.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) snapshotTables() []*core.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Table returns the named open table for in-process use (benchmarks, the
+// application daemons when co-located, and tests).
+func (s *Server) Table(name string) (*core.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Now returns the server's engine time in microseconds.
+func (s *Server) Now() int64 { return s.opts.Core.Clock.Now() }
+
+// TableNames lists tables in sorted order.
+func (s *Server) TableNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateTable creates and opens a new table.
+func (s *Server) CreateTable(name string, sc *schema.Schema, ttl int64) (*core.Table, error) {
+	if !tableNameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTableName, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("server: table %q already exists", name)
+	}
+	t, err := core.CreateTable(s.opts.Root, name, sc, ttl, s.opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// DropTable closes the table and deletes its directory. Dashboard drops
+// and recreates tables freely during feature development (§3.5).
+func (s *Server) DropTable(name string) error {
+	s.mu.Lock()
+	t, ok := s.tables[name]
+	if ok {
+		delete(s.tables, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	if err := t.Close(); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(s.opts.Root, name))
+}
+
+// Serve accepts connections on lis until Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close. It returns the
+// chosen address on a channel-free API by blocking; use Listen + Serve to
+// learn the port first.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Close stops serving, stops maintenance, flushes nothing (the durability
+// contract), and closes all tables.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	lis := s.lis
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.maintWG.Wait()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closeTablesLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) closeTablesLocked() {
+	for _, t := range s.tables {
+		t.Close()
+	}
+	s.tables = map[string]*core.Table{}
+}
+
+// FlushAllTables flushes every table's memtables; used at orderly shutdown
+// when the operator wants zero loss despite the weak durability contract.
+func (s *Server) FlushAllTables() error {
+	for _, t := range s.snapshotTables() {
+		if err := t.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "k", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+	}, []string{"k", "ts"})
+}
+
+func newServer(t *testing.T, root string) *Server {
+	t.Helper()
+	s, err := New(Options{
+		Root:                root,
+		MaintenanceInterval: 10 * time.Millisecond,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestTableNameValidation(t *testing.T) {
+	s := newServer(t, t.TempDir())
+	bad := []string{"", "../etc", "a/b", "has space", "0starts_with_digit", ".hidden",
+		"way_too_long_" + string(make([]byte, 140))}
+	for _, name := range bad {
+		if _, err := s.CreateTable(name, testSchema(), 0); !errors.Is(err, ErrBadTableName) {
+			t.Errorf("name %q: %v", name, err)
+		}
+	}
+	good := []string{"usage", "_private", "Events2", "a"}
+	for _, name := range good {
+		if _, err := s.CreateTable(name, testSchema(), 0); err != nil {
+			t.Errorf("name %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestCreateOpenDropLifecycle(t *testing.T) {
+	s := newServer(t, t.TempDir())
+	if _, err := s.CreateTable("a", testSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("a", testSchema(), 0); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := s.Table("a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := s.Table("missing"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	if err := s.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("a"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop: %v", err)
+	}
+	if len(s.TableNames()) != 0 {
+		t.Error("table still listed")
+	}
+}
+
+func TestMaintenanceFlushesAgedTablets(t *testing.T) {
+	// A real-clock server with a tiny flush age: the maintenance loop must
+	// flush aged memtables without any explicit call.
+	root := t.TempDir()
+	s, err := New(Options{
+		Root: root,
+		Core: core.Options{
+			Clock:    clock.Real{},
+			FlushAge: (50 * time.Millisecond).Microseconds(),
+		},
+		MaintenanceInterval: 10 * time.Millisecond,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tab, err := s.CreateTable("t", testSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clock.Real{}.Now()
+	if err := tab.Insert([]schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(now)}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for tab.DiskTabletCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("maintenance never flushed the aged memtable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseIsIdempotentAndTerminal(t *testing.T) {
+	s := newServer(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := s.CreateTable("x", testSchema(), 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("create after close: %v", err)
+	}
+	if _, err := s.Table("x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("table after close: %v", err)
+	}
+}
+
+func TestFlushAllTables(t *testing.T) {
+	s := newServer(t, t.TempDir())
+	tab, err := s.CreateTable("t", testSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clock.Real{}.Now()
+	tab.Insert([]schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(now)}})
+	if err := s.FlushAllTables(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.DiskTabletCount() != 1 {
+		t.Error("FlushAllTables left memtables")
+	}
+}
+
+func TestNonTableDirectoriesIgnoredOnOpen(t *testing.T) {
+	root := t.TempDir()
+	s1 := newServer(t, root)
+	if _, err := s1.CreateTable("real", testSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	// Unrelated junk in the root must not break reopen.
+	if err := writeJunk(root); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newServer(t, root)
+	names := s2.TableNames()
+	if len(names) != 1 || names[0] != "real" {
+		t.Fatalf("recovered tables: %v", names)
+	}
+}
+
+func writeJunk(root string) error {
+	if err := os.Mkdir(root+"/.git", 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(root+"/README", []byte("not a table"), 0o644)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newServer(t, t.TempDir())
+	tab, err := s.CreateTable("usage", testSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clock.Real{}.Now()
+	tab.Insert([]schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(now)}})
+	tab.FlushAll()
+
+	srv := httptest.NewServer(s.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`littletable_rows_inserted_total{table="usage"} 1`,
+		`littletable_disk_tablets{table="usage"} 1`,
+		"# TYPE littletable_disk_bytes gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// Health check.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,205 @@
+package sql
+
+import (
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// Stmt is any parsed statement.
+type Stmt interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string
+	Where   Expr // nil if absent
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // 0 = none
+}
+
+// SelectItem is one output column: a column reference, *, or an aggregate.
+type SelectItem struct {
+	Star  bool
+	Col   string
+	Agg   string // "", "COUNT", "SUM", "AVG", "MIN", "MAX"
+	Alias string
+}
+
+// OrderKey is one ORDER BY column.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// InsertStmt is an INSERT.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty = all, in schema order
+	Rows    [][]Expr
+}
+
+// CreateTableStmt is a CREATE TABLE.
+type CreateTableStmt struct {
+	Table   string
+	Columns []schema.Column
+	Key     []string
+	TTL     int64 // microseconds, 0 = none
+}
+
+// DropTableStmt is a DROP TABLE.
+type DropTableStmt struct{ Table string }
+
+// ShowTablesStmt is SHOW TABLES.
+type ShowTablesStmt struct{}
+
+// ShowStatsStmt is SHOW STATS <table>: the table's operational counters.
+type ShowStatsStmt struct{ Table string }
+
+// DescribeStmt is DESCRIBE <table>.
+type DescribeStmt struct{ Table string }
+
+// AlterStmt covers ALTER TABLE variants.
+type AlterStmt struct {
+	Table string
+	// Exactly one of the following is set.
+	AddColumn   *schema.Column
+	WidenColumn string
+	SetTTL      *int64
+}
+
+// LatestStmt is the dialect's LATEST <prefix-cols...> FROM <table> WHERE
+// <key equalities> convenience for §3.4.5 lookups:
+//
+//	SELECT LATEST FROM usage WHERE network = 5 AND device = 9
+type LatestStmt struct {
+	Table string
+	Where Expr
+}
+
+// FlushStmt is FLUSH TABLE <name> (the §4.1.2 extension).
+type FlushStmt struct{ Table string }
+
+// DeleteStmt is DELETE FROM <table> WHERE <expr> — the bulk delete the
+// paper's conclusion proposes for privacy-law compliance (§7).
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*ShowTablesStmt) stmt()  {}
+func (*ShowStatsStmt) stmt()   {}
+func (*DescribeStmt) stmt()    {}
+func (*AlterStmt) stmt()       {}
+func (*LatestStmt) stmt()      {}
+func (*FlushStmt) stmt()       {}
+func (*DeleteStmt) stmt()      {}
+
+// Expr is a boolean or scalar expression.
+type Expr interface{ expr() }
+
+// ColRef references a column by name.
+type ColRef struct {
+	Name string
+	Pos  int
+}
+
+// Lit is a literal value. Numeric literals carry both renderings and are
+// coerced to the column type at planning time.
+type Lit struct {
+	IsNumber bool
+	Int      int64
+	Float    float64
+	IsFloat  bool // the literal had a decimal point / exponent
+	Str      *string
+	Blob     []byte
+	Pos      int
+}
+
+// Cmp is a comparison: Left op Right.
+type Cmp struct {
+	Op    string // "=", "!=", "<", "<=", ">", ">="
+	Left  Expr
+	Right Expr
+	Pos   int
+}
+
+// Logic is AND/OR.
+type Logic struct {
+	Op          string // "AND", "OR"
+	Left, Right Expr
+}
+
+// Not negates an expression.
+type Not struct{ E Expr }
+
+// Between is col BETWEEN a AND b (inclusive).
+type Between struct {
+	Col *ColRef
+	Lo  Expr
+	Hi  Expr
+	Pos int
+}
+
+// NowExpr is NOW() [± INTERVAL], resolved at planning time to engine
+// microseconds.
+type NowExpr struct {
+	OffsetUs int64 // signed offset applied to now
+	Pos      int
+}
+
+func (*ColRef) expr()  {}
+func (*Lit) expr()     {}
+func (*Cmp) expr()     {}
+func (*Logic) expr()   {}
+func (*Not) expr()     {}
+func (*Between) expr() {}
+func (*NowExpr) expr() {}
+
+// litToValue coerces a literal to a column type.
+func litToValue(l *Lit, t ltval.Type) (ltval.Value, error) {
+	switch t {
+	case ltval.Int32:
+		if !l.IsNumber || l.IsFloat {
+			return ltval.Value{}, errf(l.Pos, "expected int32 literal")
+		}
+		return ltval.NewInt32(int32(l.Int)), nil
+	case ltval.Int64:
+		if !l.IsNumber || l.IsFloat {
+			return ltval.Value{}, errf(l.Pos, "expected int64 literal")
+		}
+		return ltval.NewInt64(l.Int), nil
+	case ltval.Timestamp:
+		if !l.IsNumber || l.IsFloat {
+			return ltval.Value{}, errf(l.Pos, "expected timestamp literal (microseconds)")
+		}
+		return ltval.NewTimestamp(l.Int), nil
+	case ltval.Double:
+		if !l.IsNumber {
+			return ltval.Value{}, errf(l.Pos, "expected numeric literal")
+		}
+		if l.IsFloat {
+			return ltval.NewDouble(l.Float), nil
+		}
+		return ltval.NewDouble(float64(l.Int)), nil
+	case ltval.String:
+		if l.Str == nil {
+			return ltval.Value{}, errf(l.Pos, "expected string literal")
+		}
+		return ltval.NewString(*l.Str), nil
+	case ltval.Blob:
+		if l.Blob == nil {
+			if l.Str != nil {
+				return ltval.NewBlob([]byte(*l.Str)), nil
+			}
+			return ltval.Value{}, errf(l.Pos, "expected blob literal x'..'")
+		}
+		return ltval.NewBlob(l.Blob), nil
+	default:
+		return ltval.Value{}, errf(l.Pos, "unsupported column type")
+	}
+}

@@ -1,0 +1,32 @@
+package sql
+
+import "testing"
+
+// FuzzParse: the parser must never panic on arbitrary input — ltsql feeds
+// it whatever the operator types.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM usage",
+		"SELECT device, SUM(bytes) FROM usage WHERE network = 1 AND ts >= NOW() - 1 h GROUP BY device ORDER BY device DESC LIMIT 10",
+		"INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, x'beef')",
+		"CREATE TABLE t (a int64, ts timestamp, s string DEFAULT 'd', PRIMARY KEY (a, ts)) TTL 365 d",
+		"ALTER TABLE t ADD COLUMN c double DEFAULT 1.5",
+		"ALTER TABLE t WIDEN COLUMN c",
+		"ALTER TABLE t SET TTL 1 w",
+		"DELETE FROM t WHERE a BETWEEN 1 AND 2 OR NOT b = 'z'",
+		"SELECT LATEST FROM t WHERE a = 1",
+		"FLUSH TABLE t; -- comment",
+		"DROP TABLE t",
+		"SHOW TABLES",
+		"DESCRIBE t",
+		"SELECT -1.5e10 FROM",
+		"''''''",
+		"x'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		Parse(input) // must not panic
+	})
+}

@@ -1,0 +1,176 @@
+// Package sql implements LittleTable's SQL front end. The paper's first
+// XML query language saw sluggish uptake, and "developer uptake was
+// sluggish until a subsequent version added SQL support" (§2.3.2); this
+// package provides the dialect LittleTable needs: CREATE/DROP/ALTER TABLE,
+// INSERT, and SELECT with 2-D-bounded WHERE clauses, aggregates, GROUP BY,
+// ORDER BY, and LIMIT, planned onto the engine's bounded ordered scans.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString // single-quoted
+	tokBlob   // x'hex'
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+// keywords recognized by the dialect (case-insensitive).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "GROUP": true, "BY": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "PRIMARY": true,
+	"KEY": true, "TTL": true, "DROP": true, "SHOW": true, "TABLES": true,
+	"DESCRIBE": true, "DELETE": true, "ALTER": true, "ADD": true, "COLUMN": true,
+	"WIDEN": true, "SET": true, "AS": true, "BETWEEN": true, "NOW": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DEFAULT": true, "LATEST": true, "FLUSH": true, "STATS": true,
+	"INTERVAL": true,
+}
+
+// Error is a SQL parse or planning error with source position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("sql: at %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			// x'hex' blob literal.
+			if up == "X" && i < n && input[i] == '\'' {
+				j := i + 1
+				for j < n && input[j] != '\'' {
+					j++
+				}
+				if j >= n {
+					return nil, errf(start, "unterminated blob literal")
+				}
+				toks = append(toks, token{kind: tokBlob, text: input[i+1 : j], pos: start})
+				i = j + 1
+				continue
+			}
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+				} else if (d == 'e' || d == 'E') && !seenExp {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, errf(start, "unterminated string literal")
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			start := i
+			// Multi-char operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "!=" || two == "<>" {
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', ';', '.':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				if unicode.IsPrint(rune(c)) {
+					return nil, errf(i, "unexpected character %q", c)
+				}
+				return nil, errf(i, "unexpected byte 0x%02x", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

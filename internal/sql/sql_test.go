@@ -1,0 +1,409 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/server"
+)
+
+// newEngine builds an in-process SQL engine over a fresh server with a
+// fake clock pinned at a known instant.
+func newEngine(t testing.TB) (*Engine, *clock.Fake) {
+	t.Helper()
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	s, err := server.New(server.Options{
+		Root: t.TempDir(),
+		Core: core.Options{Clock: clk},
+		Logf: func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return NewEngine(&ServerBackend{S: s}), clk
+}
+
+func mustExec(t testing.TB, e *Engine, q string) *Result {
+	t.Helper()
+	res, err := e.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+func setupUsage(t testing.TB, e *Engine, clk *clock.Fake) {
+	t.Helper()
+	mustExec(t, e, `CREATE TABLE usage (
+		network int64, device int64, ts timestamp, bytes int64, rate double,
+		PRIMARY KEY (network, device, ts)) TTL 365 d`)
+	now := clk.Now()
+	// 2 networks × 3 devices × 5 minutes of samples.
+	for n := int64(1); n <= 2; n++ {
+		for d := int64(1); d <= 3; d++ {
+			for m := int64(0); m < 5; m++ {
+				ts := now - m*clock.Minute
+				mustExec(t, e, sprintf(
+					"INSERT INTO usage VALUES (%d, %d, %d, %d, %g)",
+					n, d, ts, 1000*d+m, float64(d)+float64(m)/10))
+			}
+		}
+	}
+}
+
+func sprintf(format string, args ...interface{}) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, format, args...)
+	return sb.String()
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT * FROM usage")
+	if len(res.Rows) != 30 {
+		t.Fatalf("SELECT * returned %d rows", len(res.Rows))
+	}
+	if len(res.Columns) != 5 || res.Columns[0] != "network" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+	// Ordered by primary key.
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a[0].Int > b[0].Int {
+			t.Fatal("rows not ordered by network")
+		}
+	}
+}
+
+func TestSelectBoundingBox(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	// Rectangle: network 1, device 2, last 2 minutes.
+	res := mustExec(t, e,
+		"SELECT bytes FROM usage WHERE network = 1 AND device = 2 AND ts >= NOW() - 2 m")
+	if len(res.Rows) != 3 { // minutes 0, 1, 2
+		t.Fatalf("box query returned %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[0].Int < 2000 || r[0].Int > 2004 {
+			t.Fatalf("wrong row: %v", r)
+		}
+	}
+}
+
+func TestSelectProjectionAndAlias(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT device AS d, rate FROM usage WHERE network = 2 AND device = 3 LIMIT 2")
+	if len(res.Rows) != 2 || res.Columns[0] != "d" || res.Columns[1] != "rate" {
+		t.Fatalf("%v %v", res.Columns, res.Rows)
+	}
+	if res.Rows[0][0].Int != 3 {
+		t.Fatal("projection wrong")
+	}
+}
+
+func TestSelectAggregates(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT COUNT(*), SUM(bytes), MIN(bytes), MAX(bytes), AVG(rate) FROM usage WHERE network = 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("aggregate rows: %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].Int != 15 {
+		t.Errorf("COUNT = %d", r[0].Int)
+	}
+	// SUM(bytes) over d=1..3, m=0..4: sum(1000d+m) = 15*?? compute:
+	// d=1: 1000*5+0+1+2+3+4=5010; d=2: 10010; d=3: 15010 → 30030.
+	if r[1].Int != 30030 {
+		t.Errorf("SUM = %d", r[1].Int)
+	}
+	if r[2].Int != 1000 || r[3].Int != 3004 {
+		t.Errorf("MIN/MAX = %d/%d", r[2].Int, r[3].Int)
+	}
+	if r[4].Type != ltval.Double {
+		t.Errorf("AVG type = %v", r[4].Type)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	// The paper's example: sum of bytes per device in a network (§3.1).
+	res := mustExec(t, e,
+		"SELECT device, SUM(bytes) FROM usage WHERE network = 1 GROUP BY device")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups: %d", len(res.Rows))
+	}
+	// Streaming aggregation: groups arrive in key order.
+	want := []int64{5010, 10010, 15010}
+	for i, r := range res.Rows {
+		if r[0].Int != int64(i+1) || r[1].Int != want[i] {
+			t.Errorf("group %d: %v", i, r)
+		}
+	}
+}
+
+func TestGroupByNonKeyColumn(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	// Hash aggregation path: grouping by a value column.
+	res := mustExec(t, e, "SELECT bytes, COUNT(*) FROM usage GROUP BY bytes LIMIT 100")
+	if len(res.Rows) != 15 { // 15 distinct byte counts (shared by the 2 networks)
+		t.Fatalf("groups: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].Int != 2 {
+			t.Errorf("each bytes value appears twice: %v", r)
+		}
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	// Native descending scan on key prefix.
+	res := mustExec(t, e, "SELECT network, device FROM usage ORDER BY network DESC LIMIT 5")
+	if len(res.Rows) != 5 || res.Rows[0][0].Int != 2 {
+		t.Fatalf("ORDER BY DESC: %v", res.Rows)
+	}
+	// Sort on a non-key column.
+	res = mustExec(t, e, "SELECT device, rate FROM usage WHERE network = 1 ORDER BY rate DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 3 {
+		t.Fatalf("ORDER BY rate: %v", res.Rows)
+	}
+}
+
+func TestWhereOrAndNot(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM usage WHERE device = 1 OR device = 3")
+	if res.Rows[0][0].Int != 20 {
+		t.Fatalf("OR count = %d", res.Rows[0][0].Int)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM usage WHERE NOT device = 2")
+	if res.Rows[0][0].Int != 20 {
+		t.Fatalf("NOT count = %d", res.Rows[0][0].Int)
+	}
+	res = mustExec(t, e, "SELECT COUNT(*) FROM usage WHERE network = 1 AND (device = 1 OR rate > 2.5)")
+	if res.Rows[0][0].Int == 0 {
+		t.Fatal("mixed AND/OR returned nothing")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM usage WHERE device BETWEEN 2 AND 3")
+	if res.Rows[0][0].Int != 20 {
+		t.Fatalf("BETWEEN count = %d", res.Rows[0][0].Int)
+	}
+}
+
+func TestNotEqualResidual(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM usage WHERE network = 1 AND bytes != 1000")
+	if res.Rows[0][0].Int != 14 {
+		t.Fatalf("!= count = %d", res.Rows[0][0].Int)
+	}
+}
+
+func TestEmptyTimeBox(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT * FROM usage WHERE ts > NOW() AND ts < NOW() - 1 h")
+	if len(res.Rows) != 0 {
+		t.Fatalf("contradictory bounds returned %d rows", len(res.Rows))
+	}
+}
+
+func TestShowAndDescribe(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SHOW TABLES")
+	if len(res.Rows) != 1 || string(res.Rows[0][0].Bytes) != "usage" {
+		t.Fatalf("SHOW TABLES: %v", res.Rows)
+	}
+	res = mustExec(t, e, "DESCRIBE usage")
+	if len(res.Rows) != 5 {
+		t.Fatalf("DESCRIBE rows: %d", len(res.Rows))
+	}
+	// ts is key position 3.
+	if string(res.Rows[2][0].Bytes) != "ts" || string(res.Rows[2][2].Bytes) != "3" {
+		t.Fatalf("DESCRIBE ts row: %v", res.Rows[2])
+	}
+}
+
+func TestAlterStatements(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	mustExec(t, e, "ALTER TABLE usage ADD COLUMN tag string DEFAULT 'none'")
+	res := mustExec(t, e, "SELECT tag FROM usage LIMIT 1")
+	if string(res.Rows[0][0].Bytes) != "none" {
+		t.Fatalf("added column default: %v", res.Rows[0])
+	}
+	mustExec(t, e, "ALTER TABLE usage SET TTL 30 d")
+	mustExec(t, e, "CREATE TABLE c32 (k int64, ts timestamp, v int32, PRIMARY KEY (k, ts))")
+	mustExec(t, e, "ALTER TABLE c32 WIDEN COLUMN v")
+	mustExec(t, e, "INSERT INTO c32 VALUES (1, 1, 5000000000)")
+}
+
+func TestDropTable(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	mustExec(t, e, "DROP TABLE usage")
+	if _, err := e.Exec("SELECT * FROM usage"); err == nil {
+		t.Fatal("query after drop succeeded")
+	}
+	res := mustExec(t, e, "SHOW TABLES")
+	if len(res.Rows) != 0 {
+		t.Fatal("table still listed after drop")
+	}
+}
+
+func TestSelectLatest(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT LATEST FROM usage WHERE network = 1 AND device = 2")
+	if len(res.Rows) != 1 {
+		t.Fatalf("LATEST rows: %d", len(res.Rows))
+	}
+	if res.Rows[0][2].Int != clk.Now() {
+		t.Fatalf("LATEST ts = %d, want %d", res.Rows[0][2].Int, clk.Now())
+	}
+	res = mustExec(t, e, "SELECT LATEST FROM usage WHERE network = 42 AND device = 1")
+	if len(res.Rows) != 0 {
+		t.Fatal("LATEST for missing key returned rows")
+	}
+}
+
+func TestFlushStatement(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	mustExec(t, e, "FLUSH TABLE usage")
+	res := mustExec(t, e, "SELECT COUNT(*) FROM usage")
+	if res.Rows[0][0].Int != 30 {
+		t.Fatal("rows lost by FLUSH TABLE")
+	}
+}
+
+func TestInsertWithColumnsAndDefaults(t *testing.T) {
+	e, _ := newEngine(t)
+	mustExec(t, e, `CREATE TABLE ev (net int64, ts timestamp, msg string DEFAULT 'empty',
+		sev int64 DEFAULT -1, PRIMARY KEY (net, ts))`)
+	mustExec(t, e, "INSERT INTO ev (net, ts) VALUES (1, 100)")
+	res := mustExec(t, e, "SELECT msg, sev FROM ev")
+	if string(res.Rows[0][0].Bytes) != "empty" || res.Rows[0][1].Int != -1 {
+		t.Fatalf("defaults: %v", res.Rows[0])
+	}
+	// Multi-row VALUES.
+	mustExec(t, e, "INSERT INTO ev (net, ts, msg) VALUES (1, 200, 'a'), (1, 300, 'b')")
+	res = mustExec(t, e, "SELECT COUNT(*) FROM ev")
+	if res.Rows[0][0].Int != 3 {
+		t.Fatal("multi-row insert lost rows")
+	}
+}
+
+func TestInsertOmittedTimestamp(t *testing.T) {
+	e, clk := newEngine(t)
+	mustExec(t, e, "CREATE TABLE ev (net int64, ts timestamp, PRIMARY KEY (net, ts))")
+	mustExec(t, e, "INSERT INTO ev (net) VALUES (7)")
+	res := mustExec(t, e, "SELECT ts FROM ev")
+	if res.Rows[0][0].Int != clk.Now() {
+		t.Fatalf("omitted ts = %d, want now", res.Rows[0][0].Int)
+	}
+}
+
+func TestInsertDuplicateKeyError(t *testing.T) {
+	e, _ := newEngine(t)
+	mustExec(t, e, "CREATE TABLE ev (net int64, ts timestamp, PRIMARY KEY (net, ts))")
+	mustExec(t, e, "INSERT INTO ev VALUES (1, 5)")
+	if _, err := e.Exec("INSERT INTO ev VALUES (1, 5)"); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+}
+
+func TestStringAndBlobLiterals(t *testing.T) {
+	e, _ := newEngine(t)
+	mustExec(t, e, `CREATE TABLE logs (host string, ts timestamp, data blob,
+		PRIMARY KEY (host, ts))`)
+	mustExec(t, e, `INSERT INTO logs VALUES ('it''s-a-host', 1, x'deadbeef')`)
+	res := mustExec(t, e, `SELECT * FROM logs WHERE host = 'it''s-a-host'`)
+	if len(res.Rows) != 1 {
+		t.Fatal("string-keyed lookup failed")
+	}
+	if res.Rows[0][2].Bytes[0] != 0xde {
+		t.Fatalf("blob: %x", res.Rows[0][2].Bytes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	e, _ := newEngine(t)
+	bad := []string{
+		"",
+		"SELEC * FROM x",
+		"SELECT FROM x",
+		"SELECT * FROM",
+		"SELECT * FROM x WHERE",
+		"INSERT INTO x",
+		"CREATE TABLE x ()",
+		"CREATE TABLE x (a int64)", // no key
+		"CREATE TABLE x (a int64, PRIMARY KEY (a))", // last key not ts
+		"SELECT * FROM x WHERE a &&& 1",
+		"SELECT SUM(*) FROM x",
+		"SELECT * FROM x LIMIT -1",
+		"SELECT * FROM x; SELECT * FROM y",
+		"DROP x",
+	}
+	for _, q := range bad {
+		if _, err := e.Exec(q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestUnknownColumnErrors(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	for _, q := range []string{
+		"SELECT nope FROM usage",
+		"SELECT * FROM usage WHERE nope = 1",
+		"SELECT device, SUM(nope) FROM usage GROUP BY device",
+		"SELECT device FROM usage GROUP BY nope",
+		"SELECT rate FROM usage GROUP BY device", // rate not in group
+		"INSERT INTO usage (nope) VALUES (1)",
+	} {
+		if _, err := e.Exec(q); err == nil {
+			t.Errorf("accepted: %q", q)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	e, clk := newEngine(t)
+	setupUsage(t, e, clk)
+	res := mustExec(t, e, "SELECT COUNT(*) FROM usage -- trailing comment\n")
+	if res.Rows[0][0].Int != 30 {
+		t.Fatal("comment handling broke the query")
+	}
+}
+
+func TestTTLFromSQL(t *testing.T) {
+	e, clk := newEngine(t)
+	mustExec(t, e, "CREATE TABLE short (k int64, ts timestamp, PRIMARY KEY (k, ts)) TTL 1 h")
+	now := clk.Now()
+	mustExec(t, e, sprintf("INSERT INTO short VALUES (1, %d)", now-2*clock.Hour))
+	mustExec(t, e, sprintf("INSERT INTO short VALUES (2, %d)", now))
+	res := mustExec(t, e, "SELECT COUNT(*) FROM short")
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("TTL filter via SQL: %d rows", res.Rows[0][0].Int)
+	}
+}

@@ -1,0 +1,179 @@
+package tablet
+
+import (
+	"littletable/internal/block"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// Cursor iterates a tablet's rows in key order. It decodes one block at a
+// time; Row is valid until the next call to Next. Cursors are not safe for
+// concurrent use, but many cursors may read one Tablet concurrently.
+type Cursor struct {
+	t      *Tablet
+	asc    bool
+	blkIdx int
+	rowIdx int
+	blk    *block.Block
+	row    schema.Row
+	err    error
+	done   bool
+
+	// BlocksRead counts block loads, for scan-efficiency accounting
+	// (Figure 9) and the disk-model benches.
+	BlocksRead int
+}
+
+// Cursor returns an iterator over the entire tablet.
+func (t *Tablet) Cursor(asc bool) *Cursor {
+	c := &Cursor{t: t, asc: asc}
+	if asc {
+		c.blkIdx, c.rowIdx = 0, 0
+	} else {
+		c.blkIdx = len(t.ft.blocks) - 1
+		c.rowIdx = -2 // resolved to last row of the block on first load
+	}
+	if len(t.ft.blocks) == 0 {
+		c.done = true
+	}
+	return c
+}
+
+// Seek returns a cursor positioned so that the first Next yields:
+//
+//   - ascending: the first row with key >= probe (prefix semantics);
+//   - descending: the last row with key <= probe (rows matching a short
+//     probe as a prefix count as equal, so descending lands on the last
+//     row of the equal range).
+func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
+	c := &Cursor{t: t, asc: asc}
+	if len(t.ft.blocks) == 0 {
+		c.done = true
+		return c, nil
+	}
+	if asc {
+		bi, err := t.searchBlocks(probe)
+		if err != nil {
+			return nil, err
+		}
+		if bi == len(t.ft.blocks) {
+			c.done = true
+			return c, nil
+		}
+		blk, err := t.loadBlock(bi)
+		if err != nil {
+			return nil, err
+		}
+		c.BlocksRead++
+		ri, err := blk.Search(probe)
+		if err != nil {
+			return nil, err
+		}
+		// probe <= lastKey of this block, so ri < blk.Len() always; guard
+		// anyway for corrupt indexes.
+		if ri >= blk.Len() {
+			bi++
+			if bi == len(t.ft.blocks) {
+				c.done = true
+				return c, nil
+			}
+			blk, err = t.loadBlock(bi)
+			if err != nil {
+				return nil, err
+			}
+			c.BlocksRead++
+			ri = 0
+		}
+		c.blk, c.blkIdx, c.rowIdx = blk, bi, ri
+		return c, nil
+	}
+	// Descending: find the first block whose lastKey > probe; the target
+	// row is there (before the upper bound) or in the previous block.
+	bi, err := t.searchBlocksAfter(probe)
+	if err != nil {
+		return nil, err
+	}
+	if bi == len(t.ft.blocks) {
+		// Every key <= probe: start at the very last row.
+		c.blkIdx = len(t.ft.blocks) - 1
+		c.rowIdx = -2
+		return c, nil
+	}
+	blk, err := t.loadBlock(bi)
+	if err != nil {
+		return nil, err
+	}
+	c.BlocksRead++
+	ri, err := blk.SearchAfter(probe)
+	if err != nil {
+		return nil, err
+	}
+	if ri == 0 {
+		// All rows in this block are > probe; the answer is the previous
+		// block's last row.
+		if bi == 0 {
+			c.done = true
+			return c, nil
+		}
+		c.blkIdx = bi - 1
+		c.rowIdx = -2
+		return c, nil
+	}
+	c.blk, c.blkIdx, c.rowIdx = blk, bi, ri-1
+	return c, nil
+}
+
+// Next advances to the next row, reporting availability. On I/O error it
+// returns false and records the error in Err.
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	if c.blk == nil {
+		if c.blkIdx < 0 || c.blkIdx >= len(c.t.ft.blocks) {
+			c.done = true
+			return false
+		}
+		blk, err := c.t.loadBlock(c.blkIdx)
+		if err != nil {
+			c.err = err
+			return false
+		}
+		c.BlocksRead++
+		c.blk = blk
+		if c.rowIdx == -2 {
+			c.rowIdx = blk.Len() - 1
+		}
+	}
+	if c.rowIdx < 0 || c.rowIdx >= c.blk.Len() {
+		// Step to the adjacent block.
+		c.blk = nil
+		if c.asc {
+			c.blkIdx++
+			c.rowIdx = 0
+		} else {
+			c.blkIdx--
+			c.rowIdx = -2
+		}
+		return c.Next()
+	}
+	row, err := c.blk.Row(c.rowIdx)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.row = row
+	if c.asc {
+		c.rowIdx++
+	} else {
+		c.rowIdx--
+	}
+	return true
+}
+
+// Row returns the current row; valid after Next reports true and until the
+// following Next call. Byte-valued cells alias the block buffer.
+func (c *Cursor) Row() schema.Row { return c.row }
+
+// Err returns the first I/O or corruption error the cursor hit.
+func (c *Cursor) Err() error { return c.err }

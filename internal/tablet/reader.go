@@ -1,0 +1,216 @@
+package tablet
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"littletable/internal/block"
+	"littletable/internal/blockcache"
+	"littletable/internal/bloom"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// File is the read abstraction a Tablet needs. *os.File satisfies it; the
+// iotrace package wraps one to record access patterns for the disk-model
+// benchmarks (Figures 5 and 6).
+type File interface {
+	io.ReaderAt
+	io.Closer
+}
+
+type osFile struct{ *os.File }
+
+// Tablet is an open on-disk tablet. Concurrent reads are safe; each query
+// opens its own Cursor.
+type Tablet struct {
+	f    File
+	size int64
+	ft   *footer
+	path string
+
+	// Optional shared block cache; tablets are immutable, so parsed blocks
+	// cache safely under a handle id unique to this open instance.
+	cache  *blockcache.Cache
+	handle uint64
+}
+
+// SetBlockCache attaches a shared cache; handle must be unique among open
+// tablets sharing it (the engine hands out a counter).
+func (t *Tablet) SetBlockCache(c *blockcache.Cache, handle uint64) {
+	t.cache = c
+	t.handle = handle
+}
+
+// Open opens the tablet file at path and loads its footer.
+func Open(path string) (*Tablet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	t, err := OpenFile(osFile{f}, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	t.path = path
+	return t, nil
+}
+
+// OpenFile opens a tablet from any File of the given size. Reading the
+// footer costs three accesses — trailer, footer header, footer body — which
+// with the inode read is the paper's "three seeks to read a tablet's
+// footer" (§3.5).
+func OpenFile(f File, size int64) (*Tablet, error) {
+	if size < trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadMagic, size)
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, err
+	}
+	if getU64(tr[8:]) != magic {
+		return nil, ErrBadMagic
+	}
+	footerOff := int64(getU64(tr[:]))
+	payload, _, err := readRecord(f, footerOff, size-trailerSize)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := parseFooter(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Tablet{f: f, size: size, ft: ft}, nil
+}
+
+// Close releases the underlying file.
+func (t *Tablet) Close() error { return t.f.Close() }
+
+// Path returns the file path, if opened by path.
+func (t *Tablet) Path() string { return t.path }
+
+// Schema returns the schema the tablet was written under.
+func (t *Tablet) Schema() *schema.Schema { return t.ft.sc }
+
+// RowCount returns the number of rows in the tablet.
+func (t *Tablet) RowCount() int64 { return t.ft.rowCount }
+
+// SizeBytes returns the on-disk size of the tablet file.
+func (t *Tablet) SizeBytes() int64 { return t.size }
+
+// Timespan returns the smallest and largest row timestamps.
+func (t *Tablet) Timespan() (minTs, maxTs int64) { return t.ft.minTs, t.ft.maxTs }
+
+// BlockCount returns the number of 64 kB blocks.
+func (t *Tablet) BlockCount() int { return len(t.ft.blocks) }
+
+// Filter returns the tablet's Bloom filter, or nil if written without one.
+func (t *Tablet) Filter() *bloom.Filter { return t.ft.filter }
+
+// MayContainKey consults the Bloom filter for an encoded full primary key
+// (schema.AppendKey form). Without a filter it conservatively returns true.
+func (t *Tablet) MayContainKey(encodedKey []byte) bool {
+	if t.ft.filter == nil {
+		return true
+	}
+	return t.ft.filter.MayContain(encodedKey)
+}
+
+// LastKey returns the largest primary key in the tablet, decoded, for the
+// ascending-insert uniqueness fast path (§3.4.4).
+func (t *Tablet) LastKey() ([]ltval.Value, error) {
+	if len(t.ft.blocks) == 0 {
+		return nil, nil
+	}
+	return t.ft.sc.DecodeKey(t.ft.blocks[len(t.ft.blocks)-1].lastKey)
+}
+
+// loadBlock reads, verifies, and parses block i, consulting the shared
+// block cache when attached.
+func (t *Tablet) loadBlock(i int) (*block.Block, error) {
+	if t.cache != nil {
+		if v, ok := t.cache.Get(blockcache.Key{Handle: t.handle, Index: i}); ok {
+			return v.(*block.Block), nil
+		}
+	}
+	bm := &t.ft.blocks[i]
+	payload, _, err := readRecord(t.f, bm.offset, t.size)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != int(bm.rawLen) {
+		return nil, fmt.Errorf("%w: block %d raw length %d, want %d", ErrCorrupt, i, len(payload), bm.rawLen)
+	}
+	blk, err := block.Parse(t.ft.sc, payload)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil {
+		t.cache.Put(blockcache.Key{Handle: t.handle, Index: i}, blk, int64(bm.rawLen))
+	}
+	return blk, nil
+}
+
+// comparePrefix orders a full stored key against a possibly-short probe
+// key, treating the probe as a prefix (equal prefix compares equal).
+func comparePrefix(sc *schema.Schema, fullKey []byte, probe []ltval.Value) (int, error) {
+	full, err := sc.DecodeKey(fullKey)
+	if err != nil {
+		return 0, err
+	}
+	n := len(probe)
+	if n > len(full) {
+		n = len(full)
+	}
+	for i := 0; i < n; i++ {
+		if c := full[i].Compare(probe[i]); c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// searchBlocks returns the index of the first block whose last key is >=
+// probe (prefix semantics), or BlockCount() if none.
+func (t *Tablet) searchBlocks(probe []ltval.Value) (int, error) {
+	lo, hi := 0, len(t.ft.blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c, err := comparePrefix(t.ft.sc, t.ft.blocks[mid].lastKey, probe)
+		if err != nil {
+			return 0, err
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// searchBlocksAfter returns the index of the first block whose last key is
+// strictly > probe (prefix semantics).
+func (t *Tablet) searchBlocksAfter(probe []ltval.Value) (int, error) {
+	lo, hi := 0, len(t.ft.blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c, err := comparePrefix(t.ft.sc, t.ft.blocks[mid].lastKey, probe)
+		if err != nil {
+			return 0, err
+		}
+		if c <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,229 @@
+package tablet
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"littletable/internal/block"
+	"littletable/internal/bloom"
+	"littletable/internal/schema"
+)
+
+// WriterOptions tune tablet creation. The zero value gives the paper's
+// defaults.
+type WriterOptions struct {
+	// BlockSize is the uncompressed block target; default block.TargetSize
+	// (64 kB, §3.2).
+	BlockSize int
+	// DisableCompression skips lzf, for benchmarks isolating disk cost.
+	DisableCompression bool
+	// DisableBloom skips the per-tablet Bloom filter (§3.4.5).
+	DisableBloom bool
+	// Sync fsyncs the file before rename on Close. LittleTable's durability
+	// story tolerates losing recent tablets, so syncing is optional and the
+	// engine syncs only at descriptor-update boundaries.
+	Sync bool
+}
+
+func (o *WriterOptions) blockSize() int {
+	if o.BlockSize > 0 {
+		return o.BlockSize
+	}
+	return block.TargetSize
+}
+
+// Info summarizes a written tablet for the table descriptor.
+type Info struct {
+	Path     string
+	RowCount int64
+	MinTs    int64
+	MaxTs    int64
+	Bytes    int64 // on-disk size
+}
+
+// Writer streams rows in ascending primary-key order into a new tablet
+// file. The file is written under a temporary name and atomically renamed
+// into place on Close, so a crash mid-flush leaves no partial tablet
+// visible (§3.2's descriptor update makes it durable).
+type Writer struct {
+	path    string
+	tmpPath string
+	f       *os.File
+	w       *bufio.Writer
+	opts    WriterOptions
+	sc      *schema.Schema
+
+	bw      *block.Writer
+	ft      footer
+	off     int64
+	lastRow schema.Row
+	blkMin  int64
+	blkMax  int64
+	hashes  []uint64 // h1,h2 pairs for the bloom filter
+	scratch []byte
+	closed  bool
+}
+
+// Create opens a tablet writer for rows of schema sc at path.
+func Create(path string, sc *schema.Schema, opts WriterOptions) (*Writer, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{
+		path:    path,
+		tmpPath: tmp,
+		f:       f,
+		w:       bufio.NewWriterSize(f, 1<<20),
+		opts:    opts,
+		sc:      sc,
+		bw:      block.NewWriter(sc),
+		ft:      footer{sc: sc},
+	}, nil
+}
+
+// Append adds row, which must be in strictly ascending key order relative
+// to all previous rows.
+func (w *Writer) Append(row schema.Row) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.lastRow != nil && w.sc.CompareKeys(w.lastRow, row) >= 0 {
+		return fmt.Errorf("%w: key %v after %v", ErrOutOfOrder, w.sc.KeyOf(row), w.sc.KeyOf(w.lastRow))
+	}
+	ts := w.sc.Ts(row)
+	if w.ft.rowCount == 0 {
+		w.ft.minTs, w.ft.maxTs = ts, ts
+	} else {
+		if ts < w.ft.minTs {
+			w.ft.minTs = ts
+		}
+		if ts > w.ft.maxTs {
+			w.ft.maxTs = ts
+		}
+	}
+	if w.bw.Count() == 0 {
+		w.blkMin, w.blkMax = ts, ts
+	} else {
+		if ts < w.blkMin {
+			w.blkMin = ts
+		}
+		if ts > w.blkMax {
+			w.blkMax = ts
+		}
+	}
+	w.bw.Append(row)
+	w.ft.rowCount++
+	if !w.opts.DisableBloom {
+		h1, h2 := bloom.Hash(w.sc.AppendKey(w.scratch[:0], row))
+		w.hashes = append(w.hashes, h1, h2)
+	}
+	// Retain a copy of the last row for order checking and the block's
+	// last-key index entry; row contents may alias caller buffers.
+	w.lastRow = schema.CloneRow(row)
+	if w.bw.SizeBytes() >= w.opts.blockSize() {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.bw.Count() == 0 {
+		return nil
+	}
+	img := w.bw.Finish()
+	rec, diskLen := appendRecord(nil, img, !w.opts.DisableCompression)
+	if _, err := w.w.Write(rec); err != nil {
+		return err
+	}
+	w.ft.blocks = append(w.ft.blocks, blockMeta{
+		offset:   w.off,
+		diskLen:  int32(diskLen),
+		rawLen:   int32(len(img)),
+		rowCount: int32(w.bw.Count()),
+		minTs:    w.blkMin,
+		maxTs:    w.blkMax,
+		lastKey:  w.sc.AppendKey(nil, w.lastRow),
+	})
+	w.off += int64(diskLen)
+	return nil
+}
+
+// RowCount returns the number of rows appended so far.
+func (w *Writer) RowCount() int64 { return w.ft.rowCount }
+
+// Abort discards the partially-written tablet.
+func (w *Writer) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.f.Close()
+	return os.Remove(w.tmpPath)
+}
+
+// Close flushes remaining rows, writes the footer and trailer, optionally
+// syncs, and renames the file into place. It returns the tablet's summary.
+func (w *Writer) Close() (*Info, error) {
+	if w.closed {
+		return nil, ErrClosed
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if !w.opts.DisableBloom && len(w.hashes) > 0 {
+		w.ft.filter = bloom.New(len(w.hashes) / 2)
+		for i := 0; i < len(w.hashes); i += 2 {
+			w.ft.filter.AddHash(w.hashes[i], w.hashes[i+1])
+		}
+	}
+	footerOff := w.off
+	rec, diskLen := appendRecord(nil, w.ft.marshal(), !w.opts.DisableCompression)
+	if _, err := w.w.Write(rec); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	w.off += int64(diskLen)
+	var tr [trailerSize]byte
+	putU64(tr[:], uint64(footerOff))
+	putU64(tr[8:], magic)
+	if _, err := w.w.Write(tr[:]); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	w.off += trailerSize
+	if err := w.w.Flush(); err != nil {
+		w.cleanup()
+		return nil, err
+	}
+	if w.opts.Sync {
+		if err := w.f.Sync(); err != nil {
+			w.cleanup()
+			return nil, err
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmpPath)
+		return nil, err
+	}
+	if err := os.Rename(w.tmpPath, w.path); err != nil {
+		os.Remove(w.tmpPath)
+		return nil, err
+	}
+	return &Info{
+		Path:     w.path,
+		RowCount: w.ft.rowCount,
+		MinTs:    w.ft.minTs,
+		MaxTs:    w.ft.maxTs,
+		Bytes:    w.off,
+	}, nil
+}
+
+func (w *Writer) cleanup() {
+	w.f.Close()
+	os.Remove(w.tmpPath)
+}

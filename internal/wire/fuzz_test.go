@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"testing"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// FuzzDecoders: arbitrary payloads into every message decoder must error
+// or succeed, never panic — the server feeds network bytes straight in.
+func FuzzDecoders(f *testing.F) {
+	sc := schema.MustNew([]schema.Column{
+		{Name: "k", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "s", Type: ltval.String},
+	}, []string{"k", "ts"})
+	// Seeds: valid encodings of several messages.
+	f.Add((&Hello{Version: 1}).Encode())
+	q := &Query{Table: "t", HasLower: true, Lower: []ltval.Value{ltval.NewInt64(1)}, MinTs: -1, MaxTs: 1}
+	f.Add(q.Encode())
+	ins := NewInsert("t", sc, true, []schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(2), ltval.NewString("x")}})
+	f.Add(ins.Encode())
+	f.Add((&Delete{Table: "t", MinTs: 0, MaxTs: 10}).Encode())
+	f.Add((&TableList{Names: []string{"a", "b"}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		DecodeHello(payload)
+		DecodeCreateTable(payload)
+		DecodeTableName(payload)
+		DecodeQuery(payload)
+		DecodeLatestRow(payload)
+		DecodeAlterTTL(payload)
+		DecodeAddColumn(payload)
+		DecodeWidenColumn(payload)
+		DecodeDelete(payload)
+		DecodeDeleteResult(payload)
+		DecodeErrorMsg(payload)
+		DecodeTableList(payload)
+		DecodeSchemaResp(payload)
+		DecodeStatsResult(payload)
+		DecodeRows(payload, sc)
+		DecodeRowResult(payload, sc)
+		if m, d, err := DecodeInsertHeader(payload); err == nil {
+			m.FinishDecode(d, sc)
+		}
+	})
+}
