@@ -37,6 +37,10 @@ func main() {
 		noCompress  = flag.Bool("no-compression", false, "disable block compression")
 		noBloom     = flag.Bool("no-bloom", false, "disable per-tablet Bloom filters")
 		sync        = flag.Bool("sync", false, "fsync tablet and descriptor writes")
+		verifyOpen  = flag.Bool("verify-on-open", false, "checksum every tablet block at open; corrupt tablets are quarantined")
+		readTO      = flag.Duration("read-timeout", 0, "drop a connection idle longer than this (0 = no deadline)")
+		writeTO     = flag.Duration("write-timeout", 0, "drop a connection whose response write stalls this long (0 = no deadline)")
+		maxRequest  = flag.Int("max-request-bytes", 0, "cap a single request frame (0 = protocol max)")
 	)
 	flag.Parse()
 
@@ -44,10 +48,14 @@ func main() {
 		Root:                *root,
 		MaintenanceInterval: *maintenance,
 		QueryRowLimit:       *rowLimit,
+		ReadTimeout:         *readTO,
+		WriteTimeout:        *writeTO,
+		MaxRequestBytes:     *maxRequest,
 	}
 	opts.Core.DisableCompression = *noCompress
 	opts.Core.DisableBloom = *noBloom
 	opts.Core.SyncWrites = *sync
+	opts.Core.VerifyOnOpen = *verifyOpen
 
 	srv, err := littletable.NewServer(opts)
 	if err != nil {

@@ -15,10 +15,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"littletable/internal/vfs"
 )
 
 // SyncStats summarizes one sync pass.
@@ -33,25 +36,29 @@ type SyncStats struct {
 // convergence signal §3.5's loop waits for.
 func (s SyncStats) Clean() bool { return s.FilesCopied == 0 && s.FilesDeleted == 0 }
 
-// Sync mirrors src into dst once and reports what it did. Paths are
-// created as needed. Temporary files (".tmp" suffix) are skipped: they are
-// in-flight tablet writes that the next pass will see completed or gone.
+// Sync mirrors src into dst once on the real filesystem, without fsync.
 func Sync(src, dst string) (SyncStats, error) {
+	return SyncFS(vfs.OsFS{}, src, dst, false)
+}
+
+// SyncFS mirrors src into dst once through fsys and reports what it did.
+// Paths are created as needed. Temporary files (".tmp" suffix) are skipped:
+// they are in-flight tablet writes that the next pass will see completed or
+// gone. With durable, each copied file is fsynced before its rename and the
+// target directory after, so a power cut on the spare cannot leave a copy
+// that the next pass wrongly believes complete.
+func SyncFS(fsys vfs.FS, src, dst string, durable bool) (SyncStats, error) {
 	var stats SyncStats
-	if err := os.MkdirAll(dst, 0o755); err != nil {
+	if err := fsys.MkdirAll(dst); err != nil {
 		return stats, err
 	}
-	srcFiles, err := listFiles(src)
+	srcFiles, err := listFiles(fsys, src)
 	if err != nil {
 		return stats, err
 	}
-	dstFiles, err := listFiles(dst)
+	dstFiles, err := listFiles(fsys, dst)
 	if err != nil {
 		return stats, err
-	}
-	srcSet := make(map[string]os.FileInfo, len(srcFiles))
-	for rel, fi := range srcFiles {
-		srcSet[rel] = fi
 	}
 	// Copy new/changed files.
 	rels := make([]string, 0, len(srcFiles))
@@ -63,7 +70,7 @@ func Sync(src, dst string) (SyncStats, error) {
 		sfi := srcFiles[rel]
 		dfi, ok := dstFiles[rel]
 		if ok && dfi.Size() == sfi.Size() {
-			same, err := sameContent(filepath.Join(src, rel), filepath.Join(dst, rel))
+			same, err := sameContent(fsys, filepath.Join(src, rel), filepath.Join(dst, rel))
 			if err != nil {
 				return stats, err
 			}
@@ -72,7 +79,7 @@ func Sync(src, dst string) (SyncStats, error) {
 				continue
 			}
 		}
-		n, err := copyFile(filepath.Join(src, rel), filepath.Join(dst, rel))
+		n, err := copyFile(fsys, filepath.Join(src, rel), filepath.Join(dst, rel), durable)
 		if err != nil {
 			return stats, fmt.Errorf("archive: copy %s: %w", rel, err)
 		}
@@ -81,8 +88,8 @@ func Sync(src, dst string) (SyncStats, error) {
 	}
 	// Delete files gone from the source.
 	for rel := range dstFiles {
-		if _, ok := srcSet[rel]; !ok {
-			if err := os.Remove(filepath.Join(dst, rel)); err != nil {
+		if _, ok := srcFiles[rel]; !ok {
+			if err := fsys.Remove(filepath.Join(dst, rel)); err != nil {
 				return stats, err
 			}
 			stats.FilesDeleted++
@@ -94,11 +101,16 @@ func Sync(src, dst string) (SyncStats, error) {
 // SyncUntilClean runs Sync passes until one copies nothing, as §3.5
 // describes, up to maxPasses (0 = default 10).
 func SyncUntilClean(src, dst string, maxPasses int) (passes int, err error) {
+	return SyncUntilCleanFS(vfs.OsFS{}, src, dst, maxPasses, false)
+}
+
+// SyncUntilCleanFS is SyncUntilClean through an explicit filesystem.
+func SyncUntilCleanFS(fsys vfs.FS, src, dst string, maxPasses int, durable bool) (passes int, err error) {
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
 	for passes = 1; passes <= maxPasses; passes++ {
-		stats, err := Sync(src, dst)
+		stats, err := SyncFS(fsys, src, dst, durable)
 		if err != nil {
 			return passes, err
 		}
@@ -110,41 +122,59 @@ func SyncUntilClean(src, dst string, maxPasses int) (passes int, err error) {
 }
 
 // listFiles returns relative path → FileInfo for all regular files under
-// root, excluding in-flight temporaries.
-func listFiles(root string) (map[string]os.FileInfo, error) {
-	out := map[string]os.FileInfo{}
-	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+// root, excluding in-flight temporaries, by recursive ReadDir.
+func listFiles(fsys vfs.FS, root string) (map[string]fs.FileInfo, error) {
+	out := map[string]fs.FileInfo{}
+	var walk func(dir, rel string) error
+	walk = func(dir, rel string) error {
+		ents, err := fsys.ReadDir(dir)
 		if err != nil {
 			if os.IsNotExist(err) {
 				return nil // raced a merge/TTL deletion; next pass settles it
 			}
 			return err
 		}
-		if fi.IsDir() || strings.HasSuffix(path, ".tmp") {
-			return nil
+		for _, e := range ents {
+			name := e.Name()
+			childRel := name
+			if rel != "" {
+				childRel = filepath.Join(rel, name)
+			}
+			if e.IsDir() {
+				if err := walk(filepath.Join(dir, name), childRel); err != nil {
+					return err
+				}
+				continue
+			}
+			if strings.HasSuffix(name, ".tmp") {
+				continue
+			}
+			fi, err := e.Info()
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue // deleted between list and stat
+				}
+				return err
+			}
+			out[childRel] = fi
 		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		out[rel] = fi
 		return nil
-	})
-	if os.IsNotExist(err) {
-		return out, nil
 	}
-	return out, err
+	if err := walk(root, ""); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // sameContent compares files by CRC32C, cheaper than byte comparison for
 // the common same case and collision-safe enough for a mirror that re-runs
 // until clean.
-func sameContent(a, b string) (bool, error) {
-	ha, err := fileCRC(a)
+func sameContent(fsys vfs.FS, a, b string) (bool, error) {
+	ha, err := fileCRC(fsys, a)
 	if err != nil {
 		return false, err
 	}
-	hb, err := fileCRC(b)
+	hb, err := fileCRC(fsys, b)
 	if err != nil {
 		return false, err
 	}
@@ -153,44 +183,67 @@ func sameContent(a, b string) (bool, error) {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-func fileCRC(path string) (uint32, error) {
-	f, err := os.Open(path)
+func fileCRC(fsys vfs.FS, path string) (uint32, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
 	h := crc32.New(crcTable)
-	if _, err := io.Copy(h, f); err != nil {
+	if _, err := io.Copy(h, io.NewSectionReader(f, 0, st.Size())); err != nil {
 		return 0, err
 	}
 	return h.Sum32(), nil
 }
 
 // copyFile copies src to dst atomically (write temp + rename), returning
-// bytes copied.
-func copyFile(src, dst string) (int64, error) {
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+// bytes copied. With durable, the temp file is fsynced before the rename
+// and the parent directory after it.
+func copyFile(fsys vfs.FS, src, dst string, durable bool) (int64, error) {
+	if err := fsys.MkdirAll(filepath.Dir(dst)); err != nil {
 		return 0, err
 	}
-	in, err := os.Open(src)
+	in, err := fsys.Open(src)
 	if err != nil {
 		return 0, err
 	}
 	defer in.Close()
-	tmp := dst + ".copy.tmp"
-	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	st, err := in.Stat()
 	if err != nil {
 		return 0, err
 	}
-	n, err := io.Copy(out, in)
+	tmp := dst + ".copy.tmp"
+	out, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(out, io.NewSectionReader(in, 0, st.Size()))
 	if err != nil {
 		out.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
+	}
+	if durable {
+		if err := out.Sync(); err != nil {
+			out.Close()
+			fsys.Remove(tmp)
+			return 0, err
+		}
 	}
 	if err := out.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	return n, os.Rename(tmp, dst)
+	if err := fsys.Rename(tmp, dst); err != nil {
+		fsys.Remove(tmp)
+		return 0, err
+	}
+	if durable {
+		return n, fsys.SyncDir(vfs.DirOf(dst))
+	}
+	return n, nil
 }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"littletable/internal/clock"
+	"littletable/internal/schema"
+	"littletable/internal/vfs"
+)
+
+// Crash-consistency harness: run a workload on a MemFS with SyncWrites on,
+// take a CrashClone — the state an ext4-like disk could present after a
+// power cut — at EVERY durability barrier (file fsync, rename, directory
+// fsync), then reopen each snapshot and verify the recovered table is an
+// exact prefix of insertion order (§3.1's guarantee). A snapshot taken at
+// barrier k also stands in for every instant between barriers k and k+1:
+// whatever happens in between is un-synced and is dropped by CrashClone's
+// semantics anyway.
+
+func quietLogf(string, ...interface{}) {}
+
+// crashWorkload drives inserts/flushes/merges against tt and returns the
+// number of rows inserted. Row seq values must count up from 0 in insertion
+// order.
+type crashWorkload struct {
+	name string
+	opts Options // Clock, FS, SyncWrites, Logf filled by the harness
+	// run returns rows inserted and whether they were all flushed (so the
+	// final snapshot must recover every one of them).
+	run func(t *testing.T, tab *Table, clk *clock.Fake) (rows int, allFlushed bool)
+}
+
+func runCrashHarness(t *testing.T, w crashWorkload) {
+	t.Helper()
+	mem := vfs.NewMem()
+	clk := clock.NewFake(testStart)
+	opts := w.opts
+	opts.Clock = clk
+	opts.FS = mem
+	opts.SyncWrites = true
+	opts.Logf = quietLogf
+
+	tab, err := CreateTable("/db", "usage", usageSchema(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+
+	// Snapshot only after the table exists: before the first descriptor
+	// commit there is no table to recover.
+	type snap struct {
+		fs       *vfs.MemFS
+		op, path string
+	}
+	var snaps []snap
+	mem.SetBarrierHook(func(op, path string) {
+		snaps = append(snaps, snap{fs: mem.CrashClone(), op: op, path: path})
+	})
+
+	inserted, allFlushed := w.run(t, tab, clk)
+	mem.SetBarrierHook(nil)
+	snaps = append(snaps, snap{fs: mem.CrashClone(), op: "final", path: ""})
+
+	if len(snaps) < 5 {
+		t.Fatalf("workload produced only %d durability barriers; not exercising the harness", len(snaps))
+	}
+
+	for i, s := range snaps {
+		label := fmt.Sprintf("crash %d/%d after %s %s", i+1, len(snaps), s.op, s.path)
+		re, err := OpenTable("/db", "usage", Options{
+			Clock:      clock.NewFake(clk.Now()),
+			FS:         s.fs,
+			SyncWrites: true,
+			Logf:       quietLogf,
+		})
+		if err != nil {
+			t.Fatalf("%s: reopen failed: %v", label, err)
+		}
+		rows, err := re.QueryAll(NewQuery())
+		if err != nil {
+			re.Close()
+			t.Fatalf("%s: query failed: %v", label, err)
+		}
+		if !isPrefixSet(seqsOf(rows)) {
+			re.Close()
+			t.Fatalf("%s: recovered %d rows, not an insertion-order prefix: %v",
+				label, len(rows), seqsOf(rows))
+		}
+		if len(rows) > inserted {
+			re.Close()
+			t.Fatalf("%s: recovered %d rows, more than the %d inserted", label, len(rows), inserted)
+		}
+		if q := re.Stats().TabletsQuarantined.Load(); q != 0 {
+			re.Close()
+			t.Fatalf("%s: %d tablets quarantined; a pure power cut must never corrupt a synced tablet", label, q)
+		}
+		if i == len(snaps)-1 && allFlushed && len(rows) != inserted {
+			re.Close()
+			t.Fatalf("final crash state recovered %d rows, want all %d (workload flushed everything)", len(rows), inserted)
+		}
+		re.Close()
+	}
+}
+
+// TestCrashAtEveryBarrierSingleTablet: one filling tablet, flushed in one
+// group — the simplest commit sequence (tablet write+rename, descriptor
+// write+rename).
+func TestCrashAtEveryBarrierSingleTablet(t *testing.T) {
+	runCrashHarness(t, crashWorkload{
+		name: "single",
+		run: func(t *testing.T, tab *Table, clk *clock.Fake) (int, bool) {
+			now := clk.Now()
+			n := 0
+			for i := int64(0); i < 40; i++ {
+				if err := tab.Insert([]schema.Row{usageRow(1, i, now+i, 0, int64(n))}); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if err := tab.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			return n, true
+		},
+	})
+}
+
+// TestCrashAtEveryBarrierMultiPeriod: inserts alternate between time
+// periods, creating several filling tablets and flush-dependency edges
+// (§3.4.3); groups flush one step at a time with more inserts between
+// steps, so crashes land between dependent descriptor commits.
+func TestCrashAtEveryBarrierMultiPeriod(t *testing.T) {
+	runCrashHarness(t, crashWorkload{
+		name: "multi-period",
+		run: func(t *testing.T, tab *Table, clk *clock.Fake) (int, bool) {
+			now := clk.Now()
+			tsFor := []int64{now, now - 30*clock.Hour, now - 20*clock.Day}
+			n := 0
+			insert := func(k int) {
+				t.Helper()
+				ts := tsFor[k%len(tsFor)] + int64(n)
+				if err := tab.Insert([]schema.Row{usageRow(1, int64(k), ts, 0, int64(n))}); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			for i := 0; i < 30; i++ {
+				insert(i)
+			}
+			if err := tab.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 30; i < 50; i++ {
+				insert(i)
+			}
+			// Leave the last batch unflushed: crashes here must still
+			// recover exactly the flushed prefix.
+			return n, false
+		},
+	})
+}
+
+// TestCrashAtEveryBarrierDuringMerge: two flushed batches in the same
+// period, then a merge — crashes land between the merge output's rename and
+// the descriptor update that publishes it, the window where an orphan
+// output and live inputs coexist.
+func TestCrashAtEveryBarrierDuringMerge(t *testing.T) {
+	runCrashHarness(t, crashWorkload{
+		name: "merge",
+		opts: Options{MergeDelay: 1},
+		run: func(t *testing.T, tab *Table, clk *clock.Fake) (int, bool) {
+			now := clk.Now()
+			n := 0
+			batch := func() {
+				t.Helper()
+				for i := 0; i < 30; i++ {
+					if err := tab.Insert([]schema.Row{usageRow(1, int64(n), now-clock.Hour+int64(n), 0, int64(n))}); err != nil {
+						t.Fatal(err)
+					}
+					n++
+				}
+				if err := tab.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch()
+			batch()
+			clk.Advance(2 * clock.Second)
+			if _, err := tab.MergeUntilStable(); err != nil {
+				t.Fatal(err)
+			}
+			return n, true
+		},
+	})
+}

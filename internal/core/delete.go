@@ -141,6 +141,7 @@ func (t *Table) rewriteWithout(sc *schema.Schema, dt *diskTablet, q Query, filte
 			DisableCompression: t.opts.DisableCompression,
 			DisableBloom:       t.opts.DisableBloom,
 			Sync:               t.opts.SyncWrites,
+			FS:                 t.opts.FS,
 		})
 		if err != nil {
 			return 0, err
@@ -165,9 +166,10 @@ func (t *Table) rewriteWithout(sc *schema.Schema, dt *diskTablet, q Query, filte
 		if err != nil {
 			return 0, err
 		}
-		tab, err := tablet.Open(path)
+		tab, err := tablet.OpenFS(t.opts.FS, path)
 		if err != nil {
-			return 0, err
+			_ = t.opts.FS.Remove(path)
+			return 0, fmt.Errorf("core: reopen rewritten tablet: %w", err)
 		}
 		t.attachCache(tab)
 		out = &diskTablet{

@@ -3,16 +3,22 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"littletable/internal/schema"
+	"littletable/internal/vfs"
 )
 
 // descriptorFile is the name of a table's descriptor within its directory.
 const descriptorFile = "desc.json"
+
+// quarantineSuffix marks tablet files set aside because they failed to
+// open: corrupt, truncated, or unreadable. Quarantined files are dropped
+// from the descriptor but kept on disk for post-mortems; they are never
+// deleted by orphan cleaning.
+const quarantineSuffix = ".quarantine"
 
 // tabletRecord is one on-disk tablet as named by the descriptor. LittleTable
 // caches each tablet's timespan and "writes the list of on-disk tablets and
@@ -41,39 +47,50 @@ type descriptor struct {
 }
 
 // writeDescriptor persists d atomically: write to a temporary file, then
-// rename over the previous version (§3.2).
-func writeDescriptor(dir string, d *descriptor, sync bool) error {
+// rename over the previous version (§3.2). With sync, the file is fsynced
+// before the rename and the directory after it — the rename itself is not
+// durable on ext4 until the directory's metadata reaches disk.
+func writeDescriptor(fsys vfs.FS, dir string, d *descriptor, sync bool) error {
 	data, err := json.MarshalIndent(d, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: marshal descriptor: %w", err)
 	}
 	tmp := filepath.Join(dir, descriptorFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, descriptorFile))
+	if err := fsys.Rename(tmp, filepath.Join(dir, descriptorFile)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readDescriptor loads a table's descriptor.
-func readDescriptor(dir string) (*descriptor, error) {
-	data, err := os.ReadFile(filepath.Join(dir, descriptorFile))
+func readDescriptor(fsys vfs.FS, dir string) (*descriptor, error) {
+	data, err := vfs.ReadFile(fsys, filepath.Join(dir, descriptorFile))
 	if err != nil {
 		return nil, err
 	}
@@ -91,29 +108,29 @@ func readDescriptor(dir string) (*descriptor, error) {
 // cleanOrphans removes tablet files in dir that the descriptor does not
 // name: leftovers from a crash between tablet write and descriptor update.
 // Such rows were never durable (§3.1's guarantee is prefix-of-insertion
-// order, anchored at the descriptor).
-func cleanOrphans(dir string, d *descriptor) error {
+// order, anchored at the descriptor). Quarantined files are left alone.
+func cleanOrphans(fsys vfs.FS, dir string, d *descriptor) error {
 	named := make(map[string]bool, len(d.Tablets))
 	for _, t := range d.Tablets {
 		named[t.File] = true
 	}
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || name == descriptorFile {
+		if e.IsDir() || name == descriptorFile || strings.HasSuffix(name, quarantineSuffix) {
 			continue
 		}
 		if strings.HasSuffix(name, ".tab") && !named[name] {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
 		}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"littletable/internal/tablet"
@@ -13,7 +13,25 @@ import (
 // atomic descriptor update (§3.4.3). It reports whether a group was
 // flushed. Safe to call concurrently with inserts and queries; concurrent
 // FlushStep calls serialize.
+//
+// A failed flush loses nothing: the group stays at the head of the pending
+// queue and the next FlushStep retries it. Consecutive failures and the
+// eventual recovery are counted in Stats.
 func (t *Table) FlushStep() (bool, error) {
+	ok, err := t.flushStep()
+	t.mu.Lock()
+	if err != nil && !errors.Is(err, ErrTableClosed) {
+		t.flushFails++
+		t.stats.FlushFailures.Add(1)
+	} else if ok && t.flushFails > 0 {
+		t.flushFails = 0
+		t.stats.FaultRecoveries.Add(1)
+	}
+	t.mu.Unlock()
+	return ok, err
+}
+
+func (t *Table) flushStep() (bool, error) {
 	t.flushMu.Lock()
 	defer t.flushMu.Unlock()
 	t.mu.Lock()
@@ -47,27 +65,29 @@ func (t *Table) FlushStep() (bool, error) {
 			DisableCompression: t.opts.DisableCompression,
 			DisableBloom:       t.opts.DisableBloom,
 			Sync:               t.opts.SyncWrites,
+			FS:                 t.opts.FS,
 		})
 		if err != nil {
-			abortDisks(newDisks)
+			t.abortDisks(newDisks)
 			return false, err
 		}
 		c := ft.mt.Cursor(true)
 		for c.Next() {
 			if err := w.Append(c.Row()); err != nil {
 				w.Abort()
-				abortDisks(newDisks)
+				t.abortDisks(newDisks)
 				return false, err
 			}
 		}
 		info, err := w.Close()
 		if err != nil {
-			abortDisks(newDisks)
+			t.abortDisks(newDisks)
 			return false, err
 		}
-		tab, err := tablet.Open(path)
+		tab, err := tablet.OpenFS(t.opts.FS, path)
 		if err != nil {
-			abortDisks(newDisks)
+			t.opts.FS.Remove(path)
+			t.abortDisks(newDisks)
 			return false, fmt.Errorf("core: reopen flushed tablet: %w", err)
 		}
 		t.attachCache(tab)
@@ -93,14 +113,14 @@ func (t *Table) FlushStep() (bool, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		abortDisks(newDisks)
+		t.abortDisks(newDisks)
 		return false, ErrTableClosed
 	}
 	// The group is still pending[0]: FlushStep calls serialize on flushMu
 	// and only FlushStep removes groups. Verify anyway.
 	if len(t.pending) == 0 || t.pending[0].tablets[0] != group.tablets[0] {
 		t.mu.Unlock()
-		abortDisks(newDisks)
+		t.abortDisks(newDisks)
 		return false, fmt.Errorf("core: pending queue mutated during flush")
 	}
 	t.pending = t.pending[1:]
@@ -121,9 +141,13 @@ func (t *Table) FlushStep() (bool, error) {
 	return true, nil
 }
 
-func abortDisks(disks []*diskTablet) {
+// abortDisks closes and deletes tablets written by a flush that could not
+// be published; not being in the descriptor, they were never durable, and
+// removing them now spares the next open an orphan sweep.
+func (t *Table) abortDisks(disks []*diskTablet) {
 	for _, dt := range disks {
 		dt.tab.Close()
+		_ = t.opts.FS.Remove(dt.path)
 	}
 }
 
@@ -140,7 +164,7 @@ func (t *Table) dropLocked(dt *diskTablet) {
 	dt.refs--
 	if dt.refs == 0 {
 		dt.tab.Close()
-		_ = os.Remove(dt.path)
+		_ = t.opts.FS.Remove(dt.path)
 	}
 }
 

@@ -2,13 +2,36 @@ package core
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"path/filepath"
 
+	"littletable/internal/clock"
 	"littletable/internal/period"
 	"littletable/internal/schema"
 	"littletable/internal/tablet"
 )
+
+// Merge retry backoff: a failed merge (bad disk, injected fault) must never
+// take the table down — inserts and queries continue — but hammering a
+// failing disk helps nobody, so retries back off exponentially, capped.
+const (
+	mergeBackoffBase = 1 * clock.Second
+	mergeBackoffCap  = 60 * clock.Second
+)
+
+// mergeBackoff returns the delay before the next merge attempt after the
+// given number of consecutive failures.
+func mergeBackoff(fails int) int64 {
+	d := int64(mergeBackoffBase)
+	for i := 1; i < fails && d < mergeBackoffCap; i++ {
+		d *= 2
+	}
+	if d > mergeBackoffCap {
+		d = mergeBackoffCap
+	}
+	return d
+}
 
 // MergeStep runs one round of the merge policy (§3.4.1–§3.4.2, appendix):
 //
@@ -23,7 +46,44 @@ import (
 //
 // It reports whether a merge was performed. The appendix proves this policy
 // leaves O(log T) tablets and rewrites each row O(log T) times.
+//
+// A failed merge is not fatal: the inputs stay live, inserts and queries
+// continue, and the next MergeStep after a capped exponential backoff
+// retries. Failures, retries, and the eventual recovery are counted in
+// Stats.
 func (t *Table) MergeStep() (bool, error) {
+	t.mu.Lock()
+	if t.mergeFails > 0 && t.opts.Clock.Now() < t.mergeRetryAt {
+		t.mu.Unlock()
+		return false, nil
+	}
+	t.mu.Unlock()
+
+	ok, err := t.mergeStep()
+
+	t.mu.Lock()
+	switch {
+	case err != nil && !errors.Is(err, ErrTableClosed):
+		if t.mergeFails > 0 {
+			t.stats.MergeRetries.Add(1)
+		}
+		t.mergeFails++
+		t.stats.MergeFailures.Add(1)
+		d := mergeBackoff(t.mergeFails)
+		t.mergeRetryAt = t.opts.Clock.Now() + d
+		t.opts.Logf("littletable: table %s: merge failed (%d consecutive): %v; retrying in %ds",
+			t.name, t.mergeFails, err, d/clock.Second)
+	case ok && t.mergeFails > 0:
+		t.stats.MergeRetries.Add(1)
+		t.stats.FaultRecoveries.Add(1)
+		t.mergeFails = 0
+		t.mergeRetryAt = 0
+	}
+	t.mu.Unlock()
+	return ok, err
+}
+
+func (t *Table) mergeStep() (bool, error) {
 	t.flushMu.Lock()
 	defer t.flushMu.Unlock()
 
@@ -175,6 +235,7 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 		DisableCompression: t.opts.DisableCompression,
 		DisableBloom:       t.opts.DisableBloom,
 		Sync:               t.opts.SyncWrites,
+		FS:                 t.opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -233,9 +294,10 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 	if err != nil {
 		return nil, err
 	}
-	tab, err := tablet.Open(path)
+	tab, err := tablet.OpenFS(t.opts.FS, path)
 	if err != nil {
-		return nil, err
+		_ = t.opts.FS.Remove(path)
+		return nil, fmt.Errorf("core: reopen merged tablet: %w", err)
 	}
 	t.attachCache(tab)
 	minTs, maxTs := info.MinTs, info.MaxTs

@@ -6,8 +6,11 @@
 package core
 
 import (
+	"log"
+
 	"littletable/internal/block"
 	"littletable/internal/clock"
+	"littletable/internal/vfs"
 )
 
 // Defaults from the paper.
@@ -86,6 +89,23 @@ type Options struct {
 	// durability for write load (§2.3.4); off by default like production.
 	SyncWrites bool
 
+	// FS abstracts filesystem access for every file the table touches —
+	// tablets, descriptor, cold tiers. nil selects the real OS filesystem;
+	// tests inject fault-injecting (vfs.FaultFS) or crash-simulating
+	// (vfs.MemFS) implementations.
+	FS vfs.FS
+
+	// Logf sinks engine warnings: quarantined tablets, merge retries.
+	// Default log.Printf.
+	Logf func(format string, args ...interface{})
+
+	// VerifyOnOpen reads and checksums every block of every tablet during
+	// OpenTable, so latent corruption (a bit-flipped block that footer
+	// loading cannot see) is quarantined up front instead of surfacing as
+	// query errors later. It makes open cost proportional to table size;
+	// off by default.
+	VerifyOnOpen bool
+
 	// MergeAcrossPeriods is an ABLATION switch: it disables the time-period
 	// isolation of §3.4.2, making the merge policy behave like the systems
 	// the paper contrasts with, whose "merge policies aim to combine as
@@ -119,6 +139,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueryRowLimit == 0 {
 		o.QueryRowLimit = DefaultQueryRowLimit
+	}
+	if o.FS == nil {
+		o.FS = vfs.OsFS{}
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
 	}
 	return o
 }

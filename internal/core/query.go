@@ -317,6 +317,7 @@ func (t *Table) Query(q Query) (*Iterator, error) {
 	for _, dt := range disks {
 		src, err := newDiskSource(sc, dt.tab, &it.q, &it.scanned)
 		if err != nil {
+			t.stats.ReadErrors.Add(1)
 			it.Close()
 			return nil, err
 		}
@@ -336,6 +337,7 @@ func (it *Iterator) push(src rowSource, ord int) {
 		heap.Push(it.h, heapItem{row: row, src: src, ord: ord})
 	} else if err := src.err(); err != nil && it.firstErr == nil {
 		it.firstErr = err
+		it.t.stats.ReadErrors.Add(1)
 	}
 }
 
@@ -356,6 +358,7 @@ func (it *Iterator) Next() bool {
 		} else {
 			if err := top.src.err(); err != nil && it.firstErr == nil {
 				it.firstErr = err
+				it.t.stats.ReadErrors.Add(1)
 				return false
 			}
 			heap.Pop(it.h)

@@ -21,6 +21,14 @@ type Stats struct {
 	UniqueFastKey  atomic.Int64 // uniqueness via largest-key fast path
 	UniqueBloom    atomic.Int64 // uniqueness resolved by Bloom filters alone
 	UniqueProbes   atomic.Int64 // uniqueness requiring a point read
+
+	// Robustness counters: how the table has coped with bad storage.
+	TabletsQuarantined atomic.Int64 // tablets set aside as corrupt at open
+	FlushFailures      atomic.Int64 // flush attempts that returned an error
+	MergeFailures      atomic.Int64 // merge attempts that returned an error
+	MergeRetries       atomic.Int64 // merge attempts made after a failure
+	FaultRecoveries    atomic.Int64 // flush/merge successes after >=1 failure
+	ReadErrors         atomic.Int64 // query-time tablet read errors surfaced
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -40,6 +48,13 @@ type StatsSnapshot struct {
 	UniqueFastKey  int64
 	UniqueBloom    int64
 	UniqueProbes   int64
+
+	TabletsQuarantined int64
+	FlushFailures      int64
+	MergeFailures      int64
+	MergeRetries       int64
+	FaultRecoveries    int64
+	ReadErrors         int64
 }
 
 // Snapshot copies the counters.
@@ -60,6 +75,13 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		UniqueFastKey:  s.UniqueFastKey.Load(),
 		UniqueBloom:    s.UniqueBloom.Load(),
 		UniqueProbes:   s.UniqueProbes.Load(),
+
+		TabletsQuarantined: s.TabletsQuarantined.Load(),
+		FlushFailures:      s.FlushFailures.Load(),
+		MergeFailures:      s.MergeFailures.Load(),
+		MergeRetries:       s.MergeRetries.Load(),
+		FaultRecoveries:    s.FaultRecoveries.Load(),
+		ReadErrors:         s.ReadErrors.Load(),
 	}
 }
 

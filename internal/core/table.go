@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -14,6 +13,7 @@ import (
 	"littletable/internal/period"
 	"littletable/internal/schema"
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // Errors returned by table operations.
@@ -85,6 +85,13 @@ type Table struct {
 	hasRows    bool
 	closed     bool
 
+	// Fault-recovery state (guarded by mu): consecutive flush/merge
+	// failures and, for merges, the earliest time of the next attempt
+	// (capped exponential backoff so a failing disk is not hammered).
+	flushFails   int
+	mergeFails   int
+	mergeRetryAt int64
+
 	stats Stats
 
 	// blockCache, when enabled, is shared by every tablet this table
@@ -96,16 +103,16 @@ type Table struct {
 // CreateTable makes a new table directory under root and returns the open
 // table. ttl of 0 means rows never expire.
 func CreateTable(root, name string, sc *schema.Schema, ttl int64, opts Options) (*Table, error) {
+	o := opts.withDefaults()
 	dir := filepath.Join(root, name)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.FS.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	if _, err := os.Stat(filepath.Join(dir, descriptorFile)); err == nil {
+	if _, err := o.FS.Stat(filepath.Join(dir, descriptorFile)); err == nil {
 		return nil, fmt.Errorf("core: table %q already exists", name)
 	}
 	d := &descriptor{Name: name, Schema: sc, TTL: ttl, NextSeq: 1}
-	o := opts.withDefaults()
-	if err := writeDescriptor(dir, d, o.SyncWrites); err != nil {
+	if err := writeDescriptor(o.FS, dir, d, o.SyncWrites); err != nil {
 		return nil, err
 	}
 	return openTable(dir, d, o)
@@ -114,16 +121,20 @@ func CreateTable(root, name string, sc *schema.Schema, ttl int64, opts Options) 
 // OpenTable opens an existing table directory, recovering from any crash:
 // tablet files not named by the descriptor are deleted (their rows were
 // never durable), preserving the prefix-of-insertion-order guarantee.
+// Tablets that fail to open — truncated, corrupt, or unreadable — are
+// quarantined (renamed *.quarantine, dropped from the descriptor) and the
+// table opens over the survivors; one bad file never takes the table down.
 func OpenTable(root, name string, opts Options) (*Table, error) {
+	o := opts.withDefaults()
 	dir := filepath.Join(root, name)
-	d, err := readDescriptor(dir)
+	d, err := readDescriptor(o.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := cleanOrphans(dir, d); err != nil {
+	if err := cleanOrphans(o.FS, dir, d); err != nil {
 		return nil, err
 	}
-	return openTable(dir, d, opts.withDefaults())
+	return openTable(dir, d, o)
 }
 
 func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
@@ -141,16 +152,26 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		t.blockCache = blockcache.New(opts.BlockCacheBytes)
 	}
 	now := opts.Clock.Now()
+	quarantined := 0
 	for _, rec := range d.Tablets {
 		loc := dir
 		if rec.Dir != "" {
 			loc = rec.Dir // cold-tiered tablet (§6)
 		}
 		path := filepath.Join(loc, rec.File)
-		tab, err := tablet.Open(path)
+		tab, err := tablet.OpenFS(opts.FS, path)
+		if err == nil && opts.VerifyOnOpen {
+			if verr := tab.VerifyBlocks(); verr != nil {
+				tab.Close()
+				tab, err = nil, verr
+			}
+		}
 		if err != nil {
-			t.closeAllLocked()
-			return nil, fmt.Errorf("core: open tablet %s: %w", rec.File, err)
+			// Degrade instead of dying: set the damaged file aside, drop it
+			// from the descriptor, and keep serving the remaining tablets.
+			t.quarantine(path, rec, err)
+			quarantined++
+			continue
 		}
 		t.attachCache(tab)
 		dt := &diskTablet{
@@ -168,7 +189,34 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		}
 	}
 	t.sortDiskLocked()
+	if quarantined > 0 {
+		// Persist the reduced tablet list so the next open does not trip
+		// over the same files; the quarantined rows are gone from the
+		// table's point of view.
+		if err := t.writeDescriptorLocked(); err != nil {
+			t.closeAllLocked()
+			return nil, fmt.Errorf("core: descriptor update after quarantine: %w", err)
+		}
+	}
 	return t, nil
+}
+
+// quarantine sets aside a tablet file that failed to open: renamed to
+// *.quarantine (kept for post-mortems, invisible to orphan cleaning),
+// logged, and counted. Rename failure is tolerated — the file then remains
+// as an orphan and its rows are equally lost — because quarantine must
+// never be the thing that takes the table down.
+func (t *Table) quarantine(path string, rec tabletRecord, cause error) {
+	qpath := path + quarantineSuffix
+	if err := t.opts.FS.Rename(path, qpath); err != nil {
+		t.opts.Logf("littletable: quarantine rename %s: %v", rec.File, err)
+	} else if t.opts.SyncWrites {
+		if err := t.opts.FS.SyncDir(vfs.DirOf(path)); err != nil {
+			t.opts.Logf("littletable: quarantine syncdir %s: %v", rec.File, err)
+		}
+	}
+	t.opts.Logf("littletable: quarantined tablet %s (%d rows): %v", rec.File, rec.RowCount, cause)
+	t.stats.TabletsQuarantined.Add(1)
 }
 
 // Name returns the table name.
@@ -451,7 +499,7 @@ func (t *Table) release(dt *diskTablet) {
 	t.mu.Unlock()
 	if drop {
 		dt.tab.Close()
-		os.Remove(dt.path)
+		t.opts.FS.Remove(dt.path)
 	}
 }
 
@@ -556,7 +604,7 @@ func (t *Table) writeDescriptorLocked() error {
 	for _, dt := range t.disk {
 		d.Tablets = append(d.Tablets, dt.rec)
 	}
-	return writeDescriptor(t.dir, d, t.opts.SyncWrites)
+	return writeDescriptor(t.opts.FS, t.dir, d, t.opts.SyncWrites)
 }
 
 // expireBefore returns the timestamp before which rows are expired, or

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // TierColdTablets implements the cold-storage offload the paper's related
@@ -22,7 +22,7 @@ import (
 // removed. Queries keep working transparently: a tablet's location is
 // invisible above the descriptor. Returns the number of tablets moved.
 func (t *Table) TierColdTablets(olderThan int64, coldDir string) (int, error) {
-	if err := os.MkdirAll(coldDir, 0o755); err != nil {
+	if err := t.opts.FS.MkdirAll(coldDir); err != nil {
 		return 0, err
 	}
 	t.flushMu.Lock()
@@ -53,13 +53,13 @@ func (t *Table) TierColdTablets(olderThan int64, coldDir string) (int, error) {
 			break
 		}
 		coldPath := filepath.Join(coldDir, dt.rec.File)
-		if err := copyFileAtomic(dt.path, coldPath); err != nil {
+		if err := copyFileAtomic(t.opts.FS, dt.path, coldPath, t.opts.SyncWrites); err != nil {
 			firstErr = fmt.Errorf("core: tier %s: %w", dt.rec.File, err)
 			break
 		}
-		tab, err := tablet.Open(coldPath)
+		tab, err := tablet.OpenFS(t.opts.FS, coldPath)
 		if err != nil {
-			os.Remove(coldPath)
+			t.opts.FS.Remove(coldPath)
 			firstErr = fmt.Errorf("core: open cold tablet: %w", err)
 			break
 		}
@@ -78,7 +78,7 @@ func (t *Table) TierColdTablets(olderThan int64, coldDir string) (int, error) {
 		if t.closed {
 			t.mu.Unlock()
 			tab.Close()
-			os.Remove(coldPath)
+			t.opts.FS.Remove(coldPath)
 			firstErr = ErrTableClosed
 			break
 		}
@@ -117,25 +117,47 @@ func (t *Table) ColdTabletCount() int {
 	return n
 }
 
-func copyFileAtomic(src, dst string) error {
-	in, err := os.Open(src)
+// copyFileAtomic copies src to dst through fsys via a temporary file and a
+// rename. With sync, the copy is fsynced before the rename and the target
+// directory after it, so the cold copy is durable before the hot one is
+// dropped from the descriptor.
+func copyFileAtomic(fsys vfs.FS, src, dst string, sync bool) error {
+	in, err := fsys.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	tmp := dst + ".tmp"
-	out, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	st, err := in.Stat()
 	if err != nil {
 		return err
 	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		os.Remove(tmp)
+	tmp := dst + ".tmp"
+	out, err := fsys.Create(tmp)
+	if err != nil {
 		return err
+	}
+	if _, err := io.Copy(out, io.NewSectionReader(in, 0, st.Size())); err != nil {
+		out.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := out.Sync(); err != nil {
+			out.Close()
+			fsys.Remove(tmp)
+			return err
+		}
 	}
 	if err := out.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, dst)
+	if err := fsys.Rename(tmp, dst); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if sync {
+		return fsys.SyncDir(vfs.DirOf(dst))
+	}
+	return nil
 }

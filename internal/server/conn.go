@@ -5,22 +5,70 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"littletable/internal/core"
 	"littletable/internal/schema"
 	"littletable/internal/wire"
 )
 
+// timeoutConn arms a fresh deadline before every Read and Write, so a
+// stalled peer (half-open TCP, a client that stopped reading its results)
+// is dropped instead of pinning a handler goroutine forever. Zero timeouts
+// disable the corresponding deadline.
+type timeoutConn struct {
+	net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+func (c *timeoutConn) Read(p []byte) (int, error) {
+	if c.readTimeout > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *timeoutConn) Write(p []byte) (int, error) {
+	if c.writeTimeout > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // handleConn serves one client session: a loop of request/response pairs.
 // The client keeps the connection persistent to detect server crashes
 // (§3.1).
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	wc := wire.NewConn(conn)
+	wc := wire.NewConn(&timeoutConn{
+		Conn:         conn,
+		readTimeout:  s.opts.ReadTimeout,
+		writeTimeout: s.opts.WriteTimeout,
+	})
+	wc.SetReadLimit(s.opts.MaxRequestBytes)
 	for {
 		mt, payload, err := wc.ReadMsg()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+			case isTimeout(err):
+				s.stats.ConnsDroppedDeadline.Add(1)
+				s.opts.Logf("littletable: dropping %s: read deadline expired", conn.RemoteAddr())
+			case errors.Is(err, wire.ErrFrameTooBig):
+				s.stats.ConnsDroppedOversize.Add(1)
+				s.opts.Logf("littletable: dropping %s: oversized request frame", conn.RemoteAddr())
+			default:
 				s.opts.Logf("littletable: read: %v", err)
 			}
 			return
@@ -28,7 +76,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err := s.dispatch(wc, mt, payload); err != nil {
 			// Transport errors end the session; request errors were already
 			// reported to the client inline.
-			s.opts.Logf("littletable: conn: %v", err)
+			if isTimeout(err) {
+				s.stats.ConnsDroppedDeadline.Add(1)
+				s.opts.Logf("littletable: dropping %s: write deadline expired", conn.RemoteAddr())
+			} else {
+				s.opts.Logf("littletable: conn: %v", err)
+			}
 			return
 		}
 	}
@@ -212,6 +265,13 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			BytesMerged:   st.BytesMerged,
 			RowEstimate:   t.RowEstimate(),
 			TabletsLapsed: st.TabletsExpired,
+
+			TabletsQuarantined: st.TabletsQuarantined,
+			FlushFailures:      st.FlushFailures,
+			MergeFailures:      st.MergeFailures,
+			MergeRetries:       st.MergeRetries,
+			FaultRecoveries:    st.FaultRecoveries,
+			ReadErrors:         st.ReadErrors,
 		}
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())
 

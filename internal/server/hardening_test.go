@@ -1,0 +1,135 @@
+package server
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"littletable/internal/wire"
+)
+
+// serveTCP starts s on a loopback listener and returns its address.
+func serveTCP(t *testing.T, s *Server) net.Addr {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+	return lis.Addr()
+}
+
+func TestReadDeadlineDropsIdleConn(t *testing.T) {
+	s, err := New(Options{
+		Root:        t.TempDir(),
+		ReadTimeout: 50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing; the server should hang up once the read deadline expires.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("expected server to close the idle connection, got %v", err)
+	}
+	if got := s.Stats().ConnsDroppedDeadline.Load(); got != 1 {
+		t.Fatalf("ConnsDroppedDeadline = %d, want 1", got)
+	}
+}
+
+func TestOversizedFrameDropsConn(t *testing.T) {
+	s, err := New(Options{
+		Root:            t.TempDir(),
+		MaxRequestBytes: 1024,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	// A frame over the server's limit but under the protocol maximum: legal
+	// on the wire, rejected by this server's configuration.
+	if err := wc.WriteMsg(wire.MsgHello, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("expected server to drop the oversized frame, got %v", err)
+	}
+	if got := s.Stats().ConnsDroppedOversize.Load(); got != 1 {
+		t.Fatalf("ConnsDroppedOversize = %d, want 1", got)
+	}
+
+	// The drop shows up on the metrics endpoint, without a table label.
+	hs := httptest.NewServer(s.MetricsHandler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"littletable_conns_dropped_oversize_total 1",
+		"littletable_conns_dropped_deadline_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestNormalConnUnaffectedByLimits(t *testing.T) {
+	s, err := New(Options{
+		Root:            t.TempDir(),
+		ReadTimeout:     2 * time.Second,
+		WriteTimeout:    2 * time.Second,
+		MaxRequestBytes: 1 << 20,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := serveTCP(t, s)
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	h := &wire.Hello{Version: wire.ProtocolVersion}
+	if err := wc.WriteMsg(wire.MsgHello, h.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := wc.ReadMsg()
+	if err != nil || mt != wire.MsgOK {
+		t.Fatalf("hello under limits: type %d, err %v", mt, err)
+	}
+	if d := s.Stats().ConnsDroppedDeadline.Load() + s.Stats().ConnsDroppedOversize.Load(); d != 0 {
+		t.Fatalf("spurious drops: %d", d)
+	}
+}

@@ -42,6 +42,18 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].BytesMerged }},
 		{"littletable_tablets_expired_total", "Tablets reclaimed by TTL", "counter",
 			func(i int) int64 { return snaps[i].TabletsExpired }},
+		{"littletable_tablets_quarantined_total", "Corrupt tablets set aside at open", "counter",
+			func(i int) int64 { return snaps[i].TabletsQuarantined }},
+		{"littletable_flush_failures_total", "Flush attempts that failed", "counter",
+			func(i int) int64 { return snaps[i].FlushFailures }},
+		{"littletable_merge_failures_total", "Merge attempts that failed", "counter",
+			func(i int) int64 { return snaps[i].MergeFailures }},
+		{"littletable_merge_retries_total", "Merge attempts made after a failure", "counter",
+			func(i int) int64 { return snaps[i].MergeRetries }},
+		{"littletable_fault_recoveries_total", "Flush/merge successes after failures", "counter",
+			func(i int) int64 { return snaps[i].FaultRecoveries }},
+		{"littletable_read_errors_total", "Query-time tablet read errors", "counter",
+			func(i int) int64 { return snaps[i].ReadErrors }},
 		{"littletable_disk_tablets", "On-disk tablets", "gauge",
 			func(i int) int64 { return int64(tables[i].DiskTabletCount()) }},
 		{"littletable_mem_tablets", "In-memory tablets", "gauge",
@@ -56,6 +68,22 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		for i, t := range tables {
 			fmt.Fprintf(w, "%s{table=%q} %d\n", m.name, t.Name(), m.value(i))
 		}
+	}
+
+	// Server-level connection counters (no table label).
+	serverMetrics := []struct {
+		name, help string
+		value      int64
+	}{
+		{"littletable_conns_dropped_deadline_total",
+			"Connections dropped on read/write deadline expiry",
+			s.stats.ConnsDroppedDeadline.Load()},
+		{"littletable_conns_dropped_oversize_total",
+			"Connections dropped for oversized request frames",
+			s.stats.ConnsDroppedOversize.Load()},
+	}
+	for _, m := range serverMetrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
 	}
 }
 

@@ -9,16 +9,17 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"littletable/internal/clock"
 	"littletable/internal/core"
 	"littletable/internal/schema"
+	"littletable/internal/vfs"
 )
 
 // Options configure a Server.
@@ -37,8 +38,32 @@ type Options struct {
 	// the more-available flag (§3.5). Default core.DefaultQueryRowLimit.
 	QueryRowLimit int
 
+	// ReadTimeout bounds how long the server waits for the next request on
+	// an idle connection; a stalled or dead peer is dropped when it expires.
+	// 0 disables the deadline (clients keep connections persistent to detect
+	// server crashes, §3.1, so the default is permissive).
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each response write; a peer that stops reading
+	// cannot pin a handler goroutine forever. 0 disables.
+	WriteTimeout time.Duration
+
+	// MaxRequestBytes caps a single request frame, bounding per-connection
+	// memory against oversized or malicious messages. 0 means wire.MaxFrame.
+	MaxRequestBytes int
+
 	// Logf sinks server logs; default log.Printf.
 	Logf func(format string, args ...interface{})
+}
+
+// ServerStats count connection-level robustness events.
+type ServerStats struct {
+	// ConnsDroppedDeadline counts connections closed because a read or
+	// write deadline expired.
+	ConnsDroppedDeadline atomic.Int64
+	// ConnsDroppedOversize counts connections closed for sending a frame
+	// larger than MaxRequestBytes.
+	ConnsDroppedOversize atomic.Int64
 }
 
 var tableNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]{0,127}$`)
@@ -52,7 +77,8 @@ var (
 
 // Server owns a directory of LittleTable tables.
 type Server struct {
-	opts Options
+	opts  Options
+	stats ServerStats
 
 	mu     sync.Mutex
 	tables map[string]*core.Table
@@ -80,7 +106,7 @@ func New(opts Options) (*Server, error) {
 	if opts.Core.Clock == nil {
 		opts.Core.Clock = clock.Real{}
 	}
-	if err := os.MkdirAll(opts.Root, 0o755); err != nil {
+	if err := rootFS(opts).MkdirAll(opts.Root); err != nil {
 		return nil, err
 	}
 	s := &Server{
@@ -89,7 +115,7 @@ func New(opts Options) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
-	ents, err := os.ReadDir(opts.Root)
+	ents, err := rootFS(opts).ReadDir(opts.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +231,16 @@ func (s *Server) DropTable(name string) error {
 	if err := t.Close(); err != nil {
 		return err
 	}
-	return os.RemoveAll(filepath.Join(s.opts.Root, name))
+	return rootFS(s.opts).RemoveAll(filepath.Join(s.opts.Root, name))
+}
+
+// rootFS is the filesystem for root-directory operations: the tables' FS
+// when injected, the real one otherwise.
+func rootFS(opts Options) vfs.FS {
+	if opts.Core.FS != nil {
+		return opts.Core.FS
+	}
+	return vfs.OsFS{}
 }
 
 // Serve accepts connections on lis until Close.
@@ -291,6 +326,9 @@ func (s *Server) closeTablesLocked() {
 	}
 	s.tables = map[string]*core.Table{}
 }
+
+// Stats exposes the server's connection-level counters.
+func (s *Server) Stats() *ServerStats { return &s.stats }
 
 // FlushAllTables flushes every table's memtables; used at orderly shutdown
 // when the operator wants zero loss despite the weak durability contract.

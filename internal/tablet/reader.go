@@ -3,24 +3,22 @@ package tablet
 import (
 	"fmt"
 	"io"
-	"os"
 
 	"littletable/internal/block"
 	"littletable/internal/blockcache"
 	"littletable/internal/bloom"
 	"littletable/internal/ltval"
 	"littletable/internal/schema"
+	"littletable/internal/vfs"
 )
 
-// File is the read abstraction a Tablet needs. *os.File satisfies it; the
-// iotrace package wraps one to record access patterns for the disk-model
-// benchmarks (Figures 5 and 6).
+// File is the read abstraction a Tablet needs. *os.File and vfs.File
+// satisfy it; the iotrace package wraps one to record access patterns for
+// the disk-model benchmarks (Figures 5 and 6).
 type File interface {
 	io.ReaderAt
 	io.Closer
 }
-
-type osFile struct{ *os.File }
 
 // Tablet is an open on-disk tablet. Concurrent reads are safe; each query
 // opens its own Cursor.
@@ -43,9 +41,13 @@ func (t *Tablet) SetBlockCache(c *blockcache.Cache, handle uint64) {
 	t.handle = handle
 }
 
-// Open opens the tablet file at path and loads its footer.
-func Open(path string) (*Tablet, error) {
-	f, err := os.Open(path)
+// Open opens the tablet file at path on the real filesystem and loads its
+// footer.
+func Open(path string) (*Tablet, error) { return OpenFS(vfs.OsFS{}, path) }
+
+// OpenFS opens the tablet file at path through fsys and loads its footer.
+func OpenFS(fsys vfs.FS, path string) (*Tablet, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +56,7 @@ func Open(path string) (*Tablet, error) {
 		f.Close()
 		return nil, err
 	}
-	t, err := OpenFile(osFile{f}, st.Size())
+	t, err := OpenFile(f, st.Size())
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -130,6 +132,25 @@ func (t *Tablet) LastKey() ([]ltval.Value, error) {
 		return nil, nil
 	}
 	return t.ft.sc.DecodeKey(t.ft.blocks[len(t.ft.blocks)-1].lastKey)
+}
+
+// VerifyBlocks reads every block record and checks its framing and
+// checksum, without parsing rows or touching the block cache. It detects
+// latent corruption — bit flips, truncation inside a block — that footer
+// loading alone cannot see, so the engine can quarantine a damaged tablet
+// at open instead of failing queries later.
+func (t *Tablet) VerifyBlocks() error {
+	for i := range t.ft.blocks {
+		bm := &t.ft.blocks[i]
+		payload, _, err := readRecord(t.f, bm.offset, t.size)
+		if err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		if len(payload) != int(bm.rawLen) {
+			return fmt.Errorf("%w: block %d raw length %d, want %d", ErrCorrupt, i, len(payload), bm.rawLen)
+		}
+	}
+	return nil
 }
 
 // loadBlock reads, verifies, and parses block i, consulting the shared

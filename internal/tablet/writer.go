@@ -3,11 +3,11 @@ package tablet
 import (
 	"bufio"
 	"fmt"
-	"os"
 
 	"littletable/internal/block"
 	"littletable/internal/bloom"
 	"littletable/internal/schema"
+	"littletable/internal/vfs"
 )
 
 // WriterOptions tune tablet creation. The zero value gives the paper's
@@ -20,10 +20,23 @@ type WriterOptions struct {
 	DisableCompression bool
 	// DisableBloom skips the per-tablet Bloom filter (§3.4.5).
 	DisableBloom bool
-	// Sync fsyncs the file before rename on Close. LittleTable's durability
-	// story tolerates losing recent tablets, so syncing is optional and the
-	// engine syncs only at descriptor-update boundaries.
+	// Sync fsyncs the file before rename on Close, and the parent directory
+	// after it (a rename without a directory fsync is not durable on ext4).
+	// LittleTable's durability story tolerates losing recent tablets, so
+	// syncing is optional and the engine syncs only at descriptor-update
+	// boundaries.
 	Sync bool
+
+	// FS abstracts filesystem access; nil means the real OS filesystem.
+	// Tests inject fault-injecting or crash-simulating implementations.
+	FS vfs.FS
+}
+
+func (o *WriterOptions) fsys() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OsFS{}
 }
 
 func (o *WriterOptions) blockSize() int {
@@ -49,7 +62,8 @@ type Info struct {
 type Writer struct {
 	path    string
 	tmpPath string
-	f       *os.File
+	fsys    vfs.FS
+	f       vfs.File
 	w       *bufio.Writer
 	opts    WriterOptions
 	sc      *schema.Schema
@@ -68,13 +82,15 @@ type Writer struct {
 // Create opens a tablet writer for rows of schema sc at path.
 func Create(path string, sc *schema.Schema, opts WriterOptions) (*Writer, error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	fsys := opts.fsys()
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	return &Writer{
 		path:    path,
 		tmpPath: tmp,
+		fsys:    fsys,
 		f:       f,
 		w:       bufio.NewWriterSize(f, 1<<20),
 		opts:    opts,
@@ -161,7 +177,7 @@ func (w *Writer) Abort() error {
 	}
 	w.closed = true
 	w.f.Close()
-	return os.Remove(w.tmpPath)
+	return w.fsys.Remove(w.tmpPath)
 }
 
 // Close flushes remaining rows, writes the footer and trailer, optionally
@@ -207,12 +223,19 @@ func (w *Writer) Close() (*Info, error) {
 		}
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.tmpPath)
+		w.fsys.Remove(w.tmpPath)
 		return nil, err
 	}
-	if err := os.Rename(w.tmpPath, w.path); err != nil {
-		os.Remove(w.tmpPath)
+	if err := w.fsys.Rename(w.tmpPath, w.path); err != nil {
+		w.fsys.Remove(w.tmpPath)
 		return nil, err
+	}
+	if w.opts.Sync {
+		// Make the rename durable: without a directory fsync the new entry
+		// may not survive a power cut even though the file data did.
+		if err := w.fsys.SyncDir(vfs.DirOf(w.path)); err != nil {
+			return nil, err
+		}
 	}
 	return &Info{
 		Path:     w.path,
@@ -225,5 +248,5 @@ func (w *Writer) Close() (*Info, error) {
 
 func (w *Writer) cleanup() {
 	w.f.Close()
-	os.Remove(w.tmpPath)
+	w.fsys.Remove(w.tmpPath)
 }

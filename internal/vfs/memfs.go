@@ -1,0 +1,460 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory FS with power-loss semantics, for the
+// crash-consistency harness. It tracks, for every file, which bytes have
+// been fsynced, and for every directory, which entry operations (create,
+// rename, remove) have been made durable by a SyncDir. CrashClone returns
+// the state an ext4-like disk could present after a power cut at this
+// instant under the strictest model: un-synced file data is dropped and
+// un-synced directory operations are rolled back.
+//
+// A BarrierHook, when set, is invoked after every durability barrier
+// (File.Sync, SyncDir, Rename); the harness uses it to snapshot a crash
+// state at each boundary of a running workload.
+type MemFS struct {
+	mu    sync.Mutex
+	nodes map[string]*memNode // path -> file
+	dirs  map[string]bool     // existing directories
+	undo  []undoRec           // dir ops since the covering SyncDir, oldest first
+
+	hook func(op, path string) // called outside mu after barriers
+}
+
+// memNode holds a file's volatile contents and its last-synced snapshot.
+type memNode struct {
+	data   []byte
+	synced []byte
+	mtime  time.Time
+}
+
+// undoRec reverses one directory-level operation; dirs names the parent
+// directories whose SyncDir must all happen before the op is durable.
+type undoRec struct {
+	dirs []string
+	fn   func(nodes map[string]*memNode)
+}
+
+// NewMem returns an empty MemFS with a root directory.
+func NewMem() *MemFS {
+	return &MemFS{
+		nodes: map[string]*memNode{},
+		dirs:  map[string]bool{"/": true, ".": true},
+	}
+}
+
+// SetBarrierHook installs fn, called (outside the FS lock) after every
+// durability barrier: File.Sync, SyncDir, and Rename. op is one of "sync",
+// "syncdir", "rename".
+func (m *MemFS) SetBarrierHook(fn func(op, path string)) {
+	m.mu.Lock()
+	m.hook = fn
+	m.mu.Unlock()
+}
+
+func (m *MemFS) fire(op, path string) {
+	m.mu.Lock()
+	fn := m.hook
+	m.mu.Unlock()
+	if fn != nil {
+		fn(op, path)
+	}
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[filepath.Dir(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	prev, existed := m.nodes[name]
+	n := &memNode{mtime: time.Now()}
+	m.nodes[name] = n
+	m.undo = append(m.undo, undoRec{
+		dirs: []string{filepath.Dir(name)},
+		fn: func(nodes map[string]*memNode) {
+			if existed {
+				nodes[name] = prev
+			} else {
+				delete(nodes, name)
+			}
+		},
+	})
+	return &memWriteFile{fs: m, name: name, node: n}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &memReadFile{fs: m, name: name, node: n}, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = clean(oldname), clean(newname)
+	m.mu.Lock()
+	n, ok := m.nodes[oldname]
+	if !ok {
+		m.mu.Unlock()
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	overwritten, hadTarget := m.nodes[newname]
+	delete(m.nodes, oldname)
+	m.nodes[newname] = n
+	m.undo = append(m.undo, undoRec{
+		dirs: dedupDirs(filepath.Dir(oldname), filepath.Dir(newname)),
+		fn: func(nodes map[string]*memNode) {
+			nodes[oldname] = n
+			if hadTarget {
+				nodes[newname] = overwritten
+			} else {
+				delete(nodes, newname)
+			}
+		},
+	})
+	m.mu.Unlock()
+	m.fire("rename", newname)
+	return nil
+}
+
+func dedupDirs(a, b string) []string {
+	if a == b {
+		return []string{a}
+	}
+	return []string{a, b}
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[name]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.nodes, name)
+	m.undo = append(m.undo, undoRec{
+		dirs: []string{filepath.Dir(name)},
+		fn:   func(nodes map[string]*memNode) { nodes[name] = n },
+	})
+	return nil
+}
+
+// RemoveAll implements FS. Directory removal is treated as immediately
+// durable; the engine only uses it for DropTable, which the crash harness
+// does not exercise.
+func (m *MemFS) RemoveAll(path string) error {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path + string(filepath.Separator)
+	for p := range m.nodes {
+		if p == path || strings.HasPrefix(p, prefix) {
+			delete(m.nodes, p)
+		}
+	}
+	for d := range m.dirs {
+		if d == path || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	// Drop undo records under the removed tree: resurrecting files into a
+	// deleted directory would be nonsense.
+	kept := m.undo[:0]
+	for _, u := range m.undo {
+		under := false
+		for _, d := range u.dirs {
+			if d == path || strings.HasPrefix(d, prefix) {
+				under = true
+			}
+		}
+		if !under {
+			kept = append(kept, u)
+		}
+	}
+	m.undo = kept
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is treated as immediately
+// durable: the engine creates a table's directory once, before any data it
+// could lose exists.
+func (m *MemFS) MkdirAll(path string) error {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	seen := map[string]fs.DirEntry{}
+	prefix := name + string(filepath.Separator)
+	if name == "/" {
+		prefix = "/"
+	}
+	for p, n := range m.nodes {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := p[len(prefix):]
+		if i := strings.IndexByte(rest, filepath.Separator); i >= 0 {
+			continue // file in a subdirectory
+		}
+		seen[rest] = memDirEntry{name: rest, info: memInfo{name: rest, size: int64(len(n.data)), mtime: n.mtime}}
+	}
+	for d := range m.dirs {
+		if !strings.HasPrefix(d, prefix) || d == name {
+			continue
+		}
+		rest := d[len(prefix):]
+		if i := strings.IndexByte(rest, filepath.Separator); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest] = memDirEntry{name: rest, info: memInfo{name: rest, dir: true}}
+	}
+	out := make([]fs.DirEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	name = clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n, ok := m.nodes[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(n.data)), mtime: n.mtime}, nil
+	}
+	if m.dirs[name] {
+		return memInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// SyncDir implements FS: directory operations whose parents have all been
+// synced become durable (their undo records are dropped).
+func (m *MemFS) SyncDir(name string) error {
+	name = clean(name)
+	m.mu.Lock()
+	if !m.dirs[name] {
+		m.mu.Unlock()
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	kept := m.undo[:0]
+	for _, u := range m.undo {
+		dirs := u.dirs[:0]
+		for _, d := range u.dirs {
+			if d != name {
+				dirs = append(dirs, d)
+			}
+		}
+		u.dirs = dirs
+		if len(u.dirs) > 0 {
+			kept = append(kept, u)
+		}
+	}
+	m.undo = kept
+	m.mu.Unlock()
+	m.fire("syncdir", name)
+	return nil
+}
+
+// CrashClone returns an independent MemFS holding the state a disk could
+// present after a power cut now: every un-synced directory operation rolled
+// back (newest first), then every file truncated to its last-synced
+// contents. The original is unaffected, and the clone carries no hook.
+func (m *MemFS) CrashClone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	view := make(map[string]*memNode, len(m.nodes))
+	for p, n := range m.nodes {
+		view[p] = n
+	}
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		m.undo[i].fn(view)
+	}
+	out := &MemFS{
+		nodes: make(map[string]*memNode, len(view)),
+		dirs:  make(map[string]bool, len(m.dirs)),
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for p, n := range view {
+		// Only the synced bytes survive; the entry itself survived the
+		// rollback above, so it was durable.
+		out.nodes[p] = &memNode{
+			data:   append([]byte(nil), n.synced...),
+			synced: append([]byte(nil), n.synced...),
+			mtime:  n.mtime,
+		}
+	}
+	return out
+}
+
+// FileCount reports the number of files (diagnostics for tests).
+func (m *MemFS) FileCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.nodes)
+}
+
+// --- file handles ---
+
+// memWriteFile appends sequentially to its node.
+type memWriteFile struct {
+	fs     *MemFS
+	name   string
+	node   *memNode
+	closed bool
+}
+
+func (f *memWriteFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if f.closed {
+		f.fs.mu.Unlock()
+		return 0, fs.ErrClosed
+	}
+	f.node.data = append(f.node.data, p...)
+	f.node.mtime = time.Now()
+	f.fs.mu.Unlock()
+	return len(p), nil
+}
+
+func (f *memWriteFile) ReadAt(p []byte, off int64) (int, error) {
+	return readAtNode(f.fs, f.node, p, off)
+}
+
+func (f *memWriteFile) Sync() error {
+	f.fs.mu.Lock()
+	if f.closed {
+		f.fs.mu.Unlock()
+		return fs.ErrClosed
+	}
+	f.node.synced = append(f.node.synced[:0], f.node.data...)
+	f.fs.mu.Unlock()
+	f.fs.fire("sync", f.name)
+	return nil
+}
+
+func (f *memWriteFile) Close() error {
+	f.fs.mu.Lock()
+	f.closed = true
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (f *memWriteFile) Stat() (fs.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return memInfo{name: filepath.Base(f.name), size: int64(len(f.node.data)), mtime: f.node.mtime}, nil
+}
+
+// memReadFile reads a node; it keeps working after the name is renamed or
+// removed, like a POSIX file handle.
+type memReadFile struct {
+	fs   *MemFS
+	name string
+	node *memNode
+}
+
+func (f *memReadFile) Write([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "write", Path: f.name, Err: fs.ErrPermission}
+}
+
+func (f *memReadFile) ReadAt(p []byte, off int64) (int, error) {
+	return readAtNode(f.fs, f.node, p, off)
+}
+
+func (f *memReadFile) Sync() error  { return nil }
+func (f *memReadFile) Close() error { return nil }
+
+func (f *memReadFile) Stat() (fs.FileInfo, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return memInfo{name: filepath.Base(f.name), size: int64(len(f.node.data)), mtime: f.node.mtime}, nil
+}
+
+func readAtNode(m *MemFS, n *memNode, p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative offset %d", off)
+	}
+	if off >= int64(len(n.data)) {
+		return 0, io.EOF
+	}
+	c := copy(p, n.data[off:])
+	if c < len(p) {
+		return c, io.EOF
+	}
+	return c, nil
+}
+
+// --- fs.FileInfo / fs.DirEntry ---
+
+type memInfo struct {
+	name  string
+	size  int64
+	dir   bool
+	mtime time.Time
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return i.mtime }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }
+
+type memDirEntry struct {
+	name string
+	info memInfo
+}
+
+func (e memDirEntry) Name() string               { return e.name }
+func (e memDirEntry) IsDir() bool                { return e.info.dir }
+func (e memDirEntry) Type() fs.FileMode          { return e.info.Mode().Type() }
+func (e memDirEntry) Info() (fs.FileInfo, error) { return e.info, nil }

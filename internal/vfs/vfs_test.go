@@ -1,0 +1,238 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSBasics(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/t/usage"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "/t/usage/a.tab", []byte("hello"), true)
+	data, err := ReadFile(m, "/t/usage/a.tab")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := m.Rename("/t/usage/a.tab", "/t/usage/b.tab"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := m.ReadDir("/t/usage")
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.tab" {
+		t.Fatalf("readdir: %v, %v", ents, err)
+	}
+	st, err := m.Stat("/t/usage/b.tab")
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("stat: %v, %v", st, err)
+	}
+	if err := m.Remove("/t/usage/b.tab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("/t/usage/b.tab"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open removed: %v", err)
+	}
+}
+
+// A created-and-synced file whose directory entry was never SyncDir'd must
+// vanish in a crash; after SyncDir it must survive with synced bytes only.
+func TestMemFSCrashDropsUnsyncedEntries(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "/d/file", []byte("abc"), true)
+
+	crash := m.CrashClone()
+	if _, err := crash.Open("/d/file"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("entry survived crash without dir sync: %v", err)
+	}
+
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Append more bytes, unsynced.
+	f, err := m.Create("/d/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	f.Close()
+
+	crash = m.CrashClone()
+	data, err := ReadFile(crash, "/d/file")
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("durable file lost: %q, %v", data, err)
+	}
+	if _, err := crash.Open("/d/other"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("unsynced create survived crash")
+	}
+}
+
+// A crash between rename and SyncDir rolls the rename back; after SyncDir it
+// sticks. An overwritten target must be restored by the rollback.
+func TestMemFSCrashRollsBackRename(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "/d/target", []byte("old"), true)
+	writeAll(t, m, "/d/tmp", []byte("new"), true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("/d/tmp", "/d/target"); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := m.CrashClone()
+	data, err := ReadFile(crash, "/d/target")
+	if err != nil || string(data) != "old" {
+		t.Fatalf("target after crash = %q, %v; want pre-rename contents", data, err)
+	}
+	if d2, err := ReadFile(crash, "/d/tmp"); err != nil || string(d2) != "new" {
+		t.Fatalf("tmp after crash = %q, %v", d2, err)
+	}
+
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	crash = m.CrashClone()
+	data, err = ReadFile(crash, "/d/target")
+	if err != nil || string(data) != "new" {
+		t.Fatalf("target after synced rename = %q, %v", data, err)
+	}
+	if _, err := crash.Open("/d/tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("tmp survived durable rename")
+	}
+}
+
+// Unsynced file data is dropped at a crash even when the entry is durable.
+func TestMemFSCrashTruncatesToSyncedPrefix(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d")
+	f, err := m.Create("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable-"))
+	f.Sync()
+	f.Write([]byte("volatile"))
+	f.Close()
+	m.SyncDir("/d")
+
+	crash := m.CrashClone()
+	data, err := ReadFile(crash, "/d/f")
+	if err != nil || string(data) != "durable-" {
+		t.Fatalf("crash contents = %q, %v; want synced prefix", data, err)
+	}
+	// The original is untouched.
+	data, _ = ReadFile(m, "/d/f")
+	if string(data) != "durable-volatile" {
+		t.Fatalf("original mutated: %q", data)
+	}
+}
+
+func TestMemFSBarrierHook(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d")
+	var ops []string
+	m.SetBarrierHook(func(op, path string) { ops = append(ops, op) })
+	writeAll(t, m, "/d/f", []byte("x"), true) // sync
+	m.Rename("/d/f", "/d/g")                  // rename
+	m.SyncDir("/d")                           // syncdir
+	want := []string{"sync", "rename", "syncdir"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestFaultFSNthAndPersistent(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d")
+	ff := NewFault(m)
+	boom := errors.New("boom")
+	ff.Inject(&Fault{Op: OpCreate, Path: ".tab", Nth: 2, Err: boom})
+
+	if _, err := ff.Create("/d/a.tab"); err != nil {
+		t.Fatalf("first create should pass: %v", err)
+	}
+	if _, err := ff.Create("/d/b.tab"); !errors.Is(err, boom) {
+		t.Fatalf("second create should fail: %v", err)
+	}
+	if _, err := ff.Create("/d/c.tab"); err != nil {
+		t.Fatalf("third create should pass again: %v", err)
+	}
+	if ff.Injected() != 1 {
+		t.Fatalf("injected = %d", ff.Injected())
+	}
+
+	ff.Inject(&Fault{Op: OpSync, Persistent: true})
+	f, _ := ff.Create("/d/d.tab")
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	m := NewMem()
+	m.MkdirAll("/d")
+	ff := NewFault(m)
+	ff.Inject(&Fault{Op: OpWrite, TearBytes: 3})
+	f, err := ff.Create("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := ReadFile(m, "/d/f")
+	if string(data) != "abc" {
+		t.Fatalf("underlying contents %q, want torn prefix", data)
+	}
+}
+
+func TestOsFSSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	var fsys OsFS
+	writeAll(t, fsys, dir+"/a", []byte("x"), true)
+	if err := fsys.Rename(dir+"/a", dir+"/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := ReadFile(fsys, dir + "/b")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("read back: %q, %v", data, err)
+	}
+}

@@ -459,6 +459,14 @@ type StatsResult struct {
 	BytesMerged   int64
 	RowEstimate   int64
 	TabletsLapsed int64
+
+	// Robustness counters: bad-storage events the table absorbed.
+	TabletsQuarantined int64
+	FlushFailures      int64
+	MergeFailures      int64
+	MergeRetries       int64
+	FaultRecoveries    int64
+	ReadErrors         int64
 }
 
 // Encode serializes the message payload.
@@ -468,6 +476,8 @@ func (m *StatsResult) Encode() []byte {
 		m.RowsInserted, m.RowsReturned, m.RowsScanned, m.Queries,
 		m.DiskTablets, m.DiskBytes, m.MemTablets, m.Merges,
 		m.BytesFlushed, m.BytesMerged, m.RowEstimate, m.TabletsLapsed,
+		m.TabletsQuarantined, m.FlushFailures, m.MergeFailures,
+		m.MergeRetries, m.FaultRecoveries, m.ReadErrors,
 	} {
 		b.I64(v)
 	}
@@ -482,6 +492,8 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.RowsInserted, &m.RowsReturned, &m.RowsScanned, &m.Queries,
 		&m.DiskTablets, &m.DiskBytes, &m.MemTablets, &m.Merges,
 		&m.BytesFlushed, &m.BytesMerged, &m.RowEstimate, &m.TabletsLapsed,
+		&m.TabletsQuarantined, &m.FlushFailures, &m.MergeFailures,
+		&m.MergeRetries, &m.FaultRecoveries, &m.ReadErrors,
 	} {
 		*f = d.I64()
 	}

@@ -66,13 +66,23 @@ var (
 
 // Conn frames messages over any ReadWriter (normally a TCP connection).
 type Conn struct {
-	r *bufio.Reader
-	w *bufio.Writer
+	r       *bufio.Reader
+	w       *bufio.Writer
+	readMax int
 }
 
 // NewConn wraps rw in buffered framing.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{r: bufio.NewReaderSize(rw, 64*1024), w: bufio.NewWriterSize(rw, 64*1024)}
+	return &Conn{r: bufio.NewReaderSize(rw, 64*1024), w: bufio.NewWriterSize(rw, 64*1024), readMax: MaxFrame}
+}
+
+// SetReadLimit caps incoming frame sizes below MaxFrame, so a server can
+// bound per-connection memory against oversized (or malicious) requests.
+// n <= 0 or n > MaxFrame leaves the MaxFrame default.
+func (c *Conn) SetReadLimit(n int) {
+	if n > 0 && n <= MaxFrame {
+		c.readMax = n
+	}
 }
 
 // WriteMsg sends one message and flushes.
@@ -100,7 +110,7 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
-	if n < 1 || n > MaxFrame {
+	if n < 1 || n > c.readMax {
 		return 0, nil, ErrFrameTooBig
 	}
 	if _, err := io.ReadFull(c.r, hdr[4:5]); err != nil {
