@@ -252,6 +252,31 @@ func BenchmarkPublicAPIInsertQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryParallel measures the parallel read path against the
+// serial baseline over a modeled-latency disk: cold-cache and warm-cache
+// merge scans at 1–64 tablets. The cold parallel/serial ratio is the
+// headline (≥2x on 16+ tablets); BENCH_2.json records a captured run.
+func BenchmarkQueryParallel(b *testing.B) {
+	for _, tablets := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("tablets=%d", tablets), func(b *testing.B) {
+			cfg := ltbench.ParallelConfig{
+				TabletCounts:  []int{tablets},
+				RowsPerTablet: 500,
+				Dir:           b.TempDir(),
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := ltbench.RunParallel(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "rows/s-cold-serial")
+				b.ReportMetric(res.Series[1].Points[0].Y, "rows/s-cold-parallel")
+				b.ReportMetric(res.Series[2].Points[0].Y, "rows/s-warm")
+			}
+		})
+	}
+}
+
 // BenchmarkAblations measures the two design-choice ablations (period-aware
 // merging and Bloom filters) against their baselines.
 func BenchmarkAblations(b *testing.B) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,17 +24,20 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run at paper-scale parameters (slow)")
 	asJSON := flag.Bool("json", false, "emit results as JSON (for plotting pipelines)")
+	outPath := flag.String("out", "", "also write results as a JSON array to this file")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
+	var collected []*ltbench.Result
 	run := func(name string) error {
 		res, err := dispatch(name, *full)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		collected = append(collected, res)
 		if *asJSON {
 			return res.FprintJSON(os.Stdout)
 		}
@@ -46,11 +50,22 @@ func main() {
 		names = []string{
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
+			"parallel",
 		}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "ltbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *outPath != "" {
+		b, err := json.MarshalIndent(collected, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*outPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ltbench: write %s: %v\n", *outPath, err)
 			os.Exit(1)
 		}
 	}
@@ -128,6 +143,13 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.Flushes = 512
 		}
 		return ltbench.RunAppendix(cfg)
+	case "parallel":
+		cfg := ltbench.ParallelConfig{}
+		if full {
+			cfg.RowsPerTablet = 8000
+			cfg.TabletCounts = []int{1, 4, 16, 64, 128}
+		}
+		return ltbench.RunParallel(cfg)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -137,5 +159,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel all`)
 }

@@ -24,24 +24,36 @@ type entry struct {
 	size  int64
 }
 
+// flight is one in-progress load, shared by every goroutine that asked for
+// the same key while it was being read and parsed.
+type flight struct {
+	done  chan struct{}
+	value interface{}
+	size  int64
+	err   error
+}
+
 // Cache is a thread-safe LRU bounded by total byte size.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int64
-	used    int64
-	order   *list.List // front = most recent
-	entries map[Key]*list.Element
+	mu       sync.Mutex
+	cap      int64
+	used     int64
+	order    *list.List // front = most recent
+	entries  map[Key]*list.Element
+	inflight map[Key]*flight
 
 	hits   int64
 	misses int64
+	dedups int64
 }
 
 // New returns a cache holding up to capBytes of block data.
 func New(capBytes int64) *Cache {
 	return &Cache{
-		cap:     capBytes,
-		order:   list.New(),
-		entries: make(map[Key]*list.Element),
+		cap:      capBytes,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
 	}
 }
 
@@ -62,11 +74,15 @@ func (c *Cache) Get(k Key) (interface{}, bool) {
 // Put inserts v with the given byte size, evicting least-recently-used
 // entries as needed. Values larger than the whole cache are not stored.
 func (c *Cache) Put(k Key, v interface{}, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(k, v, size)
+}
+
+func (c *Cache) putLocked(k Key, v interface{}, size int64) {
 	if size > c.cap {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		e := el.Value.(*entry)
 		c.used += size - e.size
@@ -89,11 +105,58 @@ func (c *Cache) Put(k Key, v interface{}, size int64) {
 	}
 }
 
+// GetOrLoad returns the cached value for k, loading it with load on a miss.
+// Concurrent calls for the same key are deduplicated (singleflight): one
+// caller runs load while the rest wait and share its result, so N queries
+// scanning the same cold tablet read and parse each block once, not N
+// times. Load errors are not cached; every new caller retries.
+func (c *Cache) GetOrLoad(k Key, load func() (interface{}, int64, error)) (interface{}, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		v := el.Value.(*entry).value
+		c.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := c.inflight[k]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.value, nil
+	}
+	c.misses++
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[k] = fl
+	c.mu.Unlock()
+
+	fl.value, fl.size, fl.err = load()
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if fl.err == nil {
+		c.putLocked(k, fl.value, fl.size)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.value, fl.err
+}
+
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Dedups returns how many loads were avoided by piggybacking on an
+// identical in-flight load (the singleflight saving).
+func (c *Cache) Dedups() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dedups
 }
 
 // UsedBytes returns the current cached byte total.

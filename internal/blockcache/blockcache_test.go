@@ -1,9 +1,12 @@
 package blockcache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGetPut(t *testing.T) {
@@ -98,5 +101,66 @@ func TestConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.UsedBytes() > 10_000 {
 		t.Errorf("over budget under concurrency: %d", c.UsedBytes())
+	}
+}
+
+func TestGetOrLoadSingleflight(t *testing.T) {
+	c := New(10_000)
+	k := Key{Handle: 1, Index: 1}
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrLoad(k, func() (interface{}, int64, error) {
+				loads.Add(1)
+				<-gate // hold every concurrent caller at the load
+				return "block", 5, nil
+			})
+			if err != nil || v.(string) != "block" {
+				t.Errorf("GetOrLoad: %v %v", v, err)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the inflight entry, then release.
+	for loads.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Errorf("load ran %d times, want 1 (singleflight)", n)
+	}
+	if h, m := c.Stats(); m != 1 {
+		t.Errorf("hits %d misses %d, want 1 miss", h, m)
+	}
+	if d := c.Dedups(); d != 7 {
+		t.Errorf("dedups = %d, want 7", d)
+	}
+	if v, ok := c.Get(k); !ok || v.(string) != "block" {
+		t.Error("loaded value not cached")
+	}
+}
+
+func TestGetOrLoadErrorNotCached(t *testing.T) {
+	c := New(10_000)
+	k := Key{Handle: 1, Index: 2}
+	boom := errors.New("read failed")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.GetOrLoad(k, func() (interface{}, int64, error) {
+			calls++
+			return nil, 0, boom
+		}); err != boom {
+			t.Fatalf("attempt %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("loader ran %d times, want 2: errors must not be cached", calls)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Error("failed load left an entry behind")
 	}
 }

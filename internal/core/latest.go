@@ -6,6 +6,7 @@ import (
 
 	"littletable/internal/ltval"
 	"littletable/internal/schema"
+	"littletable/internal/tablet"
 )
 
 // latestQuery is the descending prefix box LatestRow scans with: in
@@ -135,7 +136,9 @@ func (t *Table) latestInGroup(sc *schema.Schema, group []latestSpan, prefix []lt
 	for ord, s := range group {
 		var src rowSource
 		if s.dt != nil {
-			ds, err := newDiskSource(sc, s.dt.tab, &q, &scanned)
+			// Latest-row lookups read at most a handful of rows per source;
+			// prefetch would load blocks they never reach.
+			ds, err := newDiskSource(sc, s.dt.tab, &q, &scanned, tablet.ReadOptions{})
 			if err != nil {
 				return nil, false, err
 			}

@@ -244,9 +244,17 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 	var scanned int64
 	q := NewQuery()
 	h := &mergeHeap{sc: sc, asc: true}
+	// Merges read every block of every input sequentially, the best case for
+	// prefetch; no context, since a merge runs to completion or error.
+	ro := tablet.ReadOptions{PrefetchDepth: t.opts.prefetchDepth()}
 	var srcs []rowSource
+	defer func() {
+		for _, src := range srcs {
+			src.close()
+		}
+	}()
 	for ord, dt := range inputs {
-		src, err := newDiskSource(sc, dt.tab, &q, &scanned)
+		src, err := newDiskSource(sc, dt.tab, &q, &scanned, ro)
 		if err != nil {
 			w.Abort()
 			return nil, err

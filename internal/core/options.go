@@ -41,6 +41,19 @@ const (
 	// client re-submits with an updated start bound when it sees the
 	// more-available flag (§3.5).
 	DefaultQueryRowLimit = 16384
+
+	// DefaultQueryParallelism is how many tablet sources a query opens and
+	// positions concurrently. Opening a tablet source costs up to four
+	// reads (§3.5's footer seeks plus the first block), independent per
+	// tablet until the merge point, so overlapping them cuts first-row
+	// latency on multi-tablet queries.
+	DefaultQueryParallelism = 4
+
+	// DefaultPrefetchDepth is how many blocks each on-disk tablet source
+	// reads ahead of its cursor. While the single merge goroutine drains
+	// one source, the others' pipelines keep loading, hiding block latency
+	// behind the merge.
+	DefaultPrefetchDepth = 2
 )
 
 // Options configure a Table. The zero value of each field selects the
@@ -76,8 +89,19 @@ type Options struct {
 	// BlockCacheBytes enables a per-table LRU over parsed blocks. The
 	// paper's deployment leans on the OS page cache; an explicit cache
 	// additionally skips checksum, decompression, and parsing on repeat
-	// reads. 0 disables it.
+	// reads, and deduplicates concurrent loads of the same block
+	// (singleflight). 0 disables it.
 	BlockCacheBytes int64
+
+	// QueryParallelism is how many on-disk tablet sources one query opens
+	// and positions concurrently. 0 selects the default; 1 or a negative
+	// value opens serially.
+	QueryParallelism int
+
+	// PrefetchDepth is the per-tablet-source block prefetch pipeline
+	// depth. 0 selects the default; a negative value disables prefetch
+	// entirely (blocks load synchronously, the pre-parallel behaviour).
+	PrefetchDepth int
 
 	// DisableCompression turns off lzf for blocks and footers.
 	DisableCompression bool
@@ -140,6 +164,12 @@ func (o Options) withDefaults() Options {
 	if o.QueryRowLimit == 0 {
 		o.QueryRowLimit = DefaultQueryRowLimit
 	}
+	if o.QueryParallelism == 0 {
+		o.QueryParallelism = DefaultQueryParallelism
+	}
+	if o.PrefetchDepth == 0 {
+		o.PrefetchDepth = DefaultPrefetchDepth
+	}
 	if o.FS == nil {
 		o.FS = vfs.OsFS{}
 	}
@@ -147,4 +177,20 @@ func (o Options) withDefaults() Options {
 		o.Logf = log.Printf
 	}
 	return o
+}
+
+// queryParallelism returns the effective worker count (>= 1).
+func (o Options) queryParallelism() int {
+	if o.QueryParallelism < 1 {
+		return 1
+	}
+	return o.QueryParallelism
+}
+
+// prefetchDepth returns the effective pipeline depth (0 = disabled).
+func (o Options) prefetchDepth() int {
+	if o.PrefetchDepth < 0 {
+		return 0
+	}
+	return o.PrefetchDepth
 }

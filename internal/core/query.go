@@ -2,7 +2,10 @@ package core
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"littletable/internal/ltval"
 	"littletable/internal/memtable"
@@ -126,7 +129,7 @@ type diskSource struct {
 	done    bool
 }
 
-func newDiskSource(cur *schema.Schema, tab *tablet.Tablet, q *Query, scanned *int64) (*diskSource, error) {
+func newDiskSource(cur *schema.Schema, tab *tablet.Tablet, q *Query, scanned *int64, ro tablet.ReadOptions) (*diskSource, error) {
 	asc := !q.Descending
 	start := q.Lower
 	if !asc {
@@ -135,9 +138,9 @@ func newDiskSource(cur *schema.Schema, tab *tablet.Tablet, q *Query, scanned *in
 	var c *tablet.Cursor
 	var err error
 	if start == nil {
-		c = tab.Cursor(asc)
+		c = tab.CursorOpts(asc, ro)
 	} else {
-		c, err = tab.Seek(start, asc)
+		c, err = tab.SeekOpts(start, asc, ro)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +186,7 @@ func (d *diskSource) next() (schema.Row, bool) {
 }
 
 func (d *diskSource) err() error { return d.c.Err() }
-func (d *diskSource) close()     {}
+func (d *diskSource) close()     { d.c.Close() }
 
 // mergeHeap merge-sorts rowSources by primary key (§3.2: "merge-sorts the
 // resulting streams to form a single result stream ordered by primary
@@ -221,16 +224,24 @@ func (h *mergeHeap) Pop() interface{} {
 	return it
 }
 
-// Iterator streams a query's result rows. It is single-goroutine; Close
-// must be called to release tablet references.
+// Iterator streams a query's result rows. The merge itself runs on the
+// calling goroutine, but each on-disk source may own a block-prefetch
+// goroutine; Close must be called to stop them and release tablet
+// references. Close is idempotent and safe to call concurrently with Next.
 type Iterator struct {
 	t        *Table
 	q        Query
 	sc       *schema.Schema
+	ctx      context.Context
+	cancel   context.CancelFunc
+	expireLT int64 // rows with ts < expireLT are expired (TTL)
+
+	// mu serializes Next against Close; all fields below are guarded by
+	// it once the iterator is returned to the caller.
+	mu       sync.Mutex
 	h        *mergeHeap
 	sources  []rowSource
 	disks    []*diskTablet
-	expireLT int64 // rows with ts < expireLT are expired (TTL)
 	row      schema.Row
 	returned int
 	scanned  int64
@@ -244,6 +255,13 @@ type Iterator struct {
 // appear (§3.1's weak read guarantee), but the result is always key-ordered
 // and duplicate-free.
 func (t *Table) Query(q Query) (*Iterator, error) {
+	return t.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query bound to a context: cancelling ctx stops the
+// iterator's block loads and prefetch pipelines promptly, so a timed-out
+// or abandoned server query stops consuming disk.
+func (t *Table) QueryCtx(ctx context.Context, q Query) (*Iterator, error) {
 	if q.MinTs > q.MaxTs {
 		return nil, fmt.Errorf("%w: MinTs %d > MaxTs %d", ErrBadQuery, q.MinTs, q.MaxTs)
 	}
@@ -272,10 +290,13 @@ func (t *Table) Query(q Query) (*Iterator, error) {
 	}
 	sc := t.sc
 	ttl := t.ttl
+	qctx, cancel := context.WithCancel(ctx)
 	it := &Iterator{
 		t:        t,
 		q:        q,
 		sc:       sc,
+		ctx:      qctx,
+		cancel:   cancel,
 		expireLT: expireBefore(t.opts.Clock.Now(), ttl),
 		h:        &mergeHeap{sc: sc, asc: !q.Descending},
 	}
@@ -312,21 +333,71 @@ func (t *Table) Query(q Query) (*Iterator, error) {
 	t.mu.Unlock()
 
 	t.stats.Queries.Add(1)
-	ord := 0
-	// Disk sources open outside the lock: seeks touch the filesystem.
-	for _, dt := range disks {
-		src, err := newDiskSource(sc, dt.tab, &it.q, &it.scanned)
+	// Disk sources open outside the lock: seeks touch the filesystem. A
+	// worker pool opens and positions them concurrently — each open costs
+	// footer and first-block reads that are independent until the merge
+	// point — falling back to a serial loop at parallelism 1.
+	ro := tablet.ReadOptions{Ctx: qctx, PrefetchDepth: t.opts.prefetchDepth()}
+	dsrcs := make([]*diskSource, len(disks))
+	errs := make([]error, len(disks))
+	par := t.opts.queryParallelism()
+	if par > len(disks) {
+		par = len(disks)
+	}
+	if par > 1 {
+		t.stats.ParallelOpens.Add(int64(len(disks)))
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					dsrcs[i], errs[i] = newDiskSource(sc, disks[i].tab, &it.q, &it.scanned, ro)
+				}
+			}()
+		}
+		for i := range disks {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i, dt := range disks {
+			dsrcs[i], errs[i] = newDiskSource(sc, dt.tab, &it.q, &it.scanned, ro)
+			if errs[i] != nil {
+				break
+			}
+		}
+	}
+	for _, src := range dsrcs {
+		if src != nil {
+			it.sources = append(it.sources, src)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			t.stats.ReadErrors.Add(1)
 			it.Close()
 			return nil, err
 		}
+	}
+	// Prime the heap in tablet order so ties break deterministically
+	// (newer source wins) regardless of open order.
+	ord := 0
+	it.sources = it.sources[:0]
+	for _, src := range dsrcs {
 		it.push(src, ord)
 		ord++
 	}
 	for _, src := range memSrcs {
 		it.push(src, ord)
 		ord++
+	}
+	if it.firstErr != nil {
+		err := it.firstErr
+		it.Close()
+		return nil, err
 	}
 	return it, nil
 }
@@ -343,6 +414,8 @@ func (it *Iterator) push(src rowSource, ord int) {
 
 // Next advances to the next result row.
 func (it *Iterator) Next() bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	if it.closed || it.firstErr != nil {
 		return false
 	}
@@ -358,7 +431,11 @@ func (it *Iterator) Next() bool {
 		} else {
 			if err := top.src.err(); err != nil && it.firstErr == nil {
 				it.firstErr = err
-				it.t.stats.ReadErrors.Add(1)
+				if !errors.Is(err, context.Canceled) {
+					// Cancellation surfacing mid-merge (a concurrent
+					// Close, a server timeout) is not a storage fault.
+					it.t.stats.ReadErrors.Add(1)
+				}
 				return false
 			}
 			heap.Pop(it.h)
@@ -385,25 +462,53 @@ func (it *Iterator) Next() bool {
 
 // Row returns the current row; valid after Next reports true, until the
 // following Next call.
-func (it *Iterator) Row() schema.Row { return it.row }
+func (it *Iterator) Row() schema.Row {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.row
+}
 
 // Err returns the first error the iterator encountered.
-func (it *Iterator) Err() error { return it.firstErr }
+func (it *Iterator) Err() error {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.firstErr
+}
 
 // Scanned returns rows examined so far, the numerator of Figure 9's
 // scan-efficiency ratio.
-func (it *Iterator) Scanned() int64 { return it.scanned }
+func (it *Iterator) Scanned() int64 {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.scanned
+}
 
 // Returned returns rows yielded so far.
-func (it *Iterator) Returned() int { return it.returned }
+func (it *Iterator) Returned() int {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.returned
+}
 
-// Close releases tablet references and records scan statistics.
+// Close stops prefetch pipelines, releases tablet references, and records
+// scan statistics. It is idempotent and safe to call concurrently with
+// Next: the context cancellation unblocks any in-flight block wait, and
+// the mutex serializes the teardown against the merge loop.
 func (it *Iterator) Close() error {
+	// Cancel first, outside the lock: a Next blocked on a prefetched
+	// block must see the cancellation to release the lock.
+	it.cancel()
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	if it.closed {
 		return nil
 	}
 	it.closed = true
 	for _, src := range it.sources {
+		if d, ok := src.(*diskSource); ok {
+			it.t.stats.BlocksRead.Add(int64(d.c.BlocksRead))
+			it.t.stats.PrefetchHits.Add(int64(d.c.PrefetchHits))
+		}
 		src.close()
 	}
 	for _, dt := range it.disks {

@@ -20,7 +20,27 @@ func TestEngineStateMachine(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		seed := seed
 		t.Run("", func(t *testing.T) {
-			runStateMachine(t, seed, 400)
+			runStateMachine(t, seed, 400, Options{FlushSize: 4 << 10, MergeDelay: clock.Second})
+		})
+	}
+}
+
+// TestEngineStateMachineParallel re-runs the state machine with the
+// parallel read path fully enabled — worker-pool opens, prefetch
+// pipelines, and the shared block cache — so every model verification
+// also checks that parallel queries agree with the reference through
+// crashes, merges, deletes, and TTL changes.
+func TestEngineStateMachineParallel(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runStateMachine(t, seed, 400, Options{
+				FlushSize:        4 << 10,
+				MergeDelay:       clock.Second,
+				QueryParallelism: 8,
+				PrefetchDepth:    3,
+				BlockCacheBytes:  4 << 20,
+			})
 		})
 	}
 }
@@ -31,9 +51,9 @@ type modelRow struct {
 	durable bool
 }
 
-func runStateMachine(t *testing.T, seed int64, steps int) {
+func runStateMachine(t *testing.T, seed int64, steps int, opts Options) {
 	rng := rand.New(rand.NewSource(seed))
-	tt := newTestTable(t, Options{FlushSize: 4 << 10, MergeDelay: clock.Second})
+	tt := newTestTable(t, opts)
 	sc := tt.Schema()
 	ttl := int64(0)
 

@@ -29,6 +29,11 @@ type Stats struct {
 	MergeRetries       atomic.Int64 // merge attempts made after a failure
 	FaultRecoveries    atomic.Int64 // flush/merge successes after >=1 failure
 	ReadErrors         atomic.Int64 // query-time tablet read errors surfaced
+
+	// Parallel read-path counters.
+	BlocksRead    atomic.Int64 // blocks obtained by query cursors
+	PrefetchHits  atomic.Int64 // blocks served by a prefetch pipeline
+	ParallelOpens atomic.Int64 // tablet sources opened by a query worker pool
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -55,6 +60,10 @@ type StatsSnapshot struct {
 	MergeRetries       int64
 	FaultRecoveries    int64
 	ReadErrors         int64
+
+	BlocksRead    int64
+	PrefetchHits  int64
+	ParallelOpens int64
 }
 
 // Snapshot copies the counters.
@@ -82,6 +91,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		MergeRetries:       s.MergeRetries.Load(),
 		FaultRecoveries:    s.FaultRecoveries.Load(),
 		ReadErrors:         s.ReadErrors.Load(),
+
+		BlocksRead:    s.BlocksRead.Load(),
+		PrefetchHits:  s.PrefetchHits.Load(),
+		ParallelOpens: s.ParallelOpens.Load(),
 	}
 }
 

@@ -1,0 +1,193 @@
+package ltbench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+	"littletable/internal/vfs"
+)
+
+// ParallelConfig sizes the parallel-read-path experiment.
+type ParallelConfig struct {
+	// TabletCounts are the x values; default {1, 4, 16, 64}.
+	TabletCounts []int
+	// RowsPerTablet rows of RowBytes each per tablet; defaults 2000 × 256 B
+	// (≈8 blocks per tablet).
+	RowsPerTablet int
+	RowBytes      int
+	// ReadDelay is the modeled per-read disk latency (the §5.1.1 drive's
+	// ~1 ms spent per seek+read, injected via vfs.LatencyFS). Default 1 ms.
+	ReadDelay time.Duration
+	// Parallelism and PrefetchDepth for the parallel variant; defaults 8
+	// and 4.
+	Parallelism   int
+	PrefetchDepth int
+	Dir           string // temp-dir parent; "" = system default
+}
+
+func (c *ParallelConfig) defaults() {
+	if len(c.TabletCounts) == 0 {
+		c.TabletCounts = []int{1, 4, 16, 64}
+	}
+	if c.RowsPerTablet == 0 {
+		c.RowsPerTablet = 2000
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 256
+	}
+	if c.ReadDelay == 0 {
+		c.ReadDelay = time.Millisecond
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 8
+	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 4
+	}
+}
+
+// RunParallel measures the parallel read path against the serial baseline:
+// a key-ordered merge scan over N time-partitioned tablets, each read
+// paying a modeled disk latency (vfs.LatencyFS), so the benchmark isolates
+// what the worker pool and prefetch pipelines actually buy — overlapping
+// block waits — rather than host CPU counts. Three series: cold serial
+// scan, cold parallel scan, warm (block-cache-hit) parallel scan.
+func RunParallel(cfg ParallelConfig) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "parallel",
+		Title:  "parallel query execution: merge-scan rate vs tablet count",
+	}
+	serial := Series{Name: "cold scan, serial (rows/s)"}
+	par := Series{Name: fmt.Sprintf("cold scan, parallelism %d, prefetch %d (rows/s)", cfg.Parallelism, cfg.PrefetchDepth)}
+	warm := Series{Name: "warm scan, block cache hot (rows/s)"}
+	var maxSpeedup float64
+	var maxSpeedupAt int
+	for _, n := range cfg.TabletCounts {
+		dir, err := os.MkdirTemp(cfg.Dir, "parallel")
+		if err != nil {
+			return nil, err
+		}
+		if err := buildScanTable(dir, n, cfg.RowsPerTablet, cfg.RowBytes); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		slow := vfs.LatencyFS{FS: vfs.OsFS{}, ReadDelay: cfg.ReadDelay}
+		serialRate, _, err := timeScan(dir, core.Options{
+			FS:               slow,
+			QueryParallelism: -1,
+			PrefetchDepth:    -1,
+		}, n*cfg.RowsPerTablet, false)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		parRate, warmRate, err := timeScan(dir, core.Options{
+			FS:               slow,
+			QueryParallelism: cfg.Parallelism,
+			PrefetchDepth:    cfg.PrefetchDepth,
+			BlockCacheBytes:  256 << 20,
+		}, n*cfg.RowsPerTablet, true)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d tablets", n)
+		serial.Points = append(serial.Points, Point{X: float64(n), Y: serialRate, Label: label})
+		par.Points = append(par.Points, Point{X: float64(n), Y: parRate, Label: label})
+		warm.Points = append(warm.Points, Point{X: float64(n), Y: warmRate, Label: label})
+		if s := parRate / serialRate; s > maxSpeedup {
+			maxSpeedup, maxSpeedupAt = s, n
+		}
+	}
+	res.Series = []Series{serial, par, warm}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"parallel/serial cold-scan speedup peaks at %.1fx on %d tablets: the worker pool overlaps per-tablet seek latency and each source's prefetch pipeline overlaps block latency with the merge",
+		maxSpeedup, maxSpeedupAt))
+	return res, nil
+}
+
+// buildScanTable creates a table of n on-disk tablets whose key ranges
+// fully interleave (round-robin key assignment), the §3.4.2 worst case for
+// a merge scan: every tablet stays live in the heap for the whole query.
+func buildScanTable(dir string, n, rowsPer, rowBytes int) error {
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	tab, err := core.CreateTable(dir, "bench", benchSchema(), 0, core.Options{
+		Clock:      clk,
+		FlushSize:  1 << 30, // flush only via FlushAll, one tablet per round
+		MergeDelay: 365 * clock.Day,
+	})
+	if err != nil {
+		return err
+	}
+	defer tab.Close()
+	rng := newXorshift(1)
+	base := clk.Now() - 30*clock.Day
+	for r := 0; r < n; r++ {
+		batch := make([]schema.Row, 0, rowsPer)
+		for i := 0; i < rowsPer; i++ {
+			seq := int64(i*n + r)
+			batch = append(batch, benchRow(rng, seq, base+seq, rowBytes))
+		}
+		if err := tab.Insert(batch); err != nil {
+			return err
+		}
+		if err := tab.FlushAll(); err != nil {
+			return err
+		}
+		clk.Advance(clock.Second)
+	}
+	return nil
+}
+
+// timeScan opens the table with opts, runs a bounded key-ordered scan, and
+// returns its rate in rows/s; when warm is set it scans a second time on
+// the same handle (block cache populated) and returns that rate too.
+func timeScan(dir string, opts core.Options, wantRows int, warm bool) (cold, warmRate float64, err error) {
+	tab, err := core.OpenTable(dir, "bench", opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tab.Close()
+	scan := func() (float64, error) {
+		q := core.NewQuery()
+		// A lower bound forces each tablet source to seek (one block load
+		// at open), so the measurement includes the paper's per-tablet
+		// positioning cost (§3.5), not just steady-state streaming.
+		q.Lower = []ltval.Value{ltval.NewInt64(0)}
+		start := time.Now()
+		it, err := tab.Query(q)
+		if err != nil {
+			return 0, err
+		}
+		rows := 0
+		for it.Next() {
+			rows++
+		}
+		err = it.Err()
+		it.Close()
+		if err != nil {
+			return 0, err
+		}
+		if rows != wantRows {
+			return 0, fmt.Errorf("scan returned %d rows, want %d", rows, wantRows)
+		}
+		return float64(rows) / time.Since(start).Seconds(), nil
+	}
+	cold, err = scan()
+	if err != nil {
+		return 0, 0, err
+	}
+	if warm {
+		warmRate, err = scan()
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return cold, warmRate, nil
+}

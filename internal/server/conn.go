@@ -272,7 +272,12 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			MergeRetries:       st.MergeRetries,
 			FaultRecoveries:    st.FaultRecoveries,
 			ReadErrors:         st.ReadErrors,
+
+			BlocksRead:    st.BlocksRead,
+			PrefetchHits:  st.PrefetchHits,
+			ParallelOpens: st.ParallelOpens,
 		}
+		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())
 
 	default:
@@ -343,7 +348,7 @@ func (s *Server) handleQuery(wc *wire.Conn, payload []byte) error {
 	if m.Limit > 0 && int(m.Limit) < limit {
 		limit = int(m.Limit)
 	}
-	it, err := t.Query(q)
+	it, err := t.QueryCtx(s.baseCtx, q)
 	if err != nil {
 		return s.sendErr(wc, err)
 	}

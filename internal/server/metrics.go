@@ -54,6 +54,16 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].FaultRecoveries }},
 		{"littletable_read_errors_total", "Query-time tablet read errors", "counter",
 			func(i int) int64 { return snaps[i].ReadErrors }},
+		{"littletable_blocks_read_total", "Blocks obtained by query cursors", "counter",
+			func(i int) int64 { return snaps[i].BlocksRead }},
+		{"littletable_prefetch_hits_total", "Blocks served by prefetch pipelines", "counter",
+			func(i int) int64 { return snaps[i].PrefetchHits }},
+		{"littletable_parallel_opens_total", "Tablet sources opened by query worker pools", "counter",
+			func(i int) int64 { return snaps[i].ParallelOpens }},
+		{"littletable_block_cache_hits_total", "Block cache hits", "counter",
+			func(i int) int64 { h, _ := tables[i].BlockCacheStats(); return h }},
+		{"littletable_block_cache_misses_total", "Block cache misses", "counter",
+			func(i int) int64 { _, m := tables[i].BlockCacheStats(); return m }},
 		{"littletable_disk_tablets", "On-disk tablets", "gauge",
 			func(i int) int64 { return int64(tables[i].DiskTabletCount()) }},
 		{"littletable_mem_tablets", "In-memory tablets", "gauge",

@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -89,6 +90,11 @@ type Server struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	maintWG sync.WaitGroup
+
+	// baseCtx parents every query's context: closing the server cancels
+	// it, which stops in-flight block loads and prefetch pipelines.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // New opens (or creates) the data directory and all tables within it, and
@@ -115,6 +121,7 @@ func New(opts Options) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	ents, err := rootFS(opts).ReadDir(opts.Root)
 	if err != nil {
 		return nil, err
@@ -304,6 +311,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	close(s.stop)
+	s.baseCancel()
 	lis := s.lis
 	for conn := range s.conns {
 		conn.Close()

@@ -179,6 +179,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	now := clock.Real{}.Now()
 	tab.Insert([]schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(now)}})
 	tab.FlushAll()
+	// A disk-hitting query so the read-path counters have flowed.
+	if _, err := tab.QueryAll(core.NewQuery()); err != nil {
+		t.Fatal(err)
+	}
 
 	srv := httptest.NewServer(s.MetricsHandler())
 	defer srv.Close()
@@ -193,6 +197,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`littletable_rows_inserted_total{table="usage"} 1`,
 		`littletable_disk_tablets{table="usage"} 1`,
 		"# TYPE littletable_disk_bytes gauge",
+		`littletable_blocks_read_total{table="usage"} 1`,
+		`littletable_prefetch_hits_total{table="usage"}`,
+		`littletable_parallel_opens_total{table="usage"}`,
+		`littletable_block_cache_hits_total{table="usage"} 0`,
+		`littletable_block_cache_misses_total{table="usage"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)

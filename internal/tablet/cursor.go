@@ -1,32 +1,60 @@
 package tablet
 
 import (
+	"context"
+
 	"littletable/internal/block"
 	"littletable/internal/ltval"
 	"littletable/internal/schema"
 )
 
+// ReadOptions tune how a cursor reads its tablet.
+type ReadOptions struct {
+	// Ctx cancels in-flight and future block loads, including the
+	// prefetch pipeline's. nil means never cancelled.
+	Ctx context.Context
+
+	// PrefetchDepth enables a background block prefetcher reading up to
+	// this many blocks ahead of the cursor. <= 0 disables prefetch and
+	// the cursor loads blocks synchronously, as before.
+	PrefetchDepth int
+}
+
 // Cursor iterates a tablet's rows in key order. It decodes one block at a
 // time; Row is valid until the next call to Next. Cursors are not safe for
-// concurrent use, but many cursors may read one Tablet concurrently.
+// concurrent use, but many cursors may read one Tablet concurrently. A
+// cursor opened with a PrefetchDepth owns a goroutine; Close reaps it
+// (Close is a no-op otherwise, and always idempotent).
 type Cursor struct {
 	t      *Tablet
 	asc    bool
+	ro     ReadOptions
 	blkIdx int
 	rowIdx int
 	blk    *block.Block
 	row    schema.Row
 	err    error
 	done   bool
+	closed bool
+	pf     *prefetcher
 
 	// BlocksRead counts block loads, for scan-efficiency accounting
 	// (Figure 9) and the disk-model benches.
 	BlocksRead int
+
+	// PrefetchHits counts blocks served by the prefetch pipeline rather
+	// than a synchronous load.
+	PrefetchHits int
 }
 
 // Cursor returns an iterator over the entire tablet.
 func (t *Tablet) Cursor(asc bool) *Cursor {
-	c := &Cursor{t: t, asc: asc}
+	return t.CursorOpts(asc, ReadOptions{})
+}
+
+// CursorOpts is Cursor with explicit read options.
+func (t *Tablet) CursorOpts(asc bool, ro ReadOptions) *Cursor {
+	c := &Cursor{t: t, asc: asc, ro: ro}
 	if asc {
 		c.blkIdx, c.rowIdx = 0, 0
 	} else {
@@ -36,6 +64,7 @@ func (t *Tablet) Cursor(asc bool) *Cursor {
 	if len(t.ft.blocks) == 0 {
 		c.done = true
 	}
+	c.startPrefetch()
 	return c
 }
 
@@ -46,7 +75,21 @@ func (t *Tablet) Cursor(asc bool) *Cursor {
 //     probe as a prefix count as equal, so descending lands on the last
 //     row of the equal range).
 func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
-	c := &Cursor{t: t, asc: asc}
+	return t.SeekOpts(probe, asc, ReadOptions{})
+}
+
+// SeekOpts is Seek with explicit read options.
+func (t *Tablet) SeekOpts(probe []ltval.Value, asc bool, ro ReadOptions) (*Cursor, error) {
+	c, err := t.seekOpts(probe, asc, ro)
+	if err != nil {
+		return nil, err
+	}
+	c.startPrefetch()
+	return c, nil
+}
+
+func (t *Tablet) seekOpts(probe []ltval.Value, asc bool, ro ReadOptions) (*Cursor, error) {
+	c := &Cursor{t: t, asc: asc, ro: ro}
 	if len(t.ft.blocks) == 0 {
 		c.done = true
 		return c, nil
@@ -60,7 +103,7 @@ func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
 			c.done = true
 			return c, nil
 		}
-		blk, err := t.loadBlock(bi)
+		blk, err := t.loadBlockCtx(ro.Ctx, bi)
 		if err != nil {
 			return nil, err
 		}
@@ -77,7 +120,7 @@ func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
 				c.done = true
 				return c, nil
 			}
-			blk, err = t.loadBlock(bi)
+			blk, err = t.loadBlockCtx(ro.Ctx, bi)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +142,7 @@ func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
 		c.rowIdx = -2
 		return c, nil
 	}
-	blk, err := t.loadBlock(bi)
+	blk, err := t.loadBlockCtx(ro.Ctx, bi)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +166,47 @@ func (t *Tablet) Seek(probe []ltval.Value, asc bool) (*Cursor, error) {
 	return c, nil
 }
 
+// startPrefetch launches the block prefetch pipeline, beginning at the
+// first block this cursor has not yet loaded.
+func (c *Cursor) startPrefetch() {
+	if c.ro.PrefetchDepth <= 0 || c.done {
+		return
+	}
+	start := c.blkIdx
+	if c.blk != nil {
+		if c.asc {
+			start = c.blkIdx + 1
+		} else {
+			start = c.blkIdx - 1
+		}
+	}
+	if start < 0 || start >= len(c.t.ft.blocks) {
+		return
+	}
+	c.pf = newPrefetcher(c.t, c.ro, start, c.asc)
+}
+
+// fetchBlock returns block i, from the prefetch pipeline when one is
+// running, synchronously otherwise.
+func (c *Cursor) fetchBlock(i int) (*block.Block, error) {
+	if c.pf != nil {
+		for res := range c.pf.ch {
+			if res.err != nil {
+				c.pf = nil // the pipeline stopped after an error
+				return nil, res.err
+			}
+			if res.idx == i {
+				c.PrefetchHits++
+				return res.blk, nil
+			}
+			// Blocks are produced and consumed in the same order, so a
+			// mismatch cannot happen; tolerate it by skipping.
+		}
+		c.pf = nil // pipeline exhausted its range
+	}
+	return c.t.loadBlockCtx(c.ro.Ctx, i)
+}
+
 // Next advances to the next row, reporting availability. On I/O error it
 // returns false and records the error in Err.
 func (c *Cursor) Next() bool {
@@ -134,7 +218,7 @@ func (c *Cursor) Next() bool {
 			c.done = true
 			return false
 		}
-		blk, err := c.t.loadBlock(c.blkIdx)
+		blk, err := c.fetchBlock(c.blkIdx)
 		if err != nil {
 			c.err = err
 			return false
@@ -177,3 +261,77 @@ func (c *Cursor) Row() schema.Row { return c.row }
 
 // Err returns the first I/O or corruption error the cursor hit.
 func (c *Cursor) Err() error { return c.err }
+
+// Close stops and reaps the prefetch pipeline, if any. It is idempotent
+// and must be called on cursors opened with a PrefetchDepth; it is a
+// harmless no-op on plain cursors.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.done = true
+	if c.pf != nil {
+		c.pf.Close()
+		c.pf = nil
+	}
+}
+
+// fetchResult is one prefetched block (or the error that ended the
+// pipeline).
+type fetchResult struct {
+	idx int
+	blk *block.Block
+	err error
+}
+
+// prefetcher reads blocks ahead of a cursor on its own goroutine, keeping
+// up to cap(ch) parsed blocks buffered. The merge loop of a multi-tablet
+// query drains one source at a time; every other source's pipeline keeps
+// loading in the background, so block latency overlaps instead of
+// serializing (the paper's readahead economics, §5.1.5, applied above the
+// OS).
+type prefetcher struct {
+	ch   chan fetchResult
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newPrefetcher(t *Tablet, ro ReadOptions, start int, asc bool) *prefetcher {
+	p := &prefetcher{
+		ch:   make(chan fetchResult, ro.PrefetchDepth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	step := 1
+	if !asc {
+		step = -1
+	}
+	go func() {
+		defer close(p.done)
+		defer close(p.ch)
+		for i := start; i >= 0 && i < len(t.ft.blocks); i += step {
+			blk, err := t.loadBlockCtx(ro.Ctx, i)
+			select {
+			case p.ch <- fetchResult{idx: i, blk: blk, err: err}:
+				if err != nil {
+					return
+				}
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Close stops the pipeline and waits for its goroutine to exit. Buffered
+// results are discarded.
+func (p *prefetcher) Close() {
+	close(p.stop)
+	// Drain so a blocked send wakes promptly; the channel closes when the
+	// goroutine exits.
+	for range p.ch {
+	}
+	<-p.done
+}

@@ -1,0 +1,143 @@
+package tablet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"littletable/internal/block"
+)
+
+// Fuzz targets for the two decoders that parse bytes off disk: the tablet
+// footer (schema JSON, block index, Bloom filter) and block payloads.
+// Seeds come from real writer output, so the fuzzer starts from valid
+// encodings and mutates toward the interesting edge cases; every target's
+// contract is "return an error, never panic", since a corrupt tablet must
+// quarantine (§3 robustness), not crash the daemon.
+
+// fuzzSeedFile writes a small multi-block tablet with each writer
+// configuration and returns the file contents.
+func fuzzSeedFiles(tb testing.TB) [][]byte {
+	tb.Helper()
+	var out [][]byte
+	for i, opts := range []WriterOptions{
+		// Small BlockSize keeps seed files to a few kB so the mutation
+		// engine's per-exec cost stays low while still covering multi-block
+		// indexes, compression framing, and Bloom sections.
+		{BlockSize: 512},
+		{BlockSize: 512, DisableCompression: true},
+		{BlockSize: 512, DisableBloom: true},
+		{BlockSize: 1 << 10},
+	} {
+		dir := tb.TempDir()
+		path := filepath.Join(dir, "seed.tab")
+		w, err := Create(path, testSchema(tb), opts)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, r := range seqRows(24 * (i + 1)) {
+			if err := w.Append(r); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if _, err := w.Close(); err != nil {
+			tb.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// memFile adapts a byte slice to the Tablet File interface.
+type memFile struct{ *bytes.Reader }
+
+func (memFile) Close() error { return nil }
+
+// FuzzParseFooter mutates marshalled footers (the already-decompressed
+// record payload).
+func FuzzParseFooter(f *testing.F) {
+	for _, fileBytes := range fuzzSeedFiles(f) {
+		tab, err := OpenFile(memFile{bytes.NewReader(fileBytes)}, int64(len(fileBytes)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(tab.ft.marshal())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		ft, err := parseFooter(data)
+		if err != nil {
+			return
+		}
+		// A footer that parses must be safe to walk.
+		for i := range ft.blocks {
+			_, _ = ft.sc.DecodeKey(ft.blocks[i].lastKey)
+		}
+	})
+}
+
+// FuzzOpenTablet mutates whole tablet files: trailer, compressed footer
+// record, block records. Anything that opens must also scan without
+// panicking (errors are expected and fine).
+func FuzzOpenTablet(f *testing.F) {
+	for _, fileBytes := range fuzzSeedFiles(f) {
+		f.Add(fileBytes)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		tab, err := OpenFile(memFile{bytes.NewReader(data)}, int64(len(data)))
+		if err != nil {
+			return
+		}
+		c := tab.Cursor(true)
+		for i := 0; i < 1<<16 && c.Next(); i++ {
+		}
+		_ = c.Err()
+		c.Close()
+	})
+}
+
+// FuzzBlockParse mutates raw (decompressed) block payloads.
+func FuzzBlockParse(f *testing.F) {
+	sc := testSchema(f)
+	for _, fileBytes := range fuzzSeedFiles(f) {
+		tab, err := OpenFile(memFile{bytes.NewReader(fileBytes)}, int64(len(fileBytes)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < len(tab.ft.blocks) && i < 4; i++ {
+			payload, _, err := readRecord(tab.f, tab.ft.blocks[i].offset, tab.size)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(payload)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		blk, err := block.Parse(sc, data)
+		if err != nil {
+			return
+		}
+		// A block that parses must yield its rows and answer searches
+		// without panicking; row-level errors are acceptable.
+		for i := 0; i < blk.Len(); i++ {
+			if _, err := blk.Row(i); err != nil {
+				return
+			}
+		}
+		_, _ = blk.Search(key(1, 1, 1))
+		_, _ = blk.SearchAfter(key(1, 1, 1))
+	})
+}

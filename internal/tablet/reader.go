@@ -1,6 +1,8 @@
 package tablet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -156,27 +158,58 @@ func (t *Tablet) VerifyBlocks() error {
 // loadBlock reads, verifies, and parses block i, consulting the shared
 // block cache when attached.
 func (t *Tablet) loadBlock(i int) (*block.Block, error) {
-	if t.cache != nil {
-		if v, ok := t.cache.Get(blockcache.Key{Handle: t.handle, Index: i}); ok {
-			return v.(*block.Block), nil
+	return t.loadBlockCtx(nil, i)
+}
+
+// loadBlockCtx is loadBlock with a cancellation context (nil = none). All
+// block reads funnel through here: when a cache is attached, concurrent
+// loads of the same block are deduplicated by the cache's singleflight, so
+// overlapping queries on one cold tablet read and parse each block once.
+func (t *Tablet) loadBlockCtx(ctx context.Context, i int) (*block.Block, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
-	bm := &t.ft.blocks[i]
-	payload, _, err := readRecord(t.f, bm.offset, t.size)
+	if t.cache == nil {
+		blk, _, err := t.readParseBlock(ctx, i)
+		return blk, err
+	}
+	v, err := t.cache.GetOrLoad(blockcache.Key{Handle: t.handle, Index: i}, func() (interface{}, int64, error) {
+		blk, size, err := t.readParseBlock(ctx, i)
+		return blk, size, err
+	})
 	if err != nil {
+		// A singleflight leader cancelled by its own query poisons the
+		// shared result; if this caller is still live, load directly
+		// rather than failing a healthy query on someone else's timeout.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctx == nil || ctx.Err() == nil {
+				blk, _, derr := t.readParseBlock(ctx, i)
+				return blk, derr
+			}
+		}
 		return nil, err
 	}
+	return v.(*block.Block), nil
+}
+
+// readParseBlock does the physical read, verification, and parse of block
+// i, reporting the parsed block and its in-memory (uncompressed) size.
+func (t *Tablet) readParseBlock(ctx context.Context, i int) (*block.Block, int64, error) {
+	bm := &t.ft.blocks[i]
+	payload, _, err := readRecord(vfs.CtxReaderAt{Ctx: ctx, R: t.f}, bm.offset, t.size)
+	if err != nil {
+		return nil, 0, err
+	}
 	if len(payload) != int(bm.rawLen) {
-		return nil, fmt.Errorf("%w: block %d raw length %d, want %d", ErrCorrupt, i, len(payload), bm.rawLen)
+		return nil, 0, fmt.Errorf("%w: block %d raw length %d, want %d", ErrCorrupt, i, len(payload), bm.rawLen)
 	}
 	blk, err := block.Parse(t.ft.sc, payload)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if t.cache != nil {
-		t.cache.Put(blockcache.Key{Handle: t.handle, Index: i}, blk, int64(bm.rawLen))
-	}
-	return blk, nil
+	return blk, int64(bm.rawLen), nil
 }
 
 // comparePrefix orders a full stored key against a possibly-short probe

@@ -1,0 +1,28 @@
+package vfs
+
+import (
+	"context"
+	"io"
+)
+
+// CtxReaderAt threads a context through an io.ReaderAt: each ReadAt fails
+// fast with the context's error once it is cancelled or past its deadline.
+// The storage layers pass one of these down so a cancelled query stops
+// issuing I/O (prefetchers included) instead of running to completion.
+//
+// A nil Ctx reads unconditionally, so callers can thread an optional
+// context without branching.
+type CtxReaderAt struct {
+	Ctx context.Context
+	R   io.ReaderAt
+}
+
+// ReadAt implements io.ReaderAt.
+func (c CtxReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if c.Ctx != nil {
+		if err := c.Ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	return c.R.ReadAt(p, off)
+}

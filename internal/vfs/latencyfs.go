@@ -1,0 +1,38 @@
+package vfs
+
+import (
+	"time"
+)
+
+// LatencyFS wraps an FS, delaying every ReadAt by a fixed amount. It
+// models device read latency (a seek-dominated spinning disk, a network
+// volume) on hosts whose page cache makes real reads near-instant, so the
+// read-path benchmarks measure latency hiding — parallel opens, block
+// prefetch — rather than this machine's SSD. Writes are not delayed; the
+// read path is what the parallel-query benchmarks exercise.
+type LatencyFS struct {
+	FS
+	// ReadDelay is added to every File.ReadAt call.
+	ReadDelay time.Duration
+}
+
+// Open implements FS, wrapping the file so its reads are delayed.
+func (l LatencyFS) Open(name string) (File, error) {
+	f, err := l.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyFile{File: f, delay: l.ReadDelay}, nil
+}
+
+type latencyFile struct {
+	File
+	delay time.Duration
+}
+
+func (f *latencyFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return f.File.ReadAt(p, off)
+}

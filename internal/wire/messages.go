@@ -467,6 +467,13 @@ type StatsResult struct {
 	MergeRetries       int64
 	FaultRecoveries    int64
 	ReadErrors         int64
+
+	// Parallel read-path counters: block traffic and cache effectiveness.
+	BlocksRead       int64
+	PrefetchHits     int64
+	ParallelOpens    int64
+	BlockCacheHits   int64
+	BlockCacheMisses int64
 }
 
 // Encode serializes the message payload.
@@ -478,6 +485,8 @@ func (m *StatsResult) Encode() []byte {
 		m.BytesFlushed, m.BytesMerged, m.RowEstimate, m.TabletsLapsed,
 		m.TabletsQuarantined, m.FlushFailures, m.MergeFailures,
 		m.MergeRetries, m.FaultRecoveries, m.ReadErrors,
+		m.BlocksRead, m.PrefetchHits, m.ParallelOpens,
+		m.BlockCacheHits, m.BlockCacheMisses,
 	} {
 		b.I64(v)
 	}
@@ -494,6 +503,8 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.BytesFlushed, &m.BytesMerged, &m.RowEstimate, &m.TabletsLapsed,
 		&m.TabletsQuarantined, &m.FlushFailures, &m.MergeFailures,
 		&m.MergeRetries, &m.FaultRecoveries, &m.ReadErrors,
+		&m.BlocksRead, &m.PrefetchHits, &m.ParallelOpens,
+		&m.BlockCacheHits, &m.BlockCacheMisses,
 	} {
 		*f = d.I64()
 	}

@@ -208,9 +208,15 @@ func TestMessagesRoundTrip(t *testing.T) {
 		t.Errorf("SchemaResp: %v %v", gsr, err)
 	}
 
-	st := &StatsResult{RowsInserted: 1, RowsReturned: 2, DiskBytes: 3, RowEstimate: 4}
+	st := &StatsResult{
+		RowsInserted: 1, RowsReturned: 2, DiskBytes: 3, RowEstimate: 4,
+		BlocksRead: 5, PrefetchHits: 6, ParallelOpens: 7,
+		BlockCacheHits: 8, BlockCacheMisses: 9,
+	}
 	gst, err := DecodeStatsResult(st.Encode())
-	if err != nil || gst.RowsInserted != 1 || gst.RowEstimate != 4 {
+	if err != nil || gst.RowsInserted != 1 || gst.RowEstimate != 4 ||
+		gst.BlocksRead != 5 || gst.PrefetchHits != 6 || gst.ParallelOpens != 7 ||
+		gst.BlockCacheHits != 8 || gst.BlockCacheMisses != 9 {
 		t.Errorf("StatsResult: %+v %v", gst, err)
 	}
 }
