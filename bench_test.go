@@ -277,6 +277,32 @@ func BenchmarkQueryParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkInsertPipelined measures the batched/pipelined write path
+// against the serialized baseline over a modeled-latency disk: rows per
+// second to durable at 0 (serial) and 4 flush workers, with one inserter
+// and with four concurrent inserters driving the group-commit queue. The
+// pipelined/serial ratio is the headline (≥2x with workers); BENCH_3.json
+// records a captured run.
+func BenchmarkInsertPipelined(b *testing.B) {
+	for _, workers := range []int{0, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := ltbench.WriteloadConfig{
+				Rows:         6000,
+				WorkerCounts: []int{workers},
+				Dir:          b.TempDir(),
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := ltbench.RunWriteload(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "rows/s-1-inserter")
+				b.ReportMetric(res.Series[1].Points[0].Y, "rows/s-4-inserters")
+			}
+		})
+	}
+}
+
 // BenchmarkAblations measures the two design-choice ablations (period-aware
 // merging and Bloom filters) against their baselines.
 func BenchmarkAblations(b *testing.B) {

@@ -44,6 +44,9 @@ func main() {
 		queryPar    = flag.Int("query-parallelism", 0, "tablet sources a query opens concurrently (0 = default, <0 = serial)")
 		prefetch    = flag.Int("prefetch-depth", 0, "blocks each tablet source reads ahead (0 = default, <0 = off)")
 		cacheBytes  = flag.Int64("block-cache-bytes", 0, "per-table LRU cache over parsed blocks, in bytes (0 = off)")
+		flushWork   = flag.Int("flush-workers", 0, "background flush workers per table (0 = synchronous flushing)")
+		insertBatch = flag.Int("insert-batch", 0, "rows applied per table-lock acquisition on insert (0 = default, <0 = row-at-a-time)")
+		maxUnflush  = flag.Int64("max-unflushed-bytes", 0, "sealed-but-unflushed bytes before inserts stall (0 = default, <0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,9 @@ func main() {
 	opts.Core.QueryParallelism = *queryPar
 	opts.Core.PrefetchDepth = *prefetch
 	opts.Core.BlockCacheBytes = *cacheBytes
+	opts.Core.FlushWorkers = *flushWork
+	opts.Core.InsertBatch = *insertBatch
+	opts.Core.MaxUnflushedBytes = *maxUnflush
 
 	srv, err := littletable.NewServer(opts)
 	if err != nil {

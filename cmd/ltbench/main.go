@@ -50,7 +50,7 @@ func main() {
 		names = []string{
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
-			"parallel",
+			"parallel", "writeload",
 		}
 	}
 	for _, name := range names {
@@ -150,6 +150,13 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.TabletCounts = []int{1, 4, 16, 64, 128}
 		}
 		return ltbench.RunParallel(cfg)
+	case "writeload":
+		cfg := ltbench.WriteloadConfig{}
+		if full {
+			cfg.Rows = 48000
+			cfg.WorkerCounts = []int{0, 1, 2, 4, 8}
+		}
+		return ltbench.RunWriteload(cfg)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -159,5 +166,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload all`)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"littletable/internal/clock"
@@ -48,14 +49,19 @@ func runCrashHarness(t *testing.T, w crashWorkload) {
 	defer tab.Close()
 
 	// Snapshot only after the table exists: before the first descriptor
-	// commit there is no table to recover.
+	// commit there is no table to recover. With asynchronous flush workers
+	// the hook fires from worker goroutines too, so the slice is locked.
 	type snap struct {
 		fs       *vfs.MemFS
 		op, path string
 	}
+	var snapMu sync.Mutex
 	var snaps []snap
 	mem.SetBarrierHook(func(op, path string) {
-		snaps = append(snaps, snap{fs: mem.CrashClone(), op: op, path: path})
+		c := mem.CrashClone()
+		snapMu.Lock()
+		snaps = append(snaps, snap{fs: c, op: op, path: path})
+		snapMu.Unlock()
 	})
 
 	inserted, allFlushed := w.run(t, tab, clk)
@@ -157,6 +163,44 @@ func TestCrashAtEveryBarrierMultiPeriod(t *testing.T) {
 			// Leave the last batch unflushed: crashes here must still
 			// recover exactly the flushed prefix.
 			return n, false
+		},
+	})
+}
+
+// TestCrashAtEveryBarrierAsyncPipeline is the dependency-graph kill test
+// for the concurrent flush pipeline: inserts alternate between time
+// periods (building flush-dependency edges), tablets seal at a tiny
+// FlushSize while TWO background workers write groups concurrently, and
+// the harness snapshots a crash image at every durability barrier those
+// workers cross — i.e. it kills the process mid-pipeline, between
+// concurrent tablet writes and in-order descriptor commits. Every
+// recovered image must still be an exact prefix of insertion order: the
+// in-order commit stage is the thing under test.
+func TestCrashAtEveryBarrierAsyncPipeline(t *testing.T) {
+	runCrashHarness(t, crashWorkload{
+		name: "async-pipeline",
+		opts: Options{FlushWorkers: 2, FlushSize: 1 << 10},
+		run: func(t *testing.T, tab *Table, clk *clock.Fake) (int, bool) {
+			now := clk.Now()
+			tsFor := []int64{now, now - 30*clock.Hour, now - 20*clock.Day}
+			n := 0
+			for batch := 0; batch < 12; batch++ {
+				rows := make([]schema.Row, 0, 20)
+				for i := 0; i < 20; i++ {
+					ts := tsFor[n%len(tsFor)] + int64(n)
+					rows = append(rows, usageRow(1, int64(n%7), ts, 0, int64(n)))
+					n++
+				}
+				if err := tab.Insert(rows); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Drain so the final image must hold every row; the interesting
+			// crash points were already snapped while workers raced.
+			if err := tab.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			return n, true
 		},
 	})
 }

@@ -154,12 +154,12 @@ func (t *Table) rewriteWithout(sc *schema.Schema, dt *diskTablet, q Query, filte
 				continue
 			}
 			if err := w.Append(row); err != nil {
-				w.Abort()
+				_ = w.Abort() // best-effort cleanup; the original error wins
 				return 0, err
 			}
 		}
 		if err := c.Err(); err != nil {
-			w.Abort()
+			_ = w.Abort() // best-effort cleanup; the original error wins
 			return 0, err
 		}
 		info, err := w.Close()

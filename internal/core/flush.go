@@ -8,15 +8,24 @@ import (
 	"littletable/internal/tablet"
 )
 
-// FlushStep writes the oldest pending flush group to disk — one on-disk
-// tablet per frozen in-memory tablet — and publishes them all in a single
-// atomic descriptor update (§3.4.3). It reports whether a group was
-// flushed. Safe to call concurrently with inserts and queries; concurrent
-// FlushStep calls serialize.
+// tickFlushRetries bounds how many consecutive flush errors one Tick
+// absorbs before moving on to TTL expiry and merging; before this bound a
+// single bad flush starved the rest of maintenance until the next tick.
+const tickFlushRetries = 3
+
+// FlushStep writes the oldest unclaimed pending flush group to disk — one
+// on-disk tablet per frozen in-memory tablet — and publishes every written
+// group at the head of the seal order in a single atomic descriptor update
+// (§3.4.3). It reports whether it wrote a group. Safe to call concurrently
+// with inserts, queries, and other FlushStep calls: each call claims its
+// own group, files are written without table locks held, and the commit
+// stage only ever publishes a prefix of the seal sequence, so the §3.1
+// prefix-durability guarantee holds under concurrent flushing.
 //
-// A failed flush loses nothing: the group stays at the head of the pending
-// queue and the next FlushStep retries it. Consecutive failures and the
-// eventual recovery are counted in Stats.
+// A failed write loses nothing: the group returns to the queue and a later
+// call retries it. Consecutive failures and the eventual recovery are
+// counted in Stats. A failed descriptor commit DOES lose the affected
+// rows, exactly as in the serial engine.
 func (t *Table) FlushStep() (bool, error) {
 	ok, err := t.flushStep()
 	t.mu.Lock()
@@ -32,34 +41,70 @@ func (t *Table) FlushStep() (bool, error) {
 }
 
 func (t *Table) flushStep() (bool, error) {
-	t.flushMu.Lock()
-	defer t.flushMu.Unlock()
+	// Claim the oldest queued group and reserve its sequence numbers while
+	// holding the lock; write files after releasing it so inserts and
+	// queries proceed during the I/O.
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return false, ErrTableClosed
 	}
-	if len(t.pending) == 0 {
+	var g *flushGroup
+	for _, cand := range t.pending {
+		if cand.state == gsQueued {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
 		t.mu.Unlock()
 		return false, nil
 	}
-	group := t.pending[0]
-	// Reserve sequence numbers while holding the lock; write files after
-	// releasing it so inserts and queries proceed during the I/O.
-	seqs := make([]uint64, len(group.tablets))
-	for i := range group.tablets {
-		seqs[i] = t.nextSeq
+	g.state = gsWriting
+	g.seqs = make([]uint64, len(g.tablets))
+	for i := range g.tablets {
+		g.seqs[i] = t.nextSeq
 		t.nextSeq++
 	}
 	now := t.opts.Clock.Now()
 	t.mu.Unlock()
 
-	newDisks := make([]*diskTablet, 0, len(group.tablets))
-	for i, ft := range group.tablets {
+	disks, werr := t.writeGroup(g, now)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.abortDisks(disks)
+		return false, ErrTableClosed
+	}
+	if werr != nil {
+		// Nothing lost: requeue the group for a later attempt. Sequence
+		// numbers are not reused — gaps are harmless — and waiters are
+		// woken so a draining caller re-claims it rather than sleeping.
+		g.state = gsQueued
+		g.seqs = nil
+		t.flushCond.Broadcast()
+		t.mu.Unlock()
+		return false, werr
+	}
+	g.state = gsWritten
+	g.disks = disks
+	err := t.commitWrittenLocked()
+	t.flushCond.Broadcast()
+	t.mu.Unlock()
+	return err == nil, err
+}
+
+// writeGroup writes one on-disk tablet per non-empty frozen tablet in g and
+// reopens each for reading. No table locks are held during the I/O. On
+// error it cleans up its own partial output and returns nil tablets.
+func (t *Table) writeGroup(g *flushGroup, now int64) ([]*diskTablet, error) {
+	newDisks := make([]*diskTablet, 0, len(g.tablets))
+	for i, ft := range g.tablets {
 		if ft.mt.Empty() {
 			continue
 		}
-		path := filepath.Join(t.dir, tabletFileName(seqs[i]))
+		path := filepath.Join(t.dir, tabletFileName(g.seqs[i]))
 		w, err := tablet.Create(path, ft.mt.Schema(), tablet.WriterOptions{
 			BlockSize:          t.opts.BlockSize,
 			DisableCompression: t.opts.DisableCompression,
@@ -69,32 +114,32 @@ func (t *Table) flushStep() (bool, error) {
 		})
 		if err != nil {
 			t.abortDisks(newDisks)
-			return false, err
+			return nil, err
 		}
 		c := ft.mt.Cursor(true)
 		for c.Next() {
 			if err := w.Append(c.Row()); err != nil {
-				w.Abort()
+				_ = w.Abort() // best-effort cleanup; the original error wins
 				t.abortDisks(newDisks)
-				return false, err
+				return nil, err
 			}
 		}
 		info, err := w.Close()
 		if err != nil {
 			t.abortDisks(newDisks)
-			return false, err
+			return nil, err
 		}
 		tab, err := tablet.OpenFS(t.opts.FS, path)
 		if err != nil {
 			t.opts.FS.Remove(path)
 			t.abortDisks(newDisks)
-			return false, fmt.Errorf("core: reopen flushed tablet: %w", err)
+			return nil, fmt.Errorf("core: reopen flushed tablet: %w", err)
 		}
 		t.attachCache(tab)
 		newDisks = append(newDisks, &diskTablet{
 			rec: tabletRecord{
 				File:     filepath.Base(path),
-				Seq:      seqs[i],
+				Seq:      g.seqs[i],
 				RowCount: info.RowCount,
 				MinTs:    info.MinTs,
 				MaxTs:    info.MaxTs,
@@ -106,39 +151,50 @@ func (t *Table) flushStep() (bool, error) {
 			addedAt:   now,
 			wroteGran: ft.per.Gran,
 		})
-		t.stats.TabletsFlushed.Add(1)
-		t.stats.BytesFlushed.Add(info.Bytes)
 	}
+	return newDisks, nil
+}
 
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		t.abortDisks(newDisks)
-		return false, ErrTableClosed
+// commitWrittenLocked publishes the longest fully-written prefix of the
+// pending queue in one atomic descriptor update. Caller holds t.mu.
+//
+// Commit strictly follows seal order: a group whose files are on disk but
+// whose predecessor is still writing stays uncommitted. Rows sealed later
+// were inserted later (sealing clears lastInsert, so no dependency edge
+// can point backward across a seal), so the descriptor always names a
+// prefix of insertion order — the §3.1 guarantee.
+func (t *Table) commitWrittenLocked() error {
+	var committed []*flushGroup
+	for len(t.pending) > 0 && t.pending[0].state == gsWritten {
+		g := t.pending[0]
+		t.pending = t.pending[1:]
+		t.disk = append(t.disk, g.disks...)
+		t.sealedBytes -= g.bytes
+		committed = append(committed, g)
 	}
-	// The group is still pending[0]: FlushStep calls serialize on flushMu
-	// and only FlushStep removes groups. Verify anyway.
-	if len(t.pending) == 0 || t.pending[0].tablets[0] != group.tablets[0] {
-		t.mu.Unlock()
-		t.abortDisks(newDisks)
-		return false, fmt.Errorf("core: pending queue mutated during flush")
+	if len(committed) == 0 {
+		return nil
 	}
-	t.pending = t.pending[1:]
-	t.disk = append(t.disk, newDisks...)
 	t.sortDiskLocked()
-	err := t.writeDescriptorLocked()
-	if err != nil {
-		// Roll back: the files exist but are not durable; drop them.
-		for _, dt := range newDisks {
-			t.dropLocked(dt)
+	if err := t.writeDescriptorLocked(); err != nil {
+		// Roll back: the files exist but are not durable; drop them. The
+		// rows are lost from memory; surface the error loudly.
+		for _, g := range committed {
+			for _, dt := range g.disks {
+				t.dropLocked(dt)
+			}
+			g.disks = nil
 		}
-		// The rows are lost from memory; surface the error loudly.
-		t.mu.Unlock()
-		return false, fmt.Errorf("core: descriptor update failed, rows lost: %w", err)
+		return fmt.Errorf("core: descriptor update failed, rows lost: %w", err)
 	}
-	t.flushCond.Broadcast()
-	t.mu.Unlock()
-	return true, nil
+	for _, g := range committed {
+		for _, dt := range g.disks {
+			t.stats.TabletsFlushed.Add(1)
+			t.stats.BytesFlushed.Add(dt.rec.Bytes)
+		}
+		g.disks = nil
+	}
+	return nil
 }
 
 // abortDisks closes and deletes tablets written by a flush that could not
@@ -168,7 +224,35 @@ func (t *Table) dropLocked(dt *diskTablet) {
 	}
 }
 
-// FlushAll freezes every filling tablet and drains the pending queue. Used
+// drainPending blocks until every group currently in the pending queue has
+// committed. Groups claimed by concurrent flushers are waited on via the
+// commit broadcast rather than re-written.
+func (t *Table) drainPending() error {
+	for {
+		ok, err := t.FlushStep()
+		if err != nil {
+			return err
+		}
+		if ok {
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return ErrTableClosed
+		}
+		if len(t.pending) == 0 {
+			t.mu.Unlock()
+			return nil
+		}
+		// Everything left is in flight with another flusher; wait for a
+		// state change and re-check.
+		t.flushCond.Wait()
+		t.mu.Unlock()
+	}
+}
+
+// FlushAll seals every filling tablet and drains the pending queue. Used
 // at orderly shutdown and by tests; the durability model never requires it.
 func (t *Table) FlushAll() error {
 	t.insertMu.Lock()
@@ -200,21 +284,13 @@ func (t *Table) FlushBefore(ts int64) error {
 		}
 	}
 	for _, ft := range doomed {
-		t.freezeLocked(ft)
+		t.sealLocked(ft)
 	}
 	t.mu.Unlock()
-	for {
-		ok, err := t.FlushStep()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-	}
+	return t.drainPending()
 }
 
-// flushPending freezes all filling tablets and drains pending groups.
+// flushPending seals all filling tablets and drains pending groups.
 // Callers hold insertMu.
 func (t *Table) flushPending() error {
 	t.mu.Lock()
@@ -223,24 +299,21 @@ func (t *Table) flushPending() error {
 		return ErrTableClosed
 	}
 	for _, ft := range t.filling {
-		t.freezeLocked(ft)
+		t.sealLocked(ft)
 	}
 	t.mu.Unlock()
-	for {
-		ok, err := t.FlushStep()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-	}
+	return t.drainPending()
 }
 
-// Tick performs one round of time-driven maintenance: age-based freezing
-// of filling tablets (§3.4.1's 10-minute bound on data loss), one merge
-// round (§3.4.1–3.4.2), and TTL expiry (§3.3). The server calls it
-// periodically; tests call it with a fake clock.
+// Tick performs one round of time-driven maintenance: age-based sealing
+// of filling tablets (§3.4.1's 10-minute bound on data loss), flushing,
+// one merge round (§3.4.1–3.4.2), and TTL expiry (§3.3). The server calls
+// it periodically; tests call it with a fake clock.
+//
+// With flush workers the tick only rings their doorbell; without them it
+// drains every eligible sealed group itself, retrying a bounded number of
+// times on error so one bad flush neither abandons the rest of the
+// backlog until the next tick nor starves TTL expiry and merging.
 func (t *Table) Tick() error {
 	now := t.opts.Clock.Now()
 	t.mu.Lock()
@@ -250,17 +323,30 @@ func (t *Table) Tick() error {
 	}
 	for _, ft := range t.filling {
 		if !ft.mt.Empty() && now-ft.mt.CreatedAt() >= t.opts.FlushAge {
-			t.freezeLocked(ft)
+			t.sealLocked(ft)
 		}
 	}
 	hasPending := len(t.pending) > 0
+	async := t.flushKick != nil
+	if hasPending && async {
+		t.kickFlushLocked()
+	}
 	t.mu.Unlock()
 
-	if hasPending {
+	var flushErr error
+	if hasPending && !async {
+		retries := 0
 		for {
 			ok, err := t.FlushStep()
 			if err != nil {
-				return err
+				if errors.Is(err, ErrTableClosed) {
+					return err
+				}
+				flushErr = err
+				if retries++; retries >= tickFlushRetries {
+					break
+				}
+				continue
 			}
 			if !ok {
 				break
@@ -268,8 +354,8 @@ func (t *Table) Tick() error {
 		}
 	}
 	if err := t.expireTTL(now); err != nil {
-		return err
+		return errors.Join(flushErr, err)
 	}
 	_, err := t.MergeStep()
-	return err
+	return errors.Join(flushErr, err)
 }

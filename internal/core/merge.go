@@ -256,14 +256,14 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 	for ord, dt := range inputs {
 		src, err := newDiskSource(sc, dt.tab, &q, &scanned, ro)
 		if err != nil {
-			w.Abort()
+			_ = w.Abort() // best-effort cleanup; the original error wins
 			return nil, err
 		}
 		srcs = append(srcs, src)
 		if row, ok := src.next(); ok {
 			heap.Push(h, heapItem{row: row, src: src, ord: ord})
 		} else if e := src.err(); e != nil {
-			w.Abort()
+			_ = w.Abort() // best-effort cleanup; the original error wins
 			return nil, e
 		}
 	}
@@ -276,7 +276,7 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 			heap.Fix(h, 0)
 		} else {
 			if e := top.src.err(); e != nil {
-				w.Abort()
+				_ = w.Abort() // best-effort cleanup; the original error wins
 				return nil, e
 			}
 			heap.Pop(h)
@@ -289,7 +289,7 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 			continue // row already expired; reclaim during the rewrite
 		}
 		if err := w.Append(row); err != nil {
-			w.Abort()
+			_ = w.Abort() // best-effort cleanup; the original error wins
 			return nil, err
 		}
 	}

@@ -54,6 +54,19 @@ const (
 	// one source, the others' pipelines keep loading, hiding block latency
 	// behind the merge.
 	DefaultPrefetchDepth = 2
+
+	// DefaultInsertBatch is how many rows one table-lock acquisition
+	// applies. §5.1.2's Figure 2 shows batch size dominating insert
+	// throughput; above the transport, amortizing the lock and the
+	// uniqueness fast path over a chunk of rows is the in-process analogue.
+	DefaultInsertBatch = 256
+
+	// DefaultMaxUnflushedBytes caps sealed-but-unflushed memtable bytes
+	// when asynchronous flushing is enabled. Inserters that would push the
+	// backlog past the cap block (counted in Stats.BackpressureStalls)
+	// until flush workers catch up, bounding memory the way §5.1.3's
+	// 100-outstanding-tablets rule does, but in bytes.
+	DefaultMaxUnflushedBytes = 256 << 20
 )
 
 // Options configure a Table. The zero value of each field selects the
@@ -79,6 +92,27 @@ type Options struct {
 	// MaxPendingTablets caps frozen tablets awaiting flush; inserts flush
 	// synchronously beyond it (backpressure).
 	MaxPendingTablets int
+
+	// FlushWorkers is the number of background flush workers. 0 (the
+	// default) keeps the seed's synchronous model: sealed tablets are
+	// written by the maintenance ticker or by the inserter that trips
+	// backpressure. With workers, a filling tablet that reaches FlushSize
+	// is sealed, swapped for a fresh memtable, and written to disk in the
+	// background while inserts continue; the flush-dependency graph's
+	// seal order still decides descriptor commit order, so the §3.1
+	// prefix-durability guarantee is unchanged.
+	FlushWorkers int
+
+	// InsertBatch is the maximum number of rows applied per table-lock
+	// acquisition on the insert path. 0 selects the default; negative
+	// values apply row-at-a-time (the seed behaviour).
+	InsertBatch int
+
+	// MaxUnflushedBytes caps the encoded bytes of sealed-but-unflushed
+	// tablets. Inserters block once the backlog exceeds it, so a slow disk
+	// produces bounded memory and a stall counter instead of an OOM.
+	// 0 selects the default; negative disables the cap.
+	MaxUnflushedBytes int64
 
 	// BlockSize is the on-disk block size; default 64 kB.
 	BlockSize int
@@ -170,6 +204,12 @@ func (o Options) withDefaults() Options {
 	if o.PrefetchDepth == 0 {
 		o.PrefetchDepth = DefaultPrefetchDepth
 	}
+	if o.InsertBatch == 0 {
+		o.InsertBatch = DefaultInsertBatch
+	}
+	if o.MaxUnflushedBytes == 0 {
+		o.MaxUnflushedBytes = DefaultMaxUnflushedBytes
+	}
 	if o.FS == nil {
 		o.FS = vfs.OsFS{}
 	}
@@ -193,4 +233,20 @@ func (o Options) prefetchDepth() int {
 		return 0
 	}
 	return o.PrefetchDepth
+}
+
+// insertBatch returns the effective rows-per-lock chunk size (>= 1).
+func (o Options) insertBatch() int {
+	if o.InsertBatch < 1 {
+		return 1
+	}
+	return o.InsertBatch
+}
+
+// maxUnflushedBytes returns the effective backlog cap (0 = unlimited).
+func (o Options) maxUnflushedBytes() int64 {
+	if o.MaxUnflushedBytes < 0 {
+		return 0
+	}
+	return o.MaxUnflushedBytes
 }

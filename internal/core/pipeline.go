@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Background flush worker retry backoff bounds. Workers use the real clock
+// (not Options.Clock) because backoff paces retries against a real disk.
+const (
+	flushRetryBase = 10 * time.Millisecond
+	flushRetryMax  = 2 * time.Second
+)
+
+// kickFlushLocked rings the flush workers' doorbell (non-blocking; the
+// channel is a buffered(1) level trigger). No-op in synchronous mode.
+// Caller holds t.mu.
+func (t *Table) kickFlushLocked() {
+	if t.flushKick == nil {
+		return
+	}
+	select {
+	case t.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// flushWorker is one background flusher: woken by the seal doorbell, it
+// drains queued groups, backing off exponentially on failures so a bad
+// disk is not hammered (Stats.FlushFailures/FaultRecoveries record the
+// episode). It exits when Close closes stopFlush.
+func (t *Table) flushWorker() {
+	defer t.flushWG.Done()
+	backoff := flushRetryBase
+	for {
+		select {
+		case <-t.stopFlush:
+			return
+		case <-t.flushKick:
+		}
+		for {
+			ok, err := t.FlushStep()
+			if err != nil {
+				if errors.Is(err, ErrTableClosed) {
+					return
+				}
+				t.opts.Logf("littletable: async flush %s: %v (retrying in %v)", t.name, err, backoff)
+				select {
+				case <-t.stopFlush:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > flushRetryMax {
+					backoff = flushRetryMax
+				}
+				continue
+			}
+			backoff = flushRetryBase
+			if !ok {
+				break
+			}
+			t.stats.AsyncFlushes.Add(1)
+		}
+	}
+}
+
+// backpressure blocks the inserter while the sealed-but-unflushed backlog
+// exceeds its limits — either §5.1.3's outstanding-tablet count or the
+// byte cap. With flush workers the inserter parks on the commit broadcast
+// (counted as a stall); without them it becomes disk-bound, draining its
+// own backlog exactly as the serial engine did. Called with insertMu held
+// and no other locks.
+func (t *Table) backpressure() error {
+	capBytes := t.opts.maxUnflushedBytes()
+	t.mu.Lock()
+	if !t.overBacklogLocked(capBytes) {
+		t.mu.Unlock()
+		return nil
+	}
+	t.stats.BackpressureStalls.Add(1)
+	if t.flushKick != nil {
+		t.kickFlushLocked()
+		for !t.closed && t.overBacklogLocked(capBytes) {
+			t.flushCond.Wait()
+		}
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrTableClosed
+		}
+		return nil
+	}
+	t.mu.Unlock()
+	for {
+		ok, err := t.FlushStep()
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		over := t.overBacklogLocked(capBytes)
+		t.mu.Unlock()
+		if !over || !ok {
+			return nil
+		}
+	}
+}
+
+// overBacklogLocked reports whether the sealed-but-unflushed backlog is at
+// or past either limit. Caller holds t.mu.
+func (t *Table) overBacklogLocked(capBytes int64) bool {
+	if t.pendingTabletsLocked() >= t.opts.MaxPendingTablets {
+		return true
+	}
+	return capBytes > 0 && t.sealedBytes > capBytes
+}
+
+// SealedBytes returns the encoded bytes of sealed-but-unflushed tablets
+// (the quantity the backpressure cap bounds).
+func (t *Table) SealedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sealedBytes
+}
+
+// FlushQueueDepth returns the number of sealed flush groups not yet
+// committed, including any currently being written.
+func (t *Table) FlushQueueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}

@@ -34,6 +34,12 @@ type Stats struct {
 	BlocksRead    atomic.Int64 // blocks obtained by query cursors
 	PrefetchHits  atomic.Int64 // blocks served by a prefetch pipeline
 	ParallelOpens atomic.Int64 // tablet sources opened by a query worker pool
+
+	// Write-pipeline counters.
+	GroupCommits       atomic.Int64 // insert-lock acquisitions that applied >=1 queued batch
+	TabletsSealed      atomic.Int64 // memtables sealed (frozen + swapped for a fresh one)
+	AsyncFlushes       atomic.Int64 // flush groups written by background workers
+	BackpressureStalls atomic.Int64 // inserts that blocked on the unflushed-bytes cap
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -64,6 +70,11 @@ type StatsSnapshot struct {
 	BlocksRead    int64
 	PrefetchHits  int64
 	ParallelOpens int64
+
+	GroupCommits       int64
+	TabletsSealed      int64
+	AsyncFlushes       int64
+	BackpressureStalls int64
 }
 
 // Snapshot copies the counters.
@@ -95,6 +106,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BlocksRead:    s.BlocksRead.Load(),
 		PrefetchHits:  s.PrefetchHits.Load(),
 		ParallelOpens: s.ParallelOpens.Load(),
+
+		GroupCommits:       s.GroupCommits.Load(),
+		TabletsSealed:      s.TabletsSealed.Load(),
+		AsyncFlushes:       s.AsyncFlushes.Load(),
+		BackpressureStalls: s.BackpressureStalls.Load(),
 	}
 }
 

@@ -35,10 +35,32 @@ type fillingTablet struct {
 	frozen  bool
 }
 
+// groupState tracks a sealed flush group through the write pipeline.
+type groupState int
+
+const (
+	// gsQueued: sealed, waiting for a flusher to claim it.
+	gsQueued groupState = iota
+	// gsWriting: a flusher is writing its tablet files.
+	gsWriting
+	// gsWritten: files are on disk, awaiting an in-order descriptor commit.
+	gsWritten
+)
+
 // flushGroup is a set of frozen tablets that must reach the descriptor in a
-// single atomic update (a dependency closure).
+// single atomic update (a dependency closure). Groups are sealed in
+// insertion order and commit in that same order — files may be written
+// concurrently by several flush workers, but the descriptor only ever
+// names a prefix of the seal sequence, which is what preserves the §3.1
+// prefix-durability guarantee under concurrent flushing.
 type flushGroup struct {
 	tablets []*fillingTablet
+	bytes   int64 // encoded memtable bytes at seal time (backpressure accounting)
+
+	// Pipeline state, guarded by Table.mu.
+	state groupState
+	seqs  []uint64      // tablet sequence numbers, reserved at claim time
+	disks []*diskTablet // written but uncommitted output
 }
 
 // diskTablet is an open on-disk tablet plus lifecycle state. The base
@@ -64,26 +86,43 @@ type Table struct {
 	dir  string
 	opts Options
 
-	// insertMu serializes Insert and schema changes; queries do not take it.
+	// insertMu serializes batch application and schema changes; queries do
+	// not take it. Inserters enqueue onto insertQ first, so whichever
+	// caller holds insertMu applies every queued batch in one go (group
+	// commit): the lock is taken once per group of batches, not once per
+	// row.
 	insertMu sync.Mutex
 
-	// flushMu serializes FlushStep and MergeStep against themselves.
+	// iqMu guards insertQ, the group-commit queue of waiting batches.
+	iqMu    sync.Mutex
+	insertQ []*insertReq
+
+	// flushMu serializes MergeStep, DeleteWhere, and tiering against
+	// themselves. Flushes no longer take it: the group state machine under
+	// mu lets several flush workers write files concurrently while commits
+	// stay ordered.
 	flushMu sync.Mutex
 
 	// mu guards the fields below. It is held only for short, in-memory
 	// critical sections plus descriptor writes.
-	mu         sync.Mutex
-	flushCond  *sync.Cond
-	sc         *schema.Schema
-	ttl        int64
-	nextSeq    uint64
-	filling    map[period.Period]*fillingTablet
-	lastInsert *fillingTablet
-	pending    []flushGroup
-	disk       []*diskTablet // sorted by (MinTs, Seq)
-	maxTs      int64
-	hasRows    bool
-	closed     bool
+	mu          sync.Mutex
+	flushCond   *sync.Cond
+	sc          *schema.Schema
+	ttl         int64
+	nextSeq     uint64
+	filling     map[period.Period]*fillingTablet
+	lastInsert  *fillingTablet
+	pending     []*flushGroup
+	sealedBytes int64 // sum of pending groups' bytes not yet committed
+	disk        []*diskTablet // sorted by (MinTs, Seq)
+	maxTs       int64
+	hasRows     bool
+	closed      bool
+
+	// Flush worker pool (nil/zero when Options.FlushWorkers == 0).
+	flushKick chan struct{} // buffered(1) doorbell: sealed work exists
+	stopFlush chan struct{} // closed by Close to stop the workers
+	flushWG   sync.WaitGroup
 
 	// Fault-recovery state (guarded by mu): consecutive flush/merge
 	// failures and, for merges, the earliest time of the next attempt
@@ -196,6 +235,14 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		if err := t.writeDescriptorLocked(); err != nil {
 			t.closeAllLocked()
 			return nil, fmt.Errorf("core: descriptor update after quarantine: %w", err)
+		}
+	}
+	if opts.FlushWorkers > 0 {
+		t.flushKick = make(chan struct{}, 1)
+		t.stopFlush = make(chan struct{})
+		for i := 0; i < opts.FlushWorkers; i++ {
+			t.flushWG.Add(1)
+			go t.flushWorker()
 		}
 	}
 	return t, nil
@@ -327,16 +374,27 @@ func diskLess(a, b *diskTablet) bool {
 	return a.rec.Seq < b.rec.Seq
 }
 
+// insertReq is one caller's batch waiting in the group-commit queue.
+type insertReq struct {
+	rows []schema.Row
+	sc   *schema.Schema // schema the rows were validated against
+	err  error
+	done chan struct{}
+}
+
 // Insert adds a batch of rows. Each row must match the schema; a row whose
 // timestamp is zero and whose key duplicates nothing is NOT timestamped
 // here — timestamp defaulting is the wire layer's job (§3.1). Inserts are
 // atomic per row, not per batch: on error, rows before the failing one
 // remain inserted, matching a database whose batches are a transport
 // optimization rather than transactions.
+//
+// Concurrent Insert calls group-commit: each caller validates its rows
+// against the schema outside any lock and enqueues them, and whichever
+// caller holds the insert lock applies every queued batch before
+// releasing it. Batches are applied in queue order, so "insertion order"
+// under concurrency is the order batches entered the queue.
 func (t *Table) Insert(rows []schema.Row) error {
-	t.insertMu.Lock()
-	defer t.insertMu.Unlock()
-
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -344,10 +402,56 @@ func (t *Table) Insert(rows []schema.Row) error {
 	}
 	sc := t.sc
 	t.mu.Unlock()
-
 	for _, row := range rows {
 		if err := sc.Validate(row); err != nil {
 			return err
+		}
+	}
+
+	req := &insertReq{rows: rows, sc: sc, done: make(chan struct{})}
+	t.iqMu.Lock()
+	t.insertQ = append(t.insertQ, req)
+	t.iqMu.Unlock()
+
+	t.insertMu.Lock()
+	t.iqMu.Lock()
+	queued := t.insertQ
+	t.insertQ = nil
+	t.iqMu.Unlock()
+	if len(queued) > 0 {
+		t.stats.GroupCommits.Add(1)
+		for _, r := range queued {
+			r.err = t.applyBatch(r)
+			close(r.done)
+		}
+	}
+	t.insertMu.Unlock()
+	// Our batch may have been applied by a previous lock holder, in which
+	// case queued above was empty or ours was not in it; either way the
+	// result is on the request.
+	<-req.done
+	return req.err
+}
+
+// applyBatch uniqueness-checks and applies one caller's rows in chunks of
+// Options.InsertBatch, taking the table lock once per chunk instead of
+// once per row. Caller holds insertMu.
+func (t *Table) applyBatch(req *insertReq) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTableClosed
+	}
+	sc := t.sc
+	maxTs, hasRows := t.maxTs, t.hasRows
+	t.mu.Unlock()
+	if sc != req.sc {
+		// A schema change slipped in between validation and application;
+		// re-validate under the current schema.
+		for _, row := range req.rows {
+			if err := sc.Validate(row); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -360,86 +464,101 @@ func (t *Table) Insert(rows []schema.Row) error {
 		t.stats.RowsInserted.Add(inserted)
 		t.stats.InsertBatches.Add(1)
 	}()
-	for _, row := range rows {
-		unique, err := t.checkUnique(sc, row, now)
+	rows := req.rows
+	chunk := t.opts.insertBatch()
+	for len(rows) > 0 {
+		n := chunk
+		if n > len(rows) {
+			n = len(rows)
+		}
+		// Uniqueness, cheapest check first (§3.4.4), amortized over the
+		// chunk: a row whose timestamp exceeds every timestamp in the
+		// table — and in the rows about to be applied ahead of it — is
+		// unique without taking the lock (keys embed the timestamp). Only
+		// rows that fail this batch fast path pay the per-row check.
+		// insertMu is held, so no other inserter can move maxTs under us;
+		// nothing else ever raises it. A row that fails truncates the
+		// chunk: the rows before it still apply (per-row atomicity), then
+		// its error surfaces.
+		var chunkErr error
+		for i, row := range rows[:n] {
+			ts := sc.Ts(row)
+			if hasRows && ts <= maxTs {
+				unique, err := t.checkUnique(sc, row, now)
+				if err != nil {
+					n, chunkErr = i, err
+					break
+				}
+				if !unique {
+					n, chunkErr = i, fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+					break
+				}
+			} else {
+				t.stats.UniqueFastNew.Add(1)
+			}
+			if !hasRows || ts > maxTs {
+				maxTs, hasRows = ts, true
+			}
+		}
+		applied, err := t.applyChunk(sc, rows[:n], now)
+		inserted += int64(applied)
 		if err != nil {
 			return err
 		}
-		if !unique {
-			return fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+		if chunkErr != nil {
+			return chunkErr
 		}
-		if err := t.insertOne(sc, row, now); err != nil {
+		rows = rows[n:]
+		if err := t.backpressure(); err != nil {
 			return err
 		}
-		inserted++
 	}
 	return nil
 }
 
-// insertOne routes one validated, uniqueness-checked row to its period's
-// filling tablet, maintaining the flush-dependency graph.
-func (t *Table) insertOne(sc *schema.Schema, row schema.Row, now int64) error {
-	ts := sc.Ts(row)
-	per := period.For(ts, now)
-
+// applyChunk routes validated, uniqueness-checked rows to their periods'
+// filling tablets under one lock acquisition, maintaining the
+// flush-dependency graph and sealing tablets that reach FlushSize. It
+// returns how many rows were applied (all of them unless two rows in the
+// chunk collide on a key).
+func (t *Table) applyChunk(sc *schema.Schema, rows []schema.Row, now int64) (int, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
-		return ErrTableClosed
+		return 0, ErrTableClosed
 	}
-	ft := t.filling[per]
-	if ft == nil {
-		ft = &fillingTablet{mt: memtable.New(sc), per: per}
-		t.filling[per] = ft
-	}
-	// Flush-dependency edge (§3.4.3): if the previous insert landed in a
-	// different, still-unflushed tablet u, then u must flush before ft so
-	// that retained rows are always a prefix of insertion order.
-	if t.lastInsert != nil && t.lastInsert != ft && !t.lastInsert.frozen {
-		if ft.prereqs == nil {
-			ft.prereqs = make(map[*fillingTablet]bool)
+	for i, row := range rows {
+		ts := sc.Ts(row)
+		per := period.For(ts, now)
+		ft := t.filling[per]
+		if ft == nil {
+			ft = &fillingTablet{mt: memtable.New(sc), per: per}
+			t.filling[per] = ft
 		}
-		ft.prereqs[t.lastInsert] = true
-	}
-	t.lastInsert = ft
-	if !ft.mt.Insert(now, row) {
-		// checkUnique already vetted the row; a duplicate here means two
-		// rows in this very batch collide.
-		t.mu.Unlock()
-		return fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
-	}
-	if ts > t.maxTs || !t.hasRows {
-		t.maxTs = ts
-		t.hasRows = true
-	}
-	var needFlush bool
-	if ft.mt.SizeBytes() >= t.opts.FlushSize {
-		t.freezeLocked(ft)
-		needFlush = true
-	}
-	backlogged := t.pendingTabletsLocked() >= t.opts.MaxPendingTablets
-	t.mu.Unlock()
-
-	if needFlush && backlogged {
-		// Backpressure (§5.1.3's 100-tablet limit): the inserter becomes
-		// disk-bound, draining its own backlog.
-		for {
-			ok, err := t.FlushStep()
-			if err != nil {
-				return err
+		// Flush-dependency edge (§3.4.3): if the previous insert landed in
+		// a different, still-unflushed tablet u, then u must flush before
+		// ft so that retained rows are always a prefix of insertion order.
+		if t.lastInsert != nil && t.lastInsert != ft && !t.lastInsert.frozen {
+			if ft.prereqs == nil {
+				ft.prereqs = make(map[*fillingTablet]bool)
 			}
-			if !ok {
-				break
-			}
-			t.mu.Lock()
-			under := t.pendingTabletsLocked() < t.opts.MaxPendingTablets
-			t.mu.Unlock()
-			if under {
-				break
-			}
+			ft.prereqs[t.lastInsert] = true
+		}
+		t.lastInsert = ft
+		if !ft.mt.Insert(now, row) {
+			// Uniqueness was vetted before application; a duplicate here
+			// means two rows in this very batch collide.
+			return i, fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+		}
+		if ts > t.maxTs || !t.hasRows {
+			t.maxTs = ts
+			t.hasRows = true
+		}
+		if ft.mt.SizeBytes() >= t.opts.FlushSize {
+			t.sealLocked(ft)
 		}
 	}
-	return nil
+	return len(rows), nil
 }
 
 func (t *Table) pendingTabletsLocked() int {
@@ -450,11 +569,13 @@ func (t *Table) pendingTabletsLocked() int {
 	return n
 }
 
-// freezeLocked freezes ft together with the transitive closure of tablets
-// that must flush before it, appending them to the pending queue as one
-// atomic flush group. Cycles in the dependency graph (§3.4.3) simply land
-// in the same group.
-func (t *Table) freezeLocked(ft *fillingTablet) {
+// sealLocked freezes ft together with the transitive closure of tablets
+// that must flush before it, swapping each out of the filling set and
+// appending them to the pending queue as one atomic flush group. Cycles in
+// the dependency graph (§3.4.3) simply land in the same group. The group's
+// encoded size joins the sealed-but-unflushed backlog for backpressure
+// accounting, and the flush workers' doorbell rings.
+func (t *Table) sealLocked(ft *fillingTablet) {
 	if ft.frozen {
 		return
 	}
@@ -484,7 +605,14 @@ func (t *Table) freezeLocked(ft *fillingTablet) {
 			group[j], group[j-1] = group[j-1], group[j]
 		}
 	}
-	t.pending = append(t.pending, flushGroup{tablets: group})
+	g := &flushGroup{tablets: group}
+	for _, f := range group {
+		g.bytes += int64(f.mt.SizeBytes())
+	}
+	t.sealedBytes += g.bytes
+	t.stats.TabletsSealed.Add(int64(len(group)))
+	t.pending = append(t.pending, g)
+	t.kickFlushLocked()
 }
 
 // acquireLocked takes a read reference on dt.
@@ -513,6 +641,17 @@ func (t *Table) Close() error {
 		return nil
 	}
 	t.closed = true
+	if t.stopFlush != nil {
+		close(t.stopFlush)
+	}
+	// Wake inserters stalled on backpressure and drainers waiting for
+	// in-flight groups; they observe closed and bail out.
+	t.flushCond.Broadcast()
+	t.mu.Unlock()
+	// Workers may be mid-write; they notice closed at commit time, abort
+	// their output files, and exit before we tear the tablet list down.
+	t.flushWG.Wait()
+	t.mu.Lock()
 	t.closeAllLocked()
 	t.mu.Unlock()
 	return nil
@@ -525,6 +664,7 @@ func (t *Table) closeAllLocked() {
 	t.disk = nil
 	t.filling = map[period.Period]*fillingTablet{}
 	t.pending = nil
+	t.sealedBytes = 0
 }
 
 // AlterTTL changes the table's time-to-live and persists it.
@@ -581,10 +721,10 @@ func (t *Table) alterSchema(f func(*schema.Schema) (*schema.Schema, error)) erro
 	}
 	old := t.sc
 	t.sc = next
-	// In-memory filling tablets hold rows of the old schema; freeze them so
+	// In-memory filling tablets hold rows of the old schema; seal them so
 	// subsequent inserts (new arity) start fresh tablets.
 	for _, ft := range t.filling {
-		t.freezeLocked(ft)
+		t.sealLocked(ft)
 	}
 	if err := t.writeDescriptorLocked(); err != nil {
 		t.sc = old

@@ -157,7 +157,7 @@ func buildTablets(dir string, count, rowsPer, rowBytes int, startTs int64) ([]st
 			seq := int64(i*count + t)
 			ts := startTs + seq
 			if err := w.Append(benchRow(rng, seq, ts, rowBytes)); err != nil {
-				w.Abort()
+				_ = w.Abort() // best-effort cleanup; the Append error wins
 				return nil, err
 			}
 		}

@@ -1,0 +1,185 @@
+package ltbench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/schema"
+	"littletable/internal/vfs"
+)
+
+// WriteloadConfig sizes the write-pipeline experiment.
+type WriteloadConfig struct {
+	// Rows is the total rows inserted per measurement; default 12000.
+	Rows int
+	// BatchRows is the rows per Insert call; default 64.
+	BatchRows int
+	// RowBytes approximates the encoded row size; default 128.
+	RowBytes int
+	// WriteDelay is the modeled per-write device latency on the flush path
+	// (the §5.1.1 drive's seek cost, injected via vfs.LatencyFS). Default
+	// 1 ms.
+	WriteDelay time.Duration
+	// WriteBytesPerSec is the modeled sequential write rate (§5.1.1's
+	// transfer half: a flush costs wall time in proportion to its size).
+	// Default 4 MB/s, scaled down like the row counts are.
+	WriteBytesPerSec int64
+	// FlushSize is kept small so the run seals dozens of tablets; default
+	// 32 kB.
+	FlushSize int
+	// BlockSize is kept small so each tablet flush issues several block
+	// writes (each paying WriteDelay), like a 16 MB production flush does;
+	// default 4 kB.
+	BlockSize int
+	// WorkerCounts are the x values; default {0, 1, 2, 4} (0 = the
+	// serialized baseline: every flush stalls the write path).
+	WorkerCounts []int
+	Dir          string // temp-dir parent; "" = system default
+}
+
+func (c *WriteloadConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 12000
+	}
+	if c.BatchRows == 0 {
+		c.BatchRows = 64
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 128
+	}
+	if c.WriteDelay == 0 {
+		c.WriteDelay = time.Millisecond
+	}
+	if c.WriteBytesPerSec == 0 {
+		c.WriteBytesPerSec = 4 << 20
+	}
+	if c.FlushSize == 0 {
+		c.FlushSize = 32 << 10
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 << 10
+	}
+	if len(c.WorkerCounts) == 0 {
+		c.WorkerCounts = []int{0, 1, 2, 4}
+	}
+}
+
+// RunWriteload measures the batched/pipelined write path against the
+// serialized baseline: insert a fixed row volume, then drain to full
+// durability, with every tablet write paying a modeled device latency
+// (vfs.LatencyFS). The rate is rows per second to DURABLE — inserts plus
+// the flush backlog — so hiding flush latency behind the insert path, and
+// overlapping flushes with each other, is exactly what the worker series
+// measures rather than host CPU counts. Two series: one inserter, and
+// four concurrent inserters exercising the group-commit queue.
+func RunWriteload(cfg WriteloadConfig) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "writeload",
+		Title:  "pipelined write path: durable insert rate vs flush workers",
+	}
+	single := Series{Name: "1 inserter (rows/s)"}
+	multi := Series{Name: "4 inserters, group commit (rows/s)"}
+	var serial1, serial4, best1, best4 float64
+	for _, workers := range cfg.WorkerCounts {
+		r1, err := runWriteloadOnce(cfg, workers, 1)
+		if err != nil {
+			return nil, err
+		}
+		r4, err := runWriteloadOnce(cfg, workers, 4)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d workers", workers)
+		if workers == 0 {
+			label = "serial"
+			serial1, serial4 = r1, r4
+		}
+		if r1 > best1 {
+			best1 = r1
+		}
+		if r4 > best4 {
+			best4 = r4
+		}
+		single.Points = append(single.Points, Point{X: float64(workers), Y: r1, Label: label})
+		multi.Points = append(multi.Points, Point{X: float64(workers), Y: r4, Label: label})
+	}
+	res.Series = []Series{single, multi}
+	if serial1 > 0 && serial4 > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"flush workers hide flush latency behind the insert path: best %.1fx over the serialized baseline with one inserter, %.1fx with four inserters sharing the group-commit queue; in-order descriptor commits batch across groups",
+			best1/serial1, best4/serial4))
+	}
+	return res, nil
+}
+
+// runWriteloadOnce inserts cfg.Rows across `inserters` goroutines with
+// `workers` background flushers, returning rows per second to durable.
+func runWriteloadOnce(cfg WriteloadConfig, workers, inserters int) (float64, error) {
+	dir, err := os.MkdirTemp(cfg.Dir, "writeload")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	slow := vfs.LatencyFS{FS: vfs.OsFS{}, WriteDelay: cfg.WriteDelay, WriteBytesPerSec: cfg.WriteBytesPerSec}
+	tab, err := core.CreateTable(dir, "bench", benchSchema(), 0, core.Options{
+		Clock:             clk,
+		FS:                slow,
+		FlushSize:         cfg.FlushSize,
+		BlockSize:         cfg.BlockSize,
+		FlushWorkers:      workers,
+		MergeDelay:        365 * clock.Day,
+		MaxUnflushedBytes: 1 << 30, // measure latency hiding, not the cap
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer tab.Close()
+
+	perIns := cfg.Rows / inserters
+	base := clk.Now()
+	start := time.Now()
+	errs := make([]error, inserters)
+	var wg sync.WaitGroup
+	for w := 0; w < inserters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := newXorshift(uint64(w) + 21)
+			for done := 0; done < perIns; {
+				n := cfg.BatchRows
+				if n > perIns-done {
+					n = perIns - done
+				}
+				batch := make([]schema.Row, 0, n)
+				for i := 0; i < n; i++ {
+					seq := int64(w*perIns + done + i)
+					batch = append(batch, benchRow(rng, seq, base+seq, cfg.RowBytes))
+				}
+				if err := tab.Insert(batch); err != nil {
+					errs[w] = err
+					return
+				}
+				done += n
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := tab.FlushAll(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	rows := perIns * inserters
+	return float64(rows) / elapsed.Seconds(), nil
+}

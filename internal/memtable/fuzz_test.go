@@ -1,0 +1,125 @@
+package memtable
+
+import (
+	"testing"
+
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+)
+
+// FuzzMemtableInsert drives an insert sequence decoded from fuzz bytes
+// against a model map: duplicate acceptance, Len, Get/Contains, timespan,
+// strict ascending cursor order, and the MaxKeyRow fast-path input must
+// all agree with the model for every interleaving the fuzzer invents.
+func FuzzMemtableInsert(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3})
+	f.Add(func() []byte {
+		var b []byte
+		for i := byte(0); i < 30; i++ {
+			b = append(b, i%3, i%5, i, i%2)
+		}
+		return b
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := schema.MustNew([]schema.Column{
+			{Name: "network", Type: ltval.Int64},
+			{Name: "device", Type: ltval.Int64},
+			{Name: "ts", Type: ltval.Timestamp},
+			{Name: "value", Type: ltval.Double},
+		}, []string{"network", "device", "ts"})
+		m := New(sc)
+		model := map[[3]int64]bool{}
+		var minTs, maxTs int64
+
+		// Each 4-byte chunk is one insert: small key ranges so the fuzzer
+		// hits duplicates, rotations, and both cursor directions often.
+		for len(data) >= 4 {
+			n, d, ts := int64(data[0]%8), int64(data[1]%16), int64(data[2])
+			val := float64(data[3])
+			data = data[4:]
+			k := [3]int64{n, d, ts}
+			added := m.Insert(100, schema.Row{
+				ltval.NewInt64(n), ltval.NewInt64(d),
+				ltval.NewTimestamp(ts), ltval.NewDouble(val),
+			})
+			if added == model[k] {
+				t.Fatalf("Insert(%v) = %v, model says %v", k, added, !model[k])
+			}
+			if added {
+				if len(model) == 0 || ts < minTs {
+					minTs = ts
+				}
+				if len(model) == 0 || ts > maxTs {
+					maxTs = ts
+				}
+				model[k] = true
+			}
+		}
+
+		if m.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", m.Len(), len(model))
+		}
+		if !m.Empty() {
+			lo, hi := m.Timespan()
+			if lo != minTs || hi != maxTs {
+				t.Fatalf("Timespan = (%d,%d), model (%d,%d)", lo, hi, minTs, maxTs)
+			}
+		}
+		for k := range model {
+			key := []ltval.Value{ltval.NewInt64(k[0]), ltval.NewInt64(k[1]), ltval.NewTimestamp(k[2])}
+			if !m.Contains(key) {
+				t.Fatalf("Contains(%v) = false for inserted key", k)
+			}
+			if _, ok := m.Get(key); !ok {
+				t.Fatalf("Get(%v) missed an inserted key", k)
+			}
+		}
+
+		for _, asc := range []bool{true, false} {
+			c := m.Cursor(asc)
+			seen := 0
+			var last schema.Row
+			for c.Next() {
+				r := c.Row()
+				if last != nil {
+					cmp := sc.CompareKeys(last, r)
+					if asc && cmp >= 0 || !asc && cmp <= 0 {
+						t.Fatalf("cursor(asc=%v) out of order at row %d", asc, seen)
+					}
+				}
+				last = schema.CloneRow(r)
+				seen++
+			}
+			if seen != len(model) {
+				t.Fatalf("cursor(asc=%v) yielded %d rows, model has %d", asc, seen, len(model))
+			}
+		}
+
+		if row, ok := m.MaxKeyRow(); ok != (len(model) > 0) {
+			t.Fatalf("MaxKeyRow ok=%v with %d rows", ok, len(model))
+		} else if ok {
+			var want [3]int64
+			first := true
+			for k := range model {
+				if first || keyLess(want, k) {
+					want, first = k, false
+				}
+			}
+			got := [3]int64{row[0].Int, row[1].Int, row[2].Int}
+			if got != want {
+				t.Fatalf("MaxKeyRow = %v, model max %v", got, want)
+			}
+		}
+	})
+}
+
+func keyLess(a, b [3]int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -276,6 +276,14 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			BlocksRead:    st.BlocksRead,
 			PrefetchHits:  st.PrefetchHits,
 			ParallelOpens: st.ParallelOpens,
+
+			InsertBatches:      st.InsertBatches,
+			GroupCommits:       st.GroupCommits,
+			TabletsSealed:      st.TabletsSealed,
+			AsyncFlushes:       st.AsyncFlushes,
+			SealedBytes:        t.SealedBytes(),
+			FlushQueueDepth:    int64(t.FlushQueueDepth()),
+			BackpressureStalls: st.BackpressureStalls,
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())

@@ -64,6 +64,20 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { h, _ := tables[i].BlockCacheStats(); return h }},
 		{"littletable_block_cache_misses_total", "Block cache misses", "counter",
 			func(i int) int64 { _, m := tables[i].BlockCacheStats(); return m }},
+		{"littletable_insert_batches_total", "Insert batches applied", "counter",
+			func(i int) int64 { return snaps[i].InsertBatches }},
+		{"littletable_group_commits_total", "Insert-lock acquisitions that applied queued batches", "counter",
+			func(i int) int64 { return snaps[i].GroupCommits }},
+		{"littletable_tablets_sealed_total", "Memtables sealed for flushing", "counter",
+			func(i int) int64 { return snaps[i].TabletsSealed }},
+		{"littletable_async_flushes_total", "Flush groups written by background workers", "counter",
+			func(i int) int64 { return snaps[i].AsyncFlushes }},
+		{"littletable_backpressure_stalls_total", "Inserts stalled on the unflushed backlog caps", "counter",
+			func(i int) int64 { return snaps[i].BackpressureStalls }},
+		{"littletable_sealed_bytes", "Sealed-but-unflushed memtable bytes", "gauge",
+			func(i int) int64 { return tables[i].SealedBytes() }},
+		{"littletable_flush_queue_depth", "Sealed flush groups awaiting commit", "gauge",
+			func(i int) int64 { return int64(tables[i].FlushQueueDepth()) }},
 		{"littletable_disk_tablets", "On-disk tablets", "gauge",
 			func(i int) int64 { return int64(tables[i].DiskTabletCount()) }},
 		{"littletable_mem_tablets", "In-memory tablets", "gauge",

@@ -4,16 +4,23 @@ import (
 	"time"
 )
 
-// LatencyFS wraps an FS, delaying every ReadAt by a fixed amount. It
-// models device read latency (a seek-dominated spinning disk, a network
-// volume) on hosts whose page cache makes real reads near-instant, so the
-// read-path benchmarks measure latency hiding — parallel opens, block
-// prefetch — rather than this machine's SSD. Writes are not delayed; the
-// read path is what the parallel-query benchmarks exercise.
+// LatencyFS wraps an FS, delaying file I/O by fixed amounts. It models
+// device latency (a seek-dominated spinning disk, a network volume) on
+// hosts whose page cache makes real I/O near-instant, so benchmarks
+// measure latency hiding — parallel opens, block prefetch, asynchronous
+// flushing — rather than this machine's SSD.
 type LatencyFS struct {
 	FS
 	// ReadDelay is added to every File.ReadAt call.
 	ReadDelay time.Duration
+	// WriteDelay is added to every File.Write call on files opened with
+	// Create (modeling per-operation device write latency on the flush
+	// path).
+	WriteDelay time.Duration
+	// WriteBytesPerSec, when non-zero, additionally delays each write in
+	// proportion to its size — the sequential-transfer half of the §5.1.1
+	// disk model, which is what makes a 16 MB flush cost real wall time.
+	WriteBytesPerSec int64
 }
 
 // Open implements FS, wrapping the file so its reads are delayed.
@@ -22,17 +29,39 @@ func (l LatencyFS) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &latencyFile{File: f, delay: l.ReadDelay}, nil
+	return &latencyFile{File: f, readDelay: l.ReadDelay}, nil
+}
+
+// Create implements FS, wrapping the file so its writes are delayed.
+func (l LatencyFS) Create(name string) (File, error) {
+	f, err := l.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyFile{File: f, writeDelay: l.WriteDelay, writeBps: l.WriteBytesPerSec}, nil
 }
 
 type latencyFile struct {
 	File
-	delay time.Duration
+	readDelay  time.Duration
+	writeDelay time.Duration
+	writeBps   int64
 }
 
 func (f *latencyFile) ReadAt(p []byte, off int64) (int, error) {
-	if f.delay > 0 {
-		time.Sleep(f.delay)
+	if f.readDelay > 0 {
+		time.Sleep(f.readDelay)
 	}
 	return f.File.ReadAt(p, off)
+}
+
+func (f *latencyFile) Write(p []byte) (int, error) {
+	d := f.writeDelay
+	if f.writeBps > 0 {
+		d += time.Duration(int64(len(p)) * int64(time.Second) / f.writeBps)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return f.File.Write(p)
 }

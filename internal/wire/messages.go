@@ -474,6 +474,16 @@ type StatsResult struct {
 	ParallelOpens    int64
 	BlockCacheHits   int64
 	BlockCacheMisses int64
+
+	// Write-pipeline counters: group commit, seal/flush pipeline state,
+	// and backpressure.
+	InsertBatches      int64
+	GroupCommits       int64
+	TabletsSealed      int64
+	AsyncFlushes       int64
+	SealedBytes        int64 // gauge: sealed-but-unflushed bytes right now
+	FlushQueueDepth    int64 // gauge: pending flush groups right now
+	BackpressureStalls int64
 }
 
 // Encode serializes the message payload.
@@ -487,6 +497,9 @@ func (m *StatsResult) Encode() []byte {
 		m.MergeRetries, m.FaultRecoveries, m.ReadErrors,
 		m.BlocksRead, m.PrefetchHits, m.ParallelOpens,
 		m.BlockCacheHits, m.BlockCacheMisses,
+		m.InsertBatches, m.GroupCommits, m.TabletsSealed,
+		m.AsyncFlushes, m.SealedBytes, m.FlushQueueDepth,
+		m.BackpressureStalls,
 	} {
 		b.I64(v)
 	}
@@ -505,6 +518,9 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.MergeRetries, &m.FaultRecoveries, &m.ReadErrors,
 		&m.BlocksRead, &m.PrefetchHits, &m.ParallelOpens,
 		&m.BlockCacheHits, &m.BlockCacheMisses,
+		&m.InsertBatches, &m.GroupCommits, &m.TabletsSealed,
+		&m.AsyncFlushes, &m.SealedBytes, &m.FlushQueueDepth,
+		&m.BackpressureStalls,
 	} {
 		*f = d.I64()
 	}
