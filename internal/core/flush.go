@@ -25,7 +25,8 @@ const tickFlushRetries = 3
 // A failed write loses nothing: the group returns to the queue and a later
 // call retries it. Consecutive failures and the eventual recovery are
 // counted in Stats. A failed descriptor commit DOES lose the affected
-// rows, exactly as in the serial engine.
+// rows, exactly as in the serial engine; the loss is counted
+// (Stats.CommitFailures, Stats.RowsLost) and returned as ErrRowsLost.
 func (t *Table) FlushStep() (bool, error) {
 	ok, err := t.flushStep()
 	t.mu.Lock()
@@ -61,10 +62,17 @@ func (t *Table) flushStep() (bool, error) {
 		return false, nil
 	}
 	g.state = gsWriting
-	g.seqs = make([]uint64, len(g.tablets))
-	for i := range g.tablets {
-		g.seqs[i] = t.nextSeq
-		t.nextSeq++
+	// Sequence numbers are reserved once, at first claim: claims follow
+	// seal order, so Seq stays monotone in seal (= insertion) order, the
+	// property descriptor.go's sort and diskLess tie-breaking rely on. A
+	// retry after a failed write reuses the original reservation — those
+	// seqs were never published.
+	if g.seqs == nil {
+		g.seqs = make([]uint64, len(g.tablets))
+		for i := range g.tablets {
+			g.seqs[i] = t.nextSeq
+			t.nextSeq++
+		}
 	}
 	now := t.opts.Clock.Now()
 	t.mu.Unlock()
@@ -78,11 +86,10 @@ func (t *Table) flushStep() (bool, error) {
 		return false, ErrTableClosed
 	}
 	if werr != nil {
-		// Nothing lost: requeue the group for a later attempt. Sequence
-		// numbers are not reused — gaps are harmless — and waiters are
-		// woken so a draining caller re-claims it rather than sleeping.
+		// Nothing lost: requeue the group for a later attempt, keeping its
+		// reserved sequence numbers for the retry, and wake waiters so a
+		// draining caller re-claims it rather than sleeping.
 		g.state = gsQueued
-		g.seqs = nil
 		t.flushCond.Broadcast()
 		t.mu.Unlock()
 		return false, werr
@@ -178,14 +185,22 @@ func (t *Table) commitWrittenLocked() error {
 	t.sortDiskLocked()
 	if err := t.writeDescriptorLocked(); err != nil {
 		// Roll back: the files exist but are not durable; drop them. The
-		// rows are lost from memory; surface the error loudly.
+		// rows are lost from memory; count the loss and surface the error
+		// loudly (callers on the synchronous path return it directly; the
+		// background workers latch it for the next foreground caller).
+		var lost int64
 		for _, g := range committed {
+			for _, f := range g.tablets {
+				lost += int64(f.mt.Len())
+			}
 			for _, dt := range g.disks {
 				t.dropLocked(dt)
 			}
 			g.disks = nil
 		}
-		return fmt.Errorf("core: descriptor update failed, rows lost: %w", err)
+		t.stats.CommitFailures.Add(1)
+		t.stats.RowsLost.Add(lost)
+		return fmt.Errorf("%w: %d rows: %w", ErrRowsLost, lost, err)
 	}
 	for _, g := range committed {
 		for _, dt := range g.disks {
@@ -242,8 +257,12 @@ func (t *Table) drainPending() error {
 			return ErrTableClosed
 		}
 		if len(t.pending) == 0 {
+			// Drained — but a group claimed by a background worker may have
+			// been lost to a failed commit; report that instead of success.
+			err := t.asyncErr
+			t.asyncErr = nil
 			t.mu.Unlock()
-			return nil
+			return err
 		}
 		// Everything left is in flight with another flusher; wait for a
 		// state change and re-check.
@@ -353,6 +372,9 @@ func (t *Table) Tick() error {
 			}
 		}
 	}
+	// Row loss latched by a background flush surfaces here too, so a
+	// server that only ever Ticks still observes it.
+	flushErr = errors.Join(flushErr, t.takeAsyncErr())
 	if err := t.expireTTL(now); err != nil {
 		return errors.Join(flushErr, err)
 	}

@@ -44,6 +44,15 @@ func (t *Table) flushWorker() {
 				if errors.Is(err, ErrTableClosed) {
 					return
 				}
+				if errors.Is(err, ErrRowsLost) {
+					// Unlike a failed write, a failed commit is not retried —
+					// the rows are already gone (counted in Stats.RowsLost).
+					// Latch the error so the next Insert/Tick/FlushAll caller
+					// observes the loss rather than only this log line.
+					t.mu.Lock()
+					t.asyncErr = err
+					t.mu.Unlock()
+				}
 				t.opts.Logf("littletable: async flush %s: %v (retrying in %v)", t.name, err, backoff)
 				select {
 				case <-t.stopFlush:
@@ -97,11 +106,22 @@ func (t *Table) backpressure() error {
 			return err
 		}
 		t.mu.Lock()
-		over := t.overBacklogLocked(capBytes)
-		t.mu.Unlock()
-		if !over || !ok {
+		if t.closed {
+			t.mu.Unlock()
+			return ErrTableClosed
+		}
+		if !t.overBacklogLocked(capBytes) {
+			t.mu.Unlock()
 			return nil
 		}
+		if !ok {
+			// Still over the cap with nothing claimable: every queued group
+			// is in flight with a concurrent flusher (another inserter's
+			// backpressure loop or a Tick). Wait for its commit or requeue
+			// broadcast instead of returning with the cap exceeded.
+			t.flushCond.Wait()
+		}
+		t.mu.Unlock()
 	}
 }
 

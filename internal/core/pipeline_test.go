@@ -143,6 +143,157 @@ func TestBackpressureAsyncBlocksUntilDrained(t *testing.T) {
 	}
 }
 
+// TestIntraChunkDuplicateAcrossSeal: two same-key rows in one insert chunk
+// must be rejected even when the first trips FlushSize mid-chunk and the
+// duplicate would land in a fresh memtable that never saw it. Regression:
+// the batched pre-check probed only table state, which cannot see rows
+// earlier in the same (not yet applied) chunk, and the memtable collision
+// backstop is blind across a mid-chunk seal.
+func TestIntraChunkDuplicateAcrossSeal(t *testing.T) {
+	// FlushSize 1: every applied row seals its tablet immediately, so the
+	// duplicate's memtable is always fresh.
+	tt := newTestTable(t, Options{FlushSize: 1})
+	now := tt.clk.Now()
+	err := tt.Insert([]schema.Row{
+		usageRow(9, 1, now, 1.0, 0),
+		usageRow(9, 2, now, 2.0, 1),
+		usageRow(9, 1, now, 3.0, 2), // duplicates row 0's key
+	})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("Insert = %v, want ErrDuplicateKey", err)
+	}
+	if err := tt.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	got := queryBox(t, tt.Table, NewQuery())
+	if len(got) != 2 {
+		t.Fatalf("%d rows retained, want 2 (rows before the duplicate)", len(got))
+	}
+	sc := tt.Schema()
+	if sc.CompareKeys(got[0], got[1]) == 0 {
+		t.Fatal("duplicate primary keys persisted")
+	}
+}
+
+// TestAsyncCommitFailureSurfaces: when a background flush's descriptor
+// commit fails, the sealed rows are gone — that loss must be counted
+// (CommitFailures, RowsLost) and returned to a foreground caller as
+// ErrRowsLost, not merely logged by the worker.
+func TestAsyncCommitFailureSurfaces(t *testing.T) {
+	ffs := vfs.NewFault(vfs.NewMem())
+	clk := clock.NewFake(testStart)
+	tab, err := CreateTable("/db", "usage", usageSchema(), 0, Options{
+		Clock: clk, FS: ffs, Logf: quietLogf,
+		FlushWorkers: 1, FlushSize: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+
+	// Tablet files write fine; the rename publishing the next descriptor
+	// fails once, dropping every group in that commit's prefix.
+	ffs.Inject(&vfs.Fault{Op: vfs.OpRename, Path: descriptorFile, Nth: 1})
+	now := clk.Now()
+	const n = 600
+	rows := make([]schema.Row, 0, n)
+	for i := int64(0); i < n; i++ {
+		rows = append(rows, usageRow(7, i%32, now-i*clock.Second, 0, i))
+	}
+	err = tab.Insert(rows)
+	// The worker may latch the loss while the insert is still applying
+	// chunks, in which case the insert itself reports it.
+	observed := errors.Is(err, ErrRowsLost)
+	if err != nil && !observed {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for tab.Stats().RowsLost.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("commit fault never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for !observed {
+		if time.Now().After(deadline) {
+			t.Fatal("row loss never surfaced to a foreground caller")
+		}
+		if err := tab.Tick(); err != nil {
+			if !errors.Is(err, ErrRowsLost) {
+				t.Fatal(err)
+			}
+			observed = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	waitPipelineIdle(t, tab)
+	s := tab.Stats().Snapshot()
+	if s.CommitFailures != 1 {
+		t.Errorf("CommitFailures = %d, want 1", s.CommitFailures)
+	}
+	if s.RowsLost <= 0 || s.RowsLost > n {
+		t.Errorf("RowsLost = %d, want 1..%d", s.RowsLost, n)
+	}
+	// The latch is cleared once taken: a later caller is not haunted.
+	if err := tab.Tick(); err != nil {
+		t.Errorf("Tick after loss was surfaced = %v, want nil", err)
+	}
+	got, err := tab.QueryAll(NewQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(got)) != n-s.RowsLost {
+		t.Fatalf("%d rows readable, want %d (inserted %d, lost %d)",
+			len(got), n-s.RowsLost, n, s.RowsLost)
+	}
+}
+
+// TestBackpressureSyncConcurrentInserters: without workers, concurrent
+// inserters over the cap must cooperate — one that finds every queued
+// group claimed by a peer waits for the peer's commit instead of returning
+// with the cap exceeded — and must never deadlock doing so.
+func TestBackpressureSyncConcurrentInserters(t *testing.T) {
+	tt := newTestTable(t, Options{FlushSize: 2 << 10, MaxUnflushedBytes: 1})
+	now := tt.clk.Now()
+	const workers, per = 4, 300
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := make([]schema.Row, 0, per)
+			for i := int64(0); i < per; i++ {
+				rows = append(rows, usageRow(int64(300+w), i%16, now-i*clock.Second, 0, i))
+			}
+			if err := tt.Insert(rows); err != nil {
+				t.Errorf("inserter %d: %v", w, err)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent sync backpressure deadlocked")
+	}
+	if t.Failed() {
+		return
+	}
+	if s := tt.Stats().Snapshot(); s.BackpressureStalls == 0 {
+		t.Error("no backpressure stalls despite a 1-byte cap")
+	}
+	if d := tt.FlushQueueDepth(); d != 0 {
+		t.Errorf("FlushQueueDepth = %d after all inserters returned", d)
+	}
+	if got := queryBox(t, tt.Table, NewQuery()); len(got) != workers*per {
+		t.Fatalf("query returned %d rows, want %d", len(got), workers*per)
+	}
+}
+
 // TestGroupCommitConcurrentInserters: concurrent Insert calls must all
 // land (group-commit application preserves per-batch results) and the
 // insert lock must be taken at most once per batch, usually less.

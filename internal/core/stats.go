@@ -40,6 +40,8 @@ type Stats struct {
 	TabletsSealed      atomic.Int64 // memtables sealed (frozen + swapped for a fresh one)
 	AsyncFlushes       atomic.Int64 // flush groups written by background workers
 	BackpressureStalls atomic.Int64 // inserts that blocked on the unflushed-bytes cap
+	CommitFailures     atomic.Int64 // descriptor commits that failed, losing sealed rows
+	RowsLost           atomic.Int64 // rows dropped by failed descriptor commits
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -75,6 +77,8 @@ type StatsSnapshot struct {
 	TabletsSealed      int64
 	AsyncFlushes       int64
 	BackpressureStalls int64
+	CommitFailures     int64
+	RowsLost           int64
 }
 
 // Snapshot copies the counters.
@@ -111,6 +115,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TabletsSealed:      s.TabletsSealed.Load(),
 		AsyncFlushes:       s.AsyncFlushes.Load(),
 		BackpressureStalls: s.BackpressureStalls.Load(),
+		CommitFailures:     s.CommitFailures.Load(),
+		RowsLost:           s.RowsLost.Load(),
 	}
 }
 

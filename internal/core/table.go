@@ -21,6 +21,14 @@ var (
 	ErrDuplicateKey = errors.New("core: duplicate primary key")
 	ErrTableClosed  = errors.New("core: table closed")
 	ErrBadQuery     = errors.New("core: invalid query")
+
+	// ErrRowsLost reports that sealed rows were dropped because the
+	// descriptor commit failed after their tablet files were written. The
+	// loss is permanent (the rows are gone from memory and were never
+	// durable); callers receive it so the loss is observed, not merely
+	// logged. On a background flush it is latched and returned by the next
+	// Insert, Tick, or FlushAll — that caller's own operation succeeded.
+	ErrRowsLost = errors.New("core: descriptor commit failed, rows lost")
 )
 
 // fillingTablet is an in-memory tablet accepting inserts for one time
@@ -113,7 +121,7 @@ type Table struct {
 	filling     map[period.Period]*fillingTablet
 	lastInsert  *fillingTablet
 	pending     []*flushGroup
-	sealedBytes int64 // sum of pending groups' bytes not yet committed
+	sealedBytes int64         // sum of pending groups' bytes not yet committed
 	disk        []*diskTablet // sorted by (MinTs, Seq)
 	maxTs       int64
 	hasRows     bool
@@ -130,6 +138,11 @@ type Table struct {
 	flushFails   int
 	mergeFails   int
 	mergeRetryAt int64
+
+	// asyncErr latches a row-loss error (ErrRowsLost) from a background
+	// flush so the next foreground caller returns it instead of the loss
+	// surviving only as a log line. Guarded by mu; cleared when taken.
+	asyncErr error
 
 	stats Stats
 
@@ -430,7 +443,23 @@ func (t *Table) Insert(rows []schema.Row) error {
 	// case queued above was empty or ours was not in it; either way the
 	// result is on the request.
 	<-req.done
-	return req.err
+	if req.err != nil {
+		return req.err
+	}
+	// A background flush may have lost previously accepted rows (a failed
+	// descriptor commit); surface that to the next caller. ErrRowsLost
+	// refers to those earlier rows — this batch itself was applied.
+	return t.takeAsyncErr()
+}
+
+// takeAsyncErr returns and clears the row-loss error latched by a
+// background flush, if any.
+func (t *Table) takeAsyncErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.asyncErr
+	t.asyncErr = nil
+	return err
 }
 
 // applyBatch uniqueness-checks and applies one caller's rows in chunks of
@@ -480,10 +509,34 @@ func (t *Table) applyBatch(req *insertReq) error {
 		// nothing else ever raises it. A row that fails truncates the
 		// chunk: the rows before it still apply (per-row atomicity), then
 		// its error surfaces.
+		//
+		// checkUnique probes table state, which cannot see rows earlier in
+		// this same chunk (none are applied until applyChunk below), so
+		// intra-chunk duplicates are caught here. memtable.Insert's
+		// collision check is not a reliable backstop: a mid-chunk seal
+		// swaps in a fresh memtable that has never seen the earlier row.
+		// Keys embed the timestamp, so only rows sharing a timestamp can
+		// collide: chunk rows are indexed by ts, and a row that finds an
+		// earlier same-ts row compares full keys. The second of a duplicate
+		// pair always has ts <= maxTs (the first raised maxTs to at least
+		// their shared ts), so checking on the slow path alone is complete.
 		var chunkErr error
+		var byTs map[int64][]int // ts -> chunk rows seen with that ts
+		if n > 1 {
+			byTs = make(map[int64][]int, n)
+		}
 		for i, row := range rows[:n] {
 			ts := sc.Ts(row)
 			if hasRows && ts <= maxTs {
+				for _, j := range byTs[ts] {
+					if sc.CompareKeys(row, rows[j]) == 0 {
+						n, chunkErr = i, fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
+						break
+					}
+				}
+				if chunkErr != nil {
+					break
+				}
 				unique, err := t.checkUnique(sc, row, now)
 				if err != nil {
 					n, chunkErr = i, err
@@ -495,6 +548,9 @@ func (t *Table) applyBatch(req *insertReq) error {
 				}
 			} else {
 				t.stats.UniqueFastNew.Add(1)
+			}
+			if byTs != nil {
+				byTs[ts] = append(byTs[ts], i)
 			}
 			if !hasRows || ts > maxTs {
 				maxTs, hasRows = ts, true
@@ -546,8 +602,9 @@ func (t *Table) applyChunk(sc *schema.Schema, rows []schema.Row, now int64) (int
 		}
 		t.lastInsert = ft
 		if !ft.mt.Insert(now, row) {
-			// Uniqueness was vetted before application; a duplicate here
-			// means two rows in this very batch collide.
+			// Uniqueness — including intra-chunk duplicates — was vetted
+			// before application; a collision here is a defensive backstop
+			// that should be unreachable.
 			return i, fmt.Errorf("%w: %v", ErrDuplicateKey, sc.KeyOf(row))
 		}
 		if ts > t.maxTs || !t.hasRows {

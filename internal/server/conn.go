@@ -284,6 +284,8 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			SealedBytes:        t.SealedBytes(),
 			FlushQueueDepth:    int64(t.FlushQueueDepth()),
 			BackpressureStalls: st.BackpressureStalls,
+			CommitFailures:     st.CommitFailures,
+			RowsLost:           st.RowsLost,
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())

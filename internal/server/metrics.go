@@ -74,6 +74,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].AsyncFlushes }},
 		{"littletable_backpressure_stalls_total", "Inserts stalled on the unflushed backlog caps", "counter",
 			func(i int) int64 { return snaps[i].BackpressureStalls }},
+		{"littletable_commit_failures_total", "Descriptor commits that failed, losing sealed rows", "counter",
+			func(i int) int64 { return snaps[i].CommitFailures }},
+		{"littletable_rows_lost_total", "Rows dropped by failed descriptor commits", "counter",
+			func(i int) int64 { return snaps[i].RowsLost }},
 		{"littletable_sealed_bytes", "Sealed-but-unflushed memtable bytes", "gauge",
 			func(i int) int64 { return tables[i].SealedBytes() }},
 		{"littletable_flush_queue_depth", "Sealed flush groups awaiting commit", "gauge",

@@ -231,7 +231,7 @@ func TestOsFSSyncDir(t *testing.T) {
 	if err := fsys.SyncDir(dir); err != nil {
 		t.Fatalf("SyncDir: %v", err)
 	}
-	data, err := ReadFile(fsys, dir + "/b")
+	data, err := ReadFile(fsys, dir+"/b")
 	if err != nil || string(data) != "x" {
 		t.Fatalf("read back: %q, %v", data, err)
 	}

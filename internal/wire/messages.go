@@ -484,6 +484,8 @@ type StatsResult struct {
 	SealedBytes        int64 // gauge: sealed-but-unflushed bytes right now
 	FlushQueueDepth    int64 // gauge: pending flush groups right now
 	BackpressureStalls int64
+	CommitFailures     int64 // descriptor commits that failed, losing sealed rows
+	RowsLost           int64 // rows dropped by failed descriptor commits
 }
 
 // Encode serializes the message payload.
@@ -499,7 +501,7 @@ func (m *StatsResult) Encode() []byte {
 		m.BlockCacheHits, m.BlockCacheMisses,
 		m.InsertBatches, m.GroupCommits, m.TabletsSealed,
 		m.AsyncFlushes, m.SealedBytes, m.FlushQueueDepth,
-		m.BackpressureStalls,
+		m.BackpressureStalls, m.CommitFailures, m.RowsLost,
 	} {
 		b.I64(v)
 	}
@@ -520,7 +522,7 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.BlockCacheHits, &m.BlockCacheMisses,
 		&m.InsertBatches, &m.GroupCommits, &m.TabletsSealed,
 		&m.AsyncFlushes, &m.SealedBytes, &m.FlushQueueDepth,
-		&m.BackpressureStalls,
+		&m.BackpressureStalls, &m.CommitFailures, &m.RowsLost,
 	} {
 		*f = d.I64()
 	}
