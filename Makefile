@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race lint ltlint vet bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint mirrors the CI gates: go vet, the project analyzers, and (when
+# installed) golangci-lint with the committed .golangci.yml.
+lint: vet ltlint
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; skipping (CI runs it)"; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ltlint:
+	$(GO) run ./cmd/ltlint ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+clean:
+	rm -rf bin

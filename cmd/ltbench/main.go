@@ -62,6 +62,7 @@ func main() {
 	if *outPath != "" {
 		b, err := json.MarshalIndent(collected, "", "  ")
 		if err == nil {
+			//ltlint:ignore vfsonly the -o results file is operator output on the real filesystem, not engine data
 			err = os.WriteFile(*outPath, append(b, '\n'), 0o644)
 		}
 		if err != nil {

@@ -1,0 +1,101 @@
+// Command ltlint runs LittleTable's project-specific static analyzers
+// over the whole module and exits non-zero on any finding. It is the
+// compile-time half of the paper's correctness argument: §5's durability
+// and recovery guarantees are re-proven on every commit by the crash
+// harness, but only for code paths the harness can see — ltlint pins the
+// disciplines (vfs-only I/O, checked barriers, threaded contexts, lock
+// hygiene, counter lockstep) that keep every path visible.
+//
+// Usage:
+//
+//	go run ./cmd/ltlint ./...
+//
+// The package pattern argument is accepted for familiarity but the tool
+// always analyzes the enclosing module in full — the rules it enforces
+// are whole-program properties. Flags:
+//
+//	-list        print the analyzers and exit
+//	-rules a,b   run only the named analyzers
+//
+// Suppress a finding inline with
+//
+//	//ltlint:ignore <rule> <reason>
+//
+// on the offending line or the line above. The reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"littletable/internal/ltlint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Parse()
+
+	analyzers := ltlint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*ltlint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(os.Stderr, "ltlint: unknown analyzer %q\n", r)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := ltlint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := ltlint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := ltlint.Run(prog, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		// Print module-relative paths: stable across machines and
+		// clickable from the repo root, where CI runs the tool.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ltlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -24,10 +24,12 @@ import (
 )
 
 func main() {
+	//ltlint:ignore vfsonly example provisions its demo directory on the real filesystem
 	dir, err := os.MkdirTemp("", "littletable-events")
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ltlint:ignore vfsonly demo directory cleanup
 	defer os.RemoveAll(dir)
 
 	start := littletable.Now()

@@ -26,10 +26,12 @@ import (
 )
 
 func main() {
+	//ltlint:ignore vfsonly example provisions its demo directory on the real filesystem
 	dir, err := os.MkdirTemp("", "littletable-usage")
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ltlint:ignore vfsonly demo directory cleanup
 	defer os.RemoveAll(dir)
 
 	// Simulated time makes the example deterministic and instant; swap in

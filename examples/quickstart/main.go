@@ -20,10 +20,12 @@ import (
 )
 
 func main() {
+	//ltlint:ignore vfsonly example provisions its demo directory on the real filesystem
 	dir, err := os.MkdirTemp("", "littletable-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ltlint:ignore vfsonly demo directory cleanup
 	defer os.RemoveAll(dir)
 
 	// 1. Start a server. Production runs cmd/littletabled; embedding works

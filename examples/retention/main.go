@@ -29,10 +29,12 @@ import (
 )
 
 func main() {
+	//ltlint:ignore vfsonly example provisions its demo directory on the real filesystem
 	base, err := os.MkdirTemp("", "littletable-retention")
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ltlint:ignore vfsonly demo directory cleanup
 	defer os.RemoveAll(base)
 	shardDir := filepath.Join(base, "shard")
 	spareDir := filepath.Join(base, "spare")

@@ -78,7 +78,6 @@ func TestCrashLosesOnlyUnflushedSuffix(t *testing.T) {
 // DESIGN.md.
 func TestPrefixDurabilityProperty(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
-		seed := seed
 		t.Run("", func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			tt := newTestTable(t, Options{FlushSize: 4096})

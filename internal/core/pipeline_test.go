@@ -261,7 +261,6 @@ func TestBackpressureSyncConcurrentInserters(t *testing.T) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -302,7 +301,6 @@ func TestGroupCommitConcurrentInserters(t *testing.T) {
 	const workers, batches, per = 4, 25, 8
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -255,6 +255,7 @@ type Iterator struct {
 // appear (§3.1's weak read guarantee), but the result is always key-ordered
 // and duplicate-free.
 func (t *Table) Query(q Query) (*Iterator, error) {
+	//ltlint:ignore ctxprop Query is the public context-free shim: this Background is the designated root of the chain
 	return t.QueryCtx(context.Background(), q)
 }
 

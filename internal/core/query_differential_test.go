@@ -32,7 +32,6 @@ func TestQueryDifferentialParallel(t *testing.T) {
 	const seeds = 7
 	const trials = 50 // 3 configs x 7 seeds x 50 = 1050 queries
 	for _, cfg := range configs {
-		cfg := cfg
 		t.Run(fmt.Sprintf("parallelism=%d", cfg.par), func(t *testing.T) {
 			for seed := int64(0); seed < seeds; seed++ {
 				rng := rand.New(rand.NewSource(seed*1000 + int64(cfg.par)))

@@ -17,7 +17,6 @@ import (
 // reference filter selects, in exactly key order.
 func TestQueryBoxMatchesReferenceModel(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
-		seed := seed
 		t.Run("", func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			tt := newTestTable(t, Options{FlushSize: 2048, MergeDelay: 1})

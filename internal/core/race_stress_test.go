@@ -170,7 +170,6 @@ func TestConcurrentReadWriteStress(t *testing.T) {
 
 	const inserters = 3
 	for w := 0; w < inserters; w++ {
-		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -196,7 +195,6 @@ func TestConcurrentReadWriteStress(t *testing.T) {
 
 	const queriers = 3
 	for w := 0; w < queriers; w++ {
-		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -18,7 +18,6 @@ import (
 // order.
 func TestEngineStateMachine(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
-		seed := seed
 		t.Run("", func(t *testing.T) {
 			runStateMachine(t, seed, 400, Options{FlushSize: 4 << 10, MergeDelay: clock.Second})
 		})
@@ -32,7 +31,6 @@ func TestEngineStateMachine(t *testing.T) {
 // crashes, merges, deletes, and TTL changes.
 func TestEngineStateMachineParallel(t *testing.T) {
 	for seed := int64(20); seed < 24; seed++ {
-		seed := seed
 		t.Run("", func(t *testing.T) {
 			runStateMachine(t, seed, 400, Options{
 				FlushSize:        4 << 10,

@@ -2,7 +2,6 @@ package ltbench
 
 import (
 	"fmt"
-	"os"
 
 	"littletable/internal/clock"
 	"littletable/internal/core"
@@ -48,11 +47,11 @@ func RunAblations(cfg AblationConfig) (*Result, error) {
 
 	// --- Ablation 1: period-aware merging ---
 	scanRatio := func(acrossPeriods bool) (float64, int, error) {
-		dir, err := os.MkdirTemp(cfg.Dir, "abl")
+		dir, err := scratchDir(cfg.Dir, "abl")
 		if err != nil {
 			return 0, 0, err
 		}
-		defer os.RemoveAll(dir)
+		defer scratchRemove(dir)
 		clk := clock.NewFake(1_782_018_420 * clock.Second)
 		tab, err := core.CreateTable(dir, "t", usageLikeSchema(), 0, core.Options{
 			Clock:              clk,
@@ -155,11 +154,11 @@ func RunAblations(cfg AblationConfig) (*Result, error) {
 
 	// --- Ablation 2: Bloom filters for uniqueness probes ---
 	probeStats := func(bloomOff bool) (core.StatsSnapshot, error) {
-		dir, err := os.MkdirTemp(cfg.Dir, "abl")
+		dir, err := scratchDir(cfg.Dir, "abl")
 		if err != nil {
 			return core.StatsSnapshot{}, err
 		}
-		defer os.RemoveAll(dir)
+		defer scratchRemove(dir)
 		clk := clock.NewFake(1_782_018_420 * clock.Second)
 		tab, err := core.CreateTable(dir, "t", usageLikeSchema(), 0, core.Options{
 			Clock:        clk,

@@ -3,7 +3,6 @@ package ltbench
 import (
 	"fmt"
 	"math"
-	"os"
 
 	"littletable/internal/clock"
 	"littletable/internal/core"
@@ -33,11 +32,11 @@ func (c *AppendixConfig) defaults() {
 // RunAppendix measures the merge policy's logarithmic bounds.
 func RunAppendix(cfg AppendixConfig) (*Result, error) {
 	cfg.defaults()
-	dir, err := os.MkdirTemp(cfg.Dir, "appendix")
+	dir, err := scratchDir(cfg.Dir, "appendix")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 	clk := clock.NewFake(1_782_018_420 * clock.Second)
 	sc := schema.MustNew([]schema.Column{
 		{Name: "k", Type: ltval.Int64},

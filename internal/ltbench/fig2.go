@@ -3,7 +3,6 @@ package ltbench
 import (
 	"fmt"
 	"net"
-	"os"
 	"time"
 
 	"littletable/internal/client"
@@ -86,11 +85,11 @@ func RunFig2(cfg Fig2Config) (*Result, error) {
 // insertRun inserts cfg.BytesPerRun through the wire into a fresh table
 // and returns MB/s.
 func insertRun(cfg Fig2Config, rowBytes, rowsPerBatch int) (float64, error) {
-	dir, err := os.MkdirTemp(cfg.Dir, "fig2")
+	dir, err := scratchDir(cfg.Dir, "fig2")
 	if err != nil {
 		return 0, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 	srv, err := server.New(server.Options{
 		Root:                dir,
 		MaintenanceInterval: 100 * time.Millisecond,

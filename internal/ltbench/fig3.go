@@ -2,7 +2,6 @@ package ltbench
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
@@ -58,11 +57,11 @@ func (c *Fig3Config) defaults() {
 // tablet merging, with merge completions as impulse events.
 func RunFig3(cfg Fig3Config) (*Result, error) {
 	cfg.defaults()
-	dir, err := os.MkdirTemp(cfg.Dir, "fig3")
+	dir, err := scratchDir(cfg.Dir, "fig3")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 	tab, err := core.CreateTable(dir, "bench", benchSchema(), 0, core.Options{
 		FlushSize:         cfg.FlushSize,
 		MaxTabletSize:     cfg.MaxTabletSize,

@@ -3,7 +3,6 @@ package ltbench
 import (
 	"fmt"
 	"net"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -95,11 +94,11 @@ func RunFig4(cfg Fig4Config) (*Result, error) {
 }
 
 func multiWriterRun(cfg Fig4Config, writers int) (float64, error) {
-	dir, err := os.MkdirTemp(cfg.Dir, "fig4")
+	dir, err := scratchDir(cfg.Dir, "fig4")
 	if err != nil {
 		return 0, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 	srv, err := server.New(server.Options{
 		Root:                dir,
 		MaintenanceInterval: 100 * time.Millisecond,

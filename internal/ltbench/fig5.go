@@ -3,12 +3,12 @@ package ltbench
 import (
 	"container/heap"
 	"fmt"
-	"os"
 
 	"littletable/internal/diskmodel"
 	"littletable/internal/iotrace"
 	"littletable/internal/schema"
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // Fig5Config scales the query-throughput-vs-tablets experiment. The paper
@@ -51,14 +51,14 @@ func RunFig5(cfg Fig5Config) (*Result, error) {
 	for _, count := range cfg.TabletCounts {
 		dir := cfg.Dir
 		if dir == "" {
-			d, err := os.MkdirTemp("", "fig5")
+			d, err := scratchDir("", "fig5")
 			if err != nil {
 				return nil, err
 			}
-			defer os.RemoveAll(d)
+			defer scratchRemove(d)
 			dir = d
 		}
-		sub, err := os.MkdirTemp(dir, fmt.Sprintf("t%d-", count))
+		sub, err := scratchDir(dir, fmt.Sprintf("t%d-", count))
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +106,7 @@ func tracedMergeScan(paths []string) ([]iotrace.TaggedAccess, int64, error) {
 	multi := iotrace.NewMulti()
 	tabs := make([]*tablet.Tablet, len(paths))
 	for i, p := range paths {
-		f, err := os.Open(p)
+		f, err := vfs.OsFS{}.Open(p)
 		if err != nil {
 			return nil, 0, err
 		}

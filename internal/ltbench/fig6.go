@@ -2,12 +2,12 @@ package ltbench
 
 import (
 	"fmt"
-	"os"
 
 	"littletable/internal/diskmodel"
 	"littletable/internal/iotrace"
 	"littletable/internal/ltval"
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // Fig6Config scales the first-row-latency experiment: queries for random
@@ -50,14 +50,14 @@ func RunFig6(cfg Fig6Config) (*Result, error) {
 	for _, count := range cfg.TabletCounts {
 		dir := cfg.Dir
 		if dir == "" {
-			d, err := os.MkdirTemp("", "fig6")
+			d, err := scratchDir("", "fig6")
 			if err != nil {
 				return nil, err
 			}
-			defer os.RemoveAll(d)
+			defer scratchRemove(d)
 			dir = d
 		}
-		sub, err := os.MkdirTemp(dir, fmt.Sprintf("t%d-", count))
+		sub, err := scratchDir(dir, fmt.Sprintf("t%d-", count))
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +98,7 @@ func firstRowLatencies(paths []string, sizes []int64, count, rowsPer int) (first
 	// First query: open every tablet cold (footer reads) and seek one
 	// random key in each.
 	tabs := make([]*tablet.Tablet, count)
-	files := make([]*os.File, count)
+	files := make([]vfs.File, count)
 	defer func() {
 		for _, f := range files {
 			if f != nil {
@@ -117,7 +117,7 @@ func firstRowLatencies(paths []string, sizes []int64, count, rowsPer int) (first
 		return nil
 	}
 	for i, p := range paths {
-		f, err := os.Open(p)
+		f, err := vfs.OsFS{}.Open(p)
 		if err != nil {
 			return 0, 0, err
 		}

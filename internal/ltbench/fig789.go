@@ -3,7 +3,6 @@ package ltbench
 import (
 	"fmt"
 	"math/rand"
-	"os"
 
 	"littletable/internal/clock"
 	"littletable/internal/core"
@@ -156,11 +155,11 @@ func (c *Fig9Config) defaults() {
 func RunFig9(cfg Fig9Config) (*Result, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	dir, err := os.MkdirTemp(cfg.Dir, "fig9")
+	dir, err := scratchDir(cfg.Dir, "fig9")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 
 	clk := clock.NewFake(1_782_018_420 * clock.Second)
 	ratios := make([]float64, 0, cfg.Tables)

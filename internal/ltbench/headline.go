@@ -3,12 +3,12 @@ package ltbench
 import (
 	"fmt"
 	"math"
-	"os"
 	"time"
 
 	"littletable/internal/diskmodel"
 	"littletable/internal/iotrace"
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // RunHeadline regenerates the paper's headline numbers (§1, §2.3):
@@ -24,11 +24,11 @@ import (
 //     measured through the full wire path.
 func RunHeadline(dir string) (*Result, error) {
 	if dir == "" {
-		d, err := os.MkdirTemp("", "headline")
+		d, err := scratchDir("", "headline")
 		if err != nil {
 			return nil, err
 		}
-		defer os.RemoveAll(d)
+		defer scratchRemove(d)
 		dir = d
 	}
 	res := &Result{
@@ -50,7 +50,7 @@ func RunHeadline(dir string) (*Result, error) {
 	}
 
 	// First-row latency: cold open (footer) + one block read, modeled.
-	f, err := os.Open(paths[0])
+	f, err := vfs.OsFS{}.Open(paths[0])
 	if err != nil {
 		return nil, err
 	}

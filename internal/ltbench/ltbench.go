@@ -18,6 +18,7 @@ import (
 	"littletable/internal/ltval"
 	"littletable/internal/schema"
 	"littletable/internal/tablet"
+	"littletable/internal/vfs"
 )
 
 // Point is one (x, y) sample of a figure's series.
@@ -173,7 +174,7 @@ func buildTablets(dir string, count, rowsPer, rowBytes int, startTs int64) ([]st
 func fileSizes(paths []string) ([]int64, error) {
 	out := make([]int64, len(paths))
 	for i, p := range paths {
-		fi, err := os.Stat(p)
+		fi, err := vfs.OsFS{}.Stat(p)
 		if err != nil {
 			return nil, err
 		}

@@ -2,7 +2,6 @@ package ltbench
 
 import (
 	"fmt"
-	"os"
 	"time"
 
 	"littletable/internal/clock"
@@ -69,12 +68,12 @@ func RunParallel(cfg ParallelConfig) (*Result, error) {
 	var maxSpeedup float64
 	var maxSpeedupAt int
 	for _, n := range cfg.TabletCounts {
-		dir, err := os.MkdirTemp(cfg.Dir, "parallel")
+		dir, err := scratchDir(cfg.Dir, "parallel")
 		if err != nil {
 			return nil, err
 		}
 		if err := buildScanTable(dir, n, cfg.RowsPerTablet, cfg.RowBytes); err != nil {
-			os.RemoveAll(dir)
+			scratchRemove(dir)
 			return nil, err
 		}
 		slow := vfs.LatencyFS{FS: vfs.OsFS{}, ReadDelay: cfg.ReadDelay}
@@ -84,7 +83,7 @@ func RunParallel(cfg ParallelConfig) (*Result, error) {
 			PrefetchDepth:    -1,
 		}, n*cfg.RowsPerTablet, false)
 		if err != nil {
-			os.RemoveAll(dir)
+			scratchRemove(dir)
 			return nil, err
 		}
 		parRate, warmRate, err := timeScan(dir, core.Options{
@@ -93,7 +92,7 @@ func RunParallel(cfg ParallelConfig) (*Result, error) {
 			PrefetchDepth:    cfg.PrefetchDepth,
 			BlockCacheBytes:  256 << 20,
 		}, n*cfg.RowsPerTablet, true)
-		os.RemoveAll(dir)
+		scratchRemove(dir)
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,6 @@ package ltbench
 import (
 	"fmt"
 	"math/rand"
-	"os"
 
 	"littletable/internal/apps"
 	"littletable/internal/apps/agg"
@@ -56,11 +55,11 @@ func (c *RatesConfig) defaults() {
 // substantially smaller destination tables."
 func RunRates(cfg RatesConfig) (*Result, error) {
 	cfg.defaults()
-	dir, err := os.MkdirTemp(cfg.Dir, "rates")
+	dir, err := scratchDir(cfg.Dir, "rates")
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 
 	startTs := int64(1_782_018_420) * clock.Second
 	clk := clock.NewFake(startTs)

@@ -1,0 +1,22 @@
+package ltbench
+
+import "os"
+
+// The benchmark harness measures real disks (or modeled-latency wrappers
+// around them), so provisioning its scratch trees goes straight to the
+// OS on purpose: wrapping MkdirTemp in the engine's vfs would add an
+// abstraction the engine never uses at that point and would not make the
+// crash harness any stronger. These two helpers are the single sanctioned
+// choke point — every figure's setup calls them, keeping the rest of the
+// harness inside the vfsonly discipline.
+
+// scratchDir creates a scratch directory for one benchmark run.
+func scratchDir(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern) //ltlint:ignore vfsonly bench scratch provisioning targets the real filesystem by design
+}
+
+// scratchRemove deletes a scratch tree, best-effort, mirroring the
+// defer-cleanup idiom of the figure runners.
+func scratchRemove(dir string) {
+	os.RemoveAll(dir) //ltlint:ignore vfsonly bench scratch cleanup mirrors scratchDir
+}

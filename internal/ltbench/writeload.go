@@ -2,7 +2,6 @@ package ltbench
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
@@ -120,11 +119,11 @@ func RunWriteload(cfg WriteloadConfig) (*Result, error) {
 // runWriteloadOnce inserts cfg.Rows across `inserters` goroutines with
 // `workers` background flushers, returning rows per second to durable.
 func runWriteloadOnce(cfg WriteloadConfig, workers, inserters int) (float64, error) {
-	dir, err := os.MkdirTemp(cfg.Dir, "writeload")
+	dir, err := scratchDir(cfg.Dir, "writeload")
 	if err != nil {
 		return 0, err
 	}
-	defer os.RemoveAll(dir)
+	defer scratchRemove(dir)
 	clk := clock.NewFake(1_782_018_420 * clock.Second)
 	slow := vfs.LatencyFS{FS: vfs.OsFS{}, WriteDelay: cfg.WriteDelay, WriteBytesPerSec: cfg.WriteBytesPerSec}
 	tab, err := core.CreateTable(dir, "bench", benchSchema(), 0, core.Options{
@@ -147,7 +146,6 @@ func runWriteloadOnce(cfg WriteloadConfig, workers, inserters int) (float64, err
 	errs := make([]error, inserters)
 	var wg sync.WaitGroup
 	for w := 0; w < inserters; w++ {
-		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -1,0 +1,112 @@
+package ltlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"littletable/internal/ltlint"
+	"littletable/internal/ltlint/lttest"
+)
+
+func writeFixture(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVfsOnly(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "vfsonly"), ltlint.VfsOnly)
+}
+
+func TestBarrierCheck(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "barriercheck"), ltlint.BarrierCheck)
+}
+
+func TestCountersSync(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "counterssync"), ltlint.CountersSync)
+}
+
+func TestCtxProp(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "ctxprop"), ltlint.CtxProp)
+}
+
+func TestLockHold(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "lockhold"), ltlint.LockHold)
+}
+
+// TestCountersSyncCatchesDrift is the acceptance-criteria demonstration
+// in executable form: starting from the in-sync fixture, adding a Stats
+// counter without wire/metrics counterparts must produce findings.
+func TestCountersSyncCatchesDrift(t *testing.T) {
+	prog, err := ltlint.LoadTree(filepath.Join("testdata", "src", "counterssync"), lttest.ModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ltlint.Run(prog, []*ltlint.Analyzer{ltlint.CountersSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wireMisses, serverMisses int
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not encoded in internal/wire") {
+			wireMisses++
+		}
+		if strings.Contains(d.Message, "not exported by internal/server") {
+			serverMisses++
+		}
+	}
+	// Orphan and NoSnap each miss both sides; CoreOnly is suppressed.
+	if wireMisses != 2 || serverMisses != 2 {
+		t.Fatalf("want 2 wire + 2 server drift findings, got %d + %d: %v", wireMisses, serverMisses, diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "CoreOnly") {
+			t.Fatalf("suppressed counter CoreOnly was reported: %v", d)
+		}
+	}
+}
+
+// TestMalformedIgnoreIsReported pins the rule that a suppression without
+// a reason is itself a finding.
+func TestMalformedIgnoreIsReported(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "a/a.go", "package a\n\n//ltlint:ignore vfsonly\nvar X = 1\n")
+	prog, err := ltlint.LoadTree(dir, lttest.ModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ltlint.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed //ltlint:ignore") {
+		t.Fatalf("want one malformed-ignore finding, got %v", diags)
+	}
+}
+
+// TestSelfClean runs the full suite over this repository: the linted tree
+// must stay clean, so the CI gate (cmd/ltlint) cannot regress quietly.
+func TestSelfClean(t *testing.T) {
+	root, err := ltlint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ltlint.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ltlint.Run(prog, ltlint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,205 @@
+package ltlint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CountersSync enforces the lockstep of the stats/wire/metrics counter
+// triple — the PR 3 bug class (CommitFailures/RowsLost existed in core
+// but reached neither the wire protocol nor /metrics) made structurally
+// impossible. For every atomic.Int64 counter field of core.Stats it
+// requires:
+//
+//   - a same-named field in core.StatsSnapshot and an entry in the
+//     Snapshot() copy literal (else snapshots silently read zero),
+//   - the name to appear in internal/wire's non-test sources (the
+//     StatsResult encoding), and
+//   - the name to appear in internal/server's non-test sources (the
+//     Prometheus exporter / stats handler).
+//
+// A counter that is deliberately core-only carries an //ltlint:ignore
+// counterssync on its declaration line, with the reason in the open.
+var CountersSync = &Analyzer{
+	Name: "counterssync",
+	Doc: "every core.Stats counter must reach the wire StatsResult and the " +
+		"Prometheus exporter, or operators fly blind on exactly the failures §5 counts",
+	Run: runCountersSync,
+}
+
+type counterField struct {
+	name string
+	pos  token.Pos
+}
+
+func runCountersSync(p *Pass) error {
+	mod := p.Prog.ModPath
+	corePkg := p.Prog.Package(mod + "/internal/core")
+	if corePkg == nil {
+		return nil
+	}
+	counters := atomicCounterFields(corePkg, "Stats")
+	if len(counters) == 0 {
+		return nil
+	}
+	snapFields := structFieldNames(corePkg, "StatsSnapshot")
+	snapLit := snapshotLiteralKeys(corePkg, "Snapshot", "StatsSnapshot")
+
+	wirePkg := p.Prog.Package(mod + "/internal/wire")
+	serverPkg := p.Prog.Package(mod + "/internal/server")
+	var wireIdents, serverIdents map[string]bool
+	if wirePkg != nil {
+		wireIdents = packageIdents(wirePkg)
+	}
+	if serverPkg != nil {
+		serverIdents = packageIdents(serverPkg)
+	}
+
+	for _, fld := range counters {
+		name := fld.name
+		if snapFields != nil && !snapFields[name] {
+			p.Reportf(fld.pos, "stats counter %s has no StatsSnapshot field; Snapshot() callers will never see it", name)
+		}
+		if snapLit != nil && !snapLit[name] {
+			p.Reportf(fld.pos, "stats counter %s is not copied in Snapshot(); snapshots read it as zero", name)
+		}
+		switch {
+		case wirePkg == nil:
+			p.Reportf(fld.pos, "stats counter %s: package %s/internal/wire not found to carry it", name, mod)
+		case !wireIdents[name]:
+			p.Reportf(fld.pos, "stats counter %s is not encoded in internal/wire; add it to StatsResult and its Encode/Decode", name)
+		}
+		switch {
+		case serverPkg == nil:
+			p.Reportf(fld.pos, "stats counter %s: package %s/internal/server not found to export it", name, mod)
+		case !serverIdents[name]:
+			p.Reportf(fld.pos, "stats counter %s is not exported by internal/server; add it to the stats handler and WriteMetrics", name)
+		}
+	}
+	return nil
+}
+
+// structType finds the named struct type's declaration in the package's
+// non-test files.
+func structType(pkg *Package, typeName string) *ast.StructType {
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typeName {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// atomicCounterFields returns the atomic.Int64 fields of the named struct,
+// in declaration order.
+func atomicCounterFields(pkg *Package, typeName string) []counterField {
+	st := structType(pkg, typeName)
+	if st == nil {
+		return nil
+	}
+	var out []counterField
+	for _, fld := range st.Fields.List {
+		sel, ok := fld.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Int64" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "atomic" {
+			continue
+		}
+		for _, name := range fld.Names {
+			out = append(out, counterField{name: name.Name, pos: name.Pos()})
+		}
+	}
+	return out
+}
+
+// structFieldNames returns the field-name set of the named struct, or nil
+// if the type is absent.
+func structFieldNames(pkg *Package, typeName string) map[string]bool {
+	st := structType(pkg, typeName)
+	if st == nil {
+		return nil
+	}
+	out := make(map[string]bool)
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+// snapshotLiteralKeys returns the keys of the resultType composite
+// literal inside the named method, or nil if no such method exists.
+func snapshotLiteralKeys(pkg *Package, method, resultType string) map[string]bool {
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			var keys map[string]bool
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if id, ok := cl.Type.(*ast.Ident); !ok || id.Name != resultType {
+					return true
+				}
+				if keys == nil {
+					keys = make(map[string]bool)
+				}
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							keys[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+			if keys != nil {
+				return keys
+			}
+		}
+	}
+	return nil
+}
+
+// packageIdents collects every identifier appearing in the package's
+// non-test files — the loosest useful notion of "this package mentions
+// the counter", robust to how the encoding is written.
+func packageIdents(pkg *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+			return true
+		})
+	}
+	return out
+}

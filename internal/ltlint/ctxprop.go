@@ -1,0 +1,54 @@
+package ltlint
+
+import (
+	"go/ast"
+)
+
+// CtxProp enforces the cancellation chain built in PR 2: a server query's
+// QueryCtx threads core→tablet→vfs so an abandoned query stops consuming
+// disk. A context.Background()/TODO() inside internal/core or
+// internal/tablet severs that chain — block loads and prefetch pipelines
+// spawned under it outlive the caller. The only sanctioned use is the
+// public context-free API shim (Table.Query wrapping QueryCtx), which
+// carries an //ltlint:ignore with that justification.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc: "context.Background()/TODO() inside internal/core or internal/tablet " +
+		"severs the core→tablet→vfs cancellation chain; thread the caller's QueryCtx",
+	Run: runCtxProp,
+}
+
+func runCtxProp(p *Pass) error {
+	mod := p.Prog.ModPath
+	checked := map[string]bool{
+		mod + "/internal/core":   true,
+		mod + "/internal/tablet": true,
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		if !checked[pkg.PkgPath] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			imports := importNames(f.AST)
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, sel, ok := pkgCall(call)
+				if !ok || imports[name] != "context" {
+					return true
+				}
+				if sel == "Background" || sel == "TODO" {
+					p.Reportf(call.Pos(), "context.%s() severs the core→tablet→vfs cancellation "+
+						"chain; thread the caller's QueryCtx instead", sel)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package ltlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses every package of the module rooted at root (the
+// directory holding go.mod) into a Program. It is a deliberately small
+// stand-in for golang.org/x/tools/go/packages: a filesystem walk plus
+// go/parser, which is all a dependency-free module needs. Build tags are
+// not evaluated — every .go file in a package directory is parsed, which
+// for a linter errs on the side of seeing more code, not less.
+func LoadModule(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), ModPath: modPath}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loadDir(prog.Fset, dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].PkgPath < prog.Pkgs[j].PkgPath })
+	return prog, nil
+}
+
+// LoadTree parses a GOPATH-style fixture tree: every directory under src
+// becomes a package whose import path is its path relative to src. The
+// lttest runner uses this to load testdata/src fixtures, mirroring
+// analysistest's layout.
+func LoadTree(src, modPath string) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), ModPath: modPath}
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() || path == src {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		pkg, err := loadDir(prog.Fset, path, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			prog.Pkgs = append(prog.Pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].PkgPath < prog.Pkgs[j].PkgPath })
+	return prog, nil
+}
+
+// loadDir parses the .go files directly in dir, or returns nil if there
+// are none.
+func loadDir(fset *token.FileSet, dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("ltlint: parse %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, &SourceFile{
+			Path:   path,
+			AST:    f,
+			IsTest: strings.HasSuffix(e.Name(), "_test.go"),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
+
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	m := moduleLine.FindSubmatch(b)
+	if m == nil {
+		return "", fmt.Errorf("ltlint: no module line in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod, for the cmd/ltlint entry point.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("ltlint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// inspectNonTest applies fn to every non-test file of every package.
+func inspectNonTest(prog *Program, fn func(pkg *Package, f *SourceFile, n ast.Node) bool) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool { return fn(pkg, f, n) })
+		}
+	}
+}

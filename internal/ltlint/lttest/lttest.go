@@ -1,0 +1,137 @@
+// Package lttest runs ltlint analyzers over GOPATH-style fixture trees,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture files
+// mark expected findings with trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments, one pattern per expected diagnostic on that line. The runner
+// fails the test for every unmatched expectation and every unexpected
+// diagnostic, so fixtures prove both that a rule fires on violations and
+// that it stays quiet on compliant (or //ltlint:ignore-suppressed) code.
+package lttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"littletable/internal/ltlint"
+)
+
+// ModPath is the module path fixtures are rooted under: a fixture tree's
+// testdata/src/littletable/internal/core directory loads as package
+// "littletable/internal/core", so analyzers that key on real package
+// paths see the paths they expect.
+const ModPath = "littletable"
+
+// wantComment matches a want marker and captures the quoted patterns;
+// like analysistest, both "double-quoted" and `backquoted` patterns are
+// accepted.
+var wantComment = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)\\s*$")
+
+// wantPattern pulls the individual quoted strings out of the capture.
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture tree at srcdir (a directory of packages, each
+// subdirectory path doubling as its import path) and checks the
+// analyzer's diagnostics against the tree's want comments.
+func Run(t *testing.T, srcdir string, a *ltlint.Analyzer) {
+	t.Helper()
+	prog, err := ltlint.LoadTree(srcdir, ModPath)
+	if err != nil {
+		t.Fatalf("lttest: load %s: %v", srcdir, err)
+	}
+	diags, err := ltlint.Run(prog, []*ltlint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("lttest: run %s: %v", a.Name, err)
+	}
+	expects, err := collectWants(prog)
+	if err != nil {
+		t.Fatalf("lttest: %v", err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s: %s",
+				relTo(srcdir, d.Pos.Filename), d.Pos.Line, d.Rule, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("no diagnostic at %s:%d matching %s",
+				relTo(srcdir, e.file), e.line, e.raw)
+		}
+	}
+}
+
+// collectWants re-scans every fixture file's comments for want markers.
+// Parsing comments from the already-loaded ASTs would also work, but a
+// line scan keeps the marker grammar independent of comment attachment
+// subtleties.
+func collectWants(prog *ltlint.Program) ([]*expectation, error) {
+	var out []*expectation
+	fset := token.NewFileSet()
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			af, err := parser.ParseFile(fset, f.Path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, cg := range af.Comments {
+				for _, c := range cg.List {
+					m := wantComment.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					line := fset.Position(c.Pos()).Line
+					for _, q := range wantPattern.FindAllString(m[1], -1) {
+						var raw string
+						var err error
+						if strings.HasPrefix(q, "`") {
+							raw = strings.Trim(q, "`")
+						} else if raw, err = strconv.Unquote(q); err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", f.Path, line, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", f.Path, line, q, err)
+						}
+						out = append(out, &expectation{file: f.Path, line: line, pattern: re, raw: q})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func relTo(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,41 @@
+package core
+
+type file struct{}
+
+func (file) Sync() error  { return nil }
+func (file) Close() error { return nil }
+
+type fsys struct{}
+
+func (fsys) Rename(oldname, newname string) error { return nil }
+func (fsys) SyncDir(dir string) error             { return nil }
+
+func writeDescriptor() error { return nil }
+
+// bad shows every discard shape the rule catches.
+func bad(f file, s fsys) {
+	f.Sync()           // want `Sync's error is discarded`
+	_ = f.Sync()       // want `Sync's error is assigned to _`
+	go f.Sync()        // want `go Sync discards the barrier error`
+	defer f.Sync()     // want `defer Sync discards the barrier error`
+	s.Rename("a", "b") // want `Rename's error is discarded`
+	s.SyncDir(".")     // want `SyncDir's error is discarded`
+	writeDescriptor()  // want `writeDescriptor's error is discarded`
+}
+
+// good shows the checked shapes: returned, branched on, captured, or
+// suppressed with a reason. Close is best-effort on read paths and is
+// not a barrier.
+func good(f file, s fsys) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	err := s.SyncDir(".")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	//ltlint:ignore barriercheck quarantine path: the failure is already counted in Stats.TabletsQuarantined
+	s.Rename("a", "b")
+	return writeDescriptor()
+}

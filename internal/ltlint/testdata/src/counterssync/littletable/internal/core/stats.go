@@ -1,0 +1,29 @@
+package core
+
+import "sync/atomic"
+
+// Stats mirrors the real core.Stats shape: every atomic.Int64 field is a
+// counter the triple-lockstep rule covers.
+type Stats struct {
+	Good   atomic.Int64
+	Orphan atomic.Int64 // want `stats counter Orphan is not encoded in internal/wire` `stats counter Orphan is not exported by internal/server`
+	NoSnap atomic.Int64 // want `stats counter NoSnap has no StatsSnapshot field` `stats counter NoSnap is not copied in Snapshot\(\)` `stats counter NoSnap is not encoded in internal/wire` `stats counter NoSnap is not exported by internal/server`
+	//ltlint:ignore counterssync deliberately core-only: consumed by the crash harness, not operators
+	CoreOnly atomic.Int64
+
+	gauge int64 // not an atomic counter; ignored
+}
+
+type StatsSnapshot struct {
+	Good     int64
+	Orphan   int64
+	CoreOnly int64
+}
+
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Good:     s.Good.Load(),
+		Orphan:   s.Orphan.Load(),
+		CoreOnly: s.CoreOnly.Load(),
+	}
+}

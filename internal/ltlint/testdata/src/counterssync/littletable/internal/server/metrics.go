@@ -1,0 +1,5 @@
+package server
+
+type snapshot struct{ Good int64 }
+
+func export(s snapshot) int64 { return s.Good }

@@ -1,0 +1,12 @@
+package wire
+
+// StatsResult carries Good but not Orphan/NoSnap — the drift the rule
+// exists to catch.
+type StatsResult struct {
+	Good int64
+}
+
+func (m *StatsResult) Encode() []byte {
+	_ = m.Good
+	return nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import "context"
+
+type query struct{}
+
+func run(ctx context.Context, q query) error { return nil }
+
+// detached shows the violation: a fresh root context severs the caller's
+// cancellation chain.
+func detached(q query) error {
+	return run(context.Background(), q) // want `context\.Background\(\) severs the core→tablet→vfs cancellation chain`
+}
+
+func parked(q query) error {
+	return run(context.TODO(), q) // want `context\.TODO\(\) severs the core→tablet→vfs cancellation chain`
+}
+
+// Query is the public context-free entry point — the one sanctioned
+// Background, carrying its justification inline.
+func Query(q query) error {
+	//ltlint:ignore ctxprop public context-free API shim: this is the designated root of the chain
+	return run(context.Background(), q)
+}
+
+// threaded shows the compliant shape.
+func threaded(ctx context.Context, q query) error {
+	return run(ctx, q)
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"io/ioutil"
+	stdos "os"
+)
+
+// provision shows the violation shapes: direct os calls (even under a
+// renamed import) and the deprecated ioutil equivalents.
+func provision(dir string) error {
+	f, err := stdos.Create(dir + "/t.tab") // want `direct os\.Create outside internal/vfs`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := stdos.Rename(dir+"/t.tab", dir+"/u.tab"); err != nil { // want `direct os\.Rename outside internal/vfs`
+		return err
+	}
+	if _, err := ioutil.ReadFile(dir + "/u.tab"); err != nil { // want `direct ioutil\.ReadFile outside internal/vfs`
+		return err
+	}
+	return nil
+}
+
+// scratch shows the sanctioned escape hatch: an inline suppression with a
+// reason.
+func scratch(dir string) (string, error) {
+	return stdos.MkdirTemp(dir, "scratch") //ltlint:ignore vfsonly bench scratch dirs live on the real filesystem by design
+}
+
+// env shows that non-I/O os helpers are not flagged.
+func env() string { return stdos.Getenv("LT_DIR") }

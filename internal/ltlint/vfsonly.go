@@ -1,0 +1,84 @@
+package ltlint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// osFileIO lists the os package's file-I/O entry points. Non-I/O helpers
+// (os.Getenv, os.Exit, os.TempDir — which only returns a path string) are
+// deliberately absent.
+var osFileIO = map[string]bool{
+	"Create": true, "CreateTemp": true, "NewFile": true,
+	"Open": true, "OpenFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Stat": true, "Lstat": true, "Truncate": true,
+	"Chmod": true, "Chown": true, "Chtimes": true,
+	"Link": true, "Symlink": true, "Readlink": true,
+}
+
+// ioutilFileIO lists the deprecated io/ioutil equivalents.
+var ioutilFileIO = map[string]bool{
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"TempFile": true, "TempDir": true,
+}
+
+// VfsOnly enforces the fault-coverage invariant behind §5's recovery
+// story: the crash harness can only prove prefix durability if it
+// intercepts every byte of file I/O, so no package outside internal/vfs
+// may call os (or io/ioutil) file functions directly. Test files are
+// exempt (the harness and fixtures live there), as are internal/ltlint
+// and cmd/ltlint themselves, which read source text, not engine data.
+var VfsOnly = &Analyzer{
+	Name: "vfsonly",
+	Doc: "direct os/ioutil file I/O outside internal/vfs escapes FaultFS " +
+		"and the crash harness, voiding §5's tested durability guarantees",
+	Run: runVfsOnly,
+}
+
+func runVfsOnly(p *Pass) error {
+	mod := p.Prog.ModPath
+	exempt := func(pkgPath string) bool {
+		return pkgPath == mod+"/internal/vfs" ||
+			pkgPath == mod+"/cmd/ltlint" ||
+			pkgPath == mod+"/internal/ltlint" ||
+			strings.HasPrefix(pkgPath, mod+"/internal/ltlint/")
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		if exempt(pkg.PkgPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			imports := importNames(f.AST)
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, sel, ok := pkgCall(call)
+				if !ok {
+					return true
+				}
+				switch imports[name] {
+				case "os":
+					if osFileIO[sel] {
+						p.Reportf(call.Pos(), "direct os.%s outside internal/vfs; "+
+							"route file I/O through vfs.FS so FaultFS and the crash harness cover it", sel)
+					}
+				case "io/ioutil":
+					if ioutilFileIO[sel] {
+						p.Reportf(call.Pos(), "direct ioutil.%s outside internal/vfs; "+
+							"route file I/O through vfs.FS so FaultFS and the crash harness cover it", sel)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -253,18 +253,25 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 		}
 		st := t.Stats().Snapshot()
 		resp := &wire.StatsResult{
-			RowsInserted:  st.RowsInserted,
-			RowsReturned:  st.RowsReturned,
-			RowsScanned:   st.RowsScanned,
-			Queries:       st.Queries,
-			DiskTablets:   int64(t.DiskTabletCount()),
-			DiskBytes:     t.DiskBytes(),
-			MemTablets:    int64(t.MemTabletCount()),
-			Merges:        st.Merges,
-			BytesFlushed:  st.BytesFlushed,
-			BytesMerged:   st.BytesMerged,
-			RowEstimate:   t.RowEstimate(),
-			TabletsLapsed: st.TabletsExpired,
+			RowsInserted:   st.RowsInserted,
+			RowsReturned:   st.RowsReturned,
+			RowsScanned:    st.RowsScanned,
+			Queries:        st.Queries,
+			DiskTablets:    int64(t.DiskTabletCount()),
+			DiskBytes:      t.DiskBytes(),
+			MemTablets:     int64(t.MemTabletCount()),
+			TabletsFlushed: st.TabletsFlushed,
+			Merges:         st.Merges,
+			BytesFlushed:   st.BytesFlushed,
+			BytesMerged:    st.BytesMerged,
+			RowsRewritten:  st.RowsRewritten,
+			RowEstimate:    t.RowEstimate(),
+			TabletsExpired: st.TabletsExpired,
+
+			UniqueFastNew: st.UniqueFastNew,
+			UniqueFastKey: st.UniqueFastKey,
+			UniqueBloom:   st.UniqueBloom,
+			UniqueProbes:  st.UniqueProbes,
 
 			TabletsQuarantined: st.TabletsQuarantined,
 			FlushFailures:      st.FlushFailures,

@@ -34,8 +34,20 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].RowsScanned }},
 		{"littletable_queries_total", "Queries executed", "counter",
 			func(i int) int64 { return snaps[i].Queries }},
+		{"littletable_tablets_flushed_total", "Memtables flushed to disk tablets", "counter",
+			func(i int) int64 { return snaps[i].TabletsFlushed }},
 		{"littletable_merges_total", "Tablet merges performed", "counter",
 			func(i int) int64 { return snaps[i].Merges }},
+		{"littletable_rows_rewritten_total", "Rows rewritten by merges", "counter",
+			func(i int) int64 { return snaps[i].RowsRewritten }},
+		{"littletable_unique_fast_newest_total", "Uniqueness via newest-timestamp fast path", "counter",
+			func(i int) int64 { return snaps[i].UniqueFastNew }},
+		{"littletable_unique_fast_key_total", "Uniqueness via largest-key fast path", "counter",
+			func(i int) int64 { return snaps[i].UniqueFastKey }},
+		{"littletable_unique_bloom_total", "Uniqueness resolved by Bloom filters alone", "counter",
+			func(i int) int64 { return snaps[i].UniqueBloom }},
+		{"littletable_unique_probes_total", "Uniqueness requiring a point read", "counter",
+			func(i int) int64 { return snaps[i].UniqueProbes }},
 		{"littletable_bytes_flushed_total", "Bytes written by flushes", "counter",
 			func(i int) int64 { return snaps[i].BytesFlushed }},
 		{"littletable_bytes_merged_total", "Bytes written by merges", "counter",

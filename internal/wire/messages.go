@@ -447,18 +447,27 @@ func DecodeRowResult(p []byte, sc *schema.Schema) (*RowResult, error) {
 // StatsResult carries a table's counters for monitoring and the benchmark
 // harness.
 type StatsResult struct {
-	RowsInserted  int64
-	RowsReturned  int64
-	RowsScanned   int64
-	Queries       int64
-	DiskTablets   int64
-	DiskBytes     int64
-	MemTablets    int64
-	Merges        int64
-	BytesFlushed  int64
-	BytesMerged   int64
-	RowEstimate   int64
-	TabletsLapsed int64
+	RowsInserted   int64
+	RowsReturned   int64
+	RowsScanned    int64
+	Queries        int64
+	DiskTablets    int64
+	DiskBytes      int64
+	MemTablets     int64
+	TabletsFlushed int64
+	Merges         int64
+	BytesFlushed   int64
+	BytesMerged    int64
+	RowsRewritten  int64
+	RowEstimate    int64
+	TabletsExpired int64
+
+	// Uniqueness-check resolution counters: how inserts proved a key new
+	// (§3.2's fast paths versus Bloom filters versus point reads).
+	UniqueFastNew int64
+	UniqueFastKey int64
+	UniqueBloom   int64
+	UniqueProbes  int64
 
 	// Robustness counters: bad-storage events the table absorbed.
 	TabletsQuarantined int64
@@ -493,8 +502,9 @@ func (m *StatsResult) Encode() []byte {
 	var b Buf
 	for _, v := range []int64{
 		m.RowsInserted, m.RowsReturned, m.RowsScanned, m.Queries,
-		m.DiskTablets, m.DiskBytes, m.MemTablets, m.Merges,
-		m.BytesFlushed, m.BytesMerged, m.RowEstimate, m.TabletsLapsed,
+		m.DiskTablets, m.DiskBytes, m.MemTablets, m.TabletsFlushed, m.Merges,
+		m.BytesFlushed, m.BytesMerged, m.RowsRewritten, m.RowEstimate, m.TabletsExpired,
+		m.UniqueFastNew, m.UniqueFastKey, m.UniqueBloom, m.UniqueProbes,
 		m.TabletsQuarantined, m.FlushFailures, m.MergeFailures,
 		m.MergeRetries, m.FaultRecoveries, m.ReadErrors,
 		m.BlocksRead, m.PrefetchHits, m.ParallelOpens,
@@ -514,8 +524,9 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 	m := &StatsResult{}
 	for _, f := range []*int64{
 		&m.RowsInserted, &m.RowsReturned, &m.RowsScanned, &m.Queries,
-		&m.DiskTablets, &m.DiskBytes, &m.MemTablets, &m.Merges,
-		&m.BytesFlushed, &m.BytesMerged, &m.RowEstimate, &m.TabletsLapsed,
+		&m.DiskTablets, &m.DiskBytes, &m.MemTablets, &m.TabletsFlushed, &m.Merges,
+		&m.BytesFlushed, &m.BytesMerged, &m.RowsRewritten, &m.RowEstimate, &m.TabletsExpired,
+		&m.UniqueFastNew, &m.UniqueFastKey, &m.UniqueBloom, &m.UniqueProbes,
 		&m.TabletsQuarantined, &m.FlushFailures, &m.MergeFailures,
 		&m.MergeRetries, &m.FaultRecoveries, &m.ReadErrors,
 		&m.BlocksRead, &m.PrefetchHits, &m.ParallelOpens,
