@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint ltlint vet bench clean
+.PHONY: all build test race lint ltlint vet bench crash ci clean
 
 all: build lint test
 
@@ -30,6 +30,16 @@ ltlint:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# crash runs the crash-at-every-barrier harness once with the default seed;
+# CI's crash-harness job runs it -count=5 across seeds 1..3.
+crash:
+	$(GO) test ./internal/core -run 'CrashAtEveryBarrier'
+
+# ci mirrors the workflow's blocking jobs locally: build, vet, the project
+# analyzers, the race-enabled test suite, and a single-seed crash-harness
+# pass. The bench/fuzz smoke jobs are advisory and excluded here.
+ci: build vet ltlint race crash
 
 clean:
 	rm -rf bin

@@ -303,6 +303,34 @@ func BenchmarkInsertPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeParallel measures the concurrent maintenance scheduler
+// over a modeled-latency disk: time to merge a backlog of disjoint
+// merge-eligible periods to steady state at 1, 2, and 8 workers, plus the
+// foreground insert p99 while maintenance runs. Convergence at 8 workers
+// vs 1 is the headline (≥2x on 8 periods); BENCH_5.json records a
+// captured run.
+func BenchmarkMergeParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := ltbench.MaintainConfig{
+				TabletsPerPeriod: 4,
+				RowsPerTablet:    200,
+				WorkerCounts:     []int{workers},
+				ForegroundRows:   500,
+				Dir:              b.TempDir(),
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := ltbench.RunMaintain(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y*1000, "convergence-ms")
+				b.ReportMetric(res.Series[1].Points[0].Y, "insert-p99-us")
+			}
+		})
+	}
+}
+
 // BenchmarkAblations measures the two design-choice ablations (period-aware
 // merging and Bloom filters) against their baselines.
 func BenchmarkAblations(b *testing.B) {

@@ -1,0 +1,153 @@
+// Command benchgate compares two `go test -bench` outputs — a base run and
+// a head run — and exits nonzero when the head regresses past a threshold.
+//
+//	benchgate [-max-ratio 2.0] base.txt head.txt
+//
+// It is a deliberately soft gate for CI bench-smoke jobs: single-iteration
+// benchmarks on shared runners are noisy, so the gate compares the
+// *geometric mean* of the head/base ns-per-op ratios across all benchmarks
+// both runs have in common, and only fails when that geomean exceeds
+// -max-ratio (default 2.0 — a 2x across-the-board slowdown). Repeated
+// measurements of the same benchmark (-count > 1) are averaged first.
+// Benchmarks present in only one run are reported and otherwise ignored,
+// so adding or renaming a benchmark never blocks the PR that does it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches the standard testing-package benchmark result line:
+// name, iteration count, then ns/op. MB/s, B/op, and custom metric columns
+// that may follow are irrelevant to the gate and left unmatched.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → mean ns/op from `go test -bench` output,
+// averaging repeated measurements of the same benchmark.
+func parseBench(text string) map[string]float64 {
+	sum := make(map[string]float64)
+	n := make(map[string]int)
+	for _, line := range strings.Split(text, "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		sum[m[1]] += v
+		n[m[1]]++
+	}
+	out := make(map[string]float64, len(sum))
+	for name, s := range sum {
+		out[name] = s / float64(n[name])
+	}
+	return out
+}
+
+// geomeanRatio returns the geometric mean of head/base over the benchmarks
+// common to both runs, plus the sorted names compared. A geometric mean
+// keeps one noisy outlier from dominating the way an arithmetic mean of
+// ratios would, and is symmetric: a 2x speedup and a 2x slowdown cancel.
+func geomeanRatio(base, head map[string]float64) (float64, []string) {
+	var names []string
+	for name := range base {
+		if _, ok := head[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 0, nil
+	}
+	var logSum float64
+	for _, name := range names {
+		logSum += math.Log(head[name] / base[name])
+	}
+	return math.Exp(logSum / float64(len(names))), names
+}
+
+// onlyIn returns the sorted names present in a but not b.
+func onlyIn(a, b map[string]float64) []string {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gate compares the two parsed runs and writes the report; it returns the
+// process exit code. No common benchmarks is a pass: the base branch
+// predates the benchmarks, so there is nothing to regress against.
+func gate(base, head map[string]float64, maxRatio float64, w io.Writer) int {
+	geomean, names := geomeanRatio(base, head)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "benchgate: no benchmarks in common; nothing to gate")
+		return 0
+	}
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "ratio")
+	for _, name := range names {
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx\n", name, base[name], head[name], head[name]/base[name])
+	}
+	for _, name := range onlyIn(base, head) {
+		fmt.Fprintf(w, "%-60s %14.0f %14s\n", name, base[name], "(gone)")
+	}
+	for _, name := range onlyIn(head, base) {
+		fmt.Fprintf(w, "%-60s %14s %14.0f\n", name, "(new)", head[name])
+	}
+	fmt.Fprintf(w, "geomean ratio over %d common benchmark(s): %.2fx (limit %.2fx)\n",
+		len(names), geomean, maxRatio)
+	if geomean > maxRatio {
+		fmt.Fprintf(w, "benchgate: FAIL: geomean regression %.2fx exceeds %.2fx\n", geomean, maxRatio)
+		return 1
+	}
+	fmt.Fprintln(w, "benchgate: ok")
+	return 0
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	maxRatio := fs.Float64("max-ratio", 2.0, "fail when the geomean head/base ns-per-op ratio exceeds this")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errw, "usage: benchgate [-max-ratio 2.0] base.txt head.txt")
+		return 2
+	}
+	read := func(path string) (map[string]float64, bool) {
+		//ltlint:ignore vfsonly benchgate reads CI bench-output artifacts from the real filesystem, not engine data
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(errw, "benchgate: %v\n", err)
+			return nil, false
+		}
+		return parseBench(string(b)), true
+	}
+	base, ok := read(fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	head, ok := read(fs.Arg(1))
+	if !ok {
+		return 2
+	}
+	return gate(base, head, *maxRatio, out)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: littletable
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQueryParallel/tablets=4-4         	       1	 100000000 ns/op	    500000 rows/s
+BenchmarkInsertPipelined/workers=4-4       	       1	 200000000 ns/op
+BenchmarkInsertPipelined/workers=4-4       	       1	 400000000 ns/op
+BenchmarkGoneInHead-4                      	       1	  50000000 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(baseOut)
+	want := map[string]float64{
+		"BenchmarkQueryParallel/tablets=4-4":   100000000,
+		"BenchmarkInsertPipelined/workers=4-4": 300000000, // two runs averaged
+		"BenchmarkGoneInHead-4":                50000000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if g := got[name]; g != w {
+			t.Errorf("%s = %v, want %v", name, g, w)
+		}
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	got := parseBench("ok  \tlittletable\t2.877s\n--- BENCH: x\nBenchmarkBad 1 abc ns/op\n")
+	if len(got) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %v", got)
+	}
+}
+
+func TestGeomeanRatio(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100, "onlyBase": 7}
+	head := map[string]float64{"a": 200, "b": 50, "onlyHead": 9}
+	g, names := geomeanRatio(base, head)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("common names = %v, want [a b]", names)
+	}
+	// 2x slowdown and 2x speedup cancel under a geometric mean.
+	if math.Abs(g-1.0) > 1e-12 {
+		t.Fatalf("geomean = %v, want 1.0", g)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100}
+	for _, tc := range []struct {
+		name string
+		head map[string]float64
+		max  float64
+		want int
+	}{
+		{"improvement passes", map[string]float64{"a": 50, "b": 50}, 2.0, 0},
+		{"mild regression passes", map[string]float64{"a": 150, "b": 150}, 2.0, 0},
+		{"big regression fails", map[string]float64{"a": 500, "b": 500}, 2.0, 1},
+		{"just over the limit fails", map[string]float64{"a": 201, "b": 201}, 2.0, 1},
+		{"no common benchmarks passes", map[string]float64{"c": 1}, 2.0, 0},
+	} {
+		var sb strings.Builder
+		if got := gate(base, tc.head, tc.max, &sb); got != tc.want {
+			t.Errorf("%s: exit = %d, want %d\n%s", tc.name, got, tc.want, sb.String())
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	headPath := filepath.Join(dir, "head.txt")
+	if err := os.WriteFile(basePath, []byte(baseOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.ReplaceAll(baseOut, "BenchmarkGoneInHead-4", "BenchmarkNewInHead-4")
+	if err := os.WriteFile(headPath, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if got := run([]string{basePath, headPath}, &out, &errw); got != 0 {
+		t.Fatalf("identical runs: exit %d\nout: %s\nerr: %s", got, out.String(), errw.String())
+	}
+	for _, want := range []string{"benchgate: ok", "(gone)", "(new)", "geomean ratio over 2 common"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	var sb strings.Builder
+	if got := run([]string{"-max-ratio", "0.5", basePath, headPath}, &sb, &errw); got != 1 {
+		t.Fatalf("ratio 1.0 vs limit 0.5: exit %d, want 1\n%s", got, sb.String())
+	}
+
+	if got := run([]string{basePath}, &sb, &errw); got != 2 {
+		t.Fatalf("missing arg: exit %d, want 2", got)
+	}
+	if got := run([]string{filepath.Join(dir, "absent.txt"), headPath}, &sb, &errw); got != 2 {
+		t.Fatalf("unreadable base: exit %d, want 2", got)
+	}
+}

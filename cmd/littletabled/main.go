@@ -45,6 +45,8 @@ func main() {
 		prefetch    = flag.Int("prefetch-depth", 0, "blocks each tablet source reads ahead (0 = default, <0 = off)")
 		cacheBytes  = flag.Int64("block-cache-bytes", 0, "per-table LRU cache over parsed blocks, in bytes (0 = off)")
 		flushWork   = flag.Int("flush-workers", 0, "background flush workers per table (0 = synchronous flushing)")
+		mergeWork   = flag.Int("merge-workers", 0, "background maintenance workers per table running merges and TTL expiry concurrently (0 = serial maintenance in the tick loop)")
+		maintIO     = flag.Int64("maintenance-io-bytes-per-sec", 0, "token-bucket cap on maintenance I/O bytes per second, shared across a table's workers (0 = unlimited)")
 		insertBatch = flag.Int("insert-batch", 0, "rows applied per table-lock acquisition on insert (0 = default, <0 = row-at-a-time)")
 		maxUnflush  = flag.Int64("max-unflushed-bytes", 0, "sealed-but-unflushed bytes before inserts stall (0 = default, <0 = unlimited)")
 	)
@@ -66,6 +68,8 @@ func main() {
 	opts.Core.PrefetchDepth = *prefetch
 	opts.Core.BlockCacheBytes = *cacheBytes
 	opts.Core.FlushWorkers = *flushWork
+	opts.Core.MergeWorkers = *mergeWork
+	opts.Core.MaintenanceIOBytesPerSec = *maintIO
 	opts.Core.InsertBatch = *insertBatch
 	opts.Core.MaxUnflushedBytes = *maxUnflush
 

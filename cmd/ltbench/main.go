@@ -50,7 +50,7 @@ func main() {
 		names = []string{
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
-			"parallel", "writeload",
+			"parallel", "writeload", "maintain",
 		}
 	}
 	for _, name := range names {
@@ -158,6 +158,15 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.WorkerCounts = []int{0, 1, 2, 4, 8}
 		}
 		return ltbench.RunWriteload(cfg)
+	case "maintain":
+		cfg := ltbench.MaintainConfig{}
+		if full {
+			cfg.Periods = 16
+			cfg.TabletsPerPeriod = 8
+			cfg.RowsPerTablet = 1000
+			cfg.WorkerCounts = []int{1, 2, 4, 8, 16}
+		}
+		return ltbench.RunMaintain(cfg)
 	default:
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -167,5 +176,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain all`)
 }

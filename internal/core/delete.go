@@ -33,8 +33,10 @@ func (t *Table) DeleteWhere(q Query, filter func(schema.Row) bool) (int64, error
 		return 0, err
 	}
 
-	t.flushMu.Lock()
-	defer t.flushMu.Unlock()
+	// Write side of maintMu: a bulk delete rewrites arbitrary tablets and
+	// must not interleave with in-flight merges of the same span.
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 
 	t.mu.Lock()
 	if t.closed {

@@ -209,6 +209,9 @@ func (t *Table) commitWrittenLocked() error {
 		}
 		g.disks = nil
 	}
+	// Freshly committed tablets are merge candidates (after MergeDelay);
+	// let an idle maintenance worker take a look.
+	t.kickMaintLocked()
 	return nil
 }
 
@@ -333,6 +336,13 @@ func (t *Table) flushPending() error {
 // drains every eligible sealed group itself, retrying a bounded number of
 // times on error so one bad flush neither abandons the rest of the
 // backlog until the next tick nor starves TTL expiry and merging.
+//
+// With merge workers (Options.MergeWorkers > 0), merging and expiry are
+// likewise reduced to a doorbell ring: the maintenance workers drain
+// them in the background, in parallel across disjoint periods. Their
+// failures do not surface through Tick's return value — they are logged,
+// counted (MergeFailures and friends), and retried on the backoff
+// schedule, exactly like background flush failures.
 func (t *Table) Tick() error {
 	now := t.opts.Clock.Now()
 	t.mu.Lock()
@@ -375,6 +385,12 @@ func (t *Table) Tick() error {
 	// Row loss latched by a background flush surfaces here too, so a
 	// server that only ever Ticks still observes it.
 	flushErr = errors.Join(flushErr, t.takeAsyncErr())
+	if t.maintKick != nil {
+		t.mu.Lock()
+		t.kickMaintLocked()
+		t.mu.Unlock()
+		return flushErr
+	}
 	if err := t.expireTTL(now); err != nil {
 		return errors.Join(flushErr, err)
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"littletable/internal/vfs"
+)
+
+// ioBudget is a token bucket over bytes of background-maintenance I/O
+// (merge reads and writes), shared by every maintenance worker of one
+// table. It bounds how much disk bandwidth compaction may consume so the
+// foreground insert/query paths keep theirs; throttled bytes and time are
+// counted in Stats. The bucket runs on the real clock — it paces I/O
+// against a real disk, like the flush workers' retry backoff.
+type ioBudget struct {
+	stats *Stats
+	stop  <-chan struct{} // closed at table close; unblocks waiters
+
+	mu     sync.Mutex
+	rate   float64 // bytes added per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// ioBudgetMinBurst keeps the bucket from quantizing tiny budgets into
+// lockstep with individual block writes.
+const ioBudgetMinBurst = 1 << 20
+
+func newIOBudget(bytesPerSec int64, stop <-chan struct{}, stats *Stats) *ioBudget {
+	b := &ioBudget{
+		stats: stats,
+		stop:  stop,
+		rate:  float64(bytesPerSec),
+		burst: float64(bytesPerSec),
+		last:  time.Now(),
+	}
+	if b.burst < ioBudgetMinBurst {
+		b.burst = ioBudgetMinBurst
+	}
+	b.tokens = b.burst
+	return b
+}
+
+// take blocks until n bytes of budget are available and consumes them,
+// reporting false when stop closed first (the table is shutting down, the
+// pending I/O will be aborted anyway). Requests larger than the burst are
+// consumed in burst-sized chunks so one huge merge cannot drain the bucket
+// far ahead of its actual I/O and lock peers out for seconds.
+func (b *ioBudget) take(n int64) bool {
+	var throttled int64
+	var waited time.Duration
+	remaining := float64(n)
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > b.burst {
+			chunk = b.burst
+		}
+		for {
+			b.mu.Lock()
+			now := time.Now()
+			b.tokens += now.Sub(b.last).Seconds() * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+			b.last = now
+			if b.tokens >= chunk {
+				b.tokens -= chunk
+				b.mu.Unlock()
+				break
+			}
+			need := chunk - b.tokens
+			b.mu.Unlock()
+			d := time.Duration(need / b.rate * float64(time.Second))
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			throttled += int64(chunk)
+			waited += d
+			select {
+			case <-b.stop:
+				return false
+			case <-time.After(d):
+			}
+		}
+		remaining -= chunk
+	}
+	if waited > 0 {
+		b.stats.MaintenanceBytesThrottled.Add(throttled)
+		b.stats.MaintenanceThrottleNs.Add(int64(waited))
+	}
+	return true
+}
+
+// budgetFS charges every written byte against the maintenance I/O budget
+// before it reaches the underlying filesystem; merge output goes through
+// it. Reads are charged separately, per input tablet, when the merge opens
+// its sources (tablet readers pull blocks through prefetch pipelines, so
+// per-call accounting there would be both invasive and late).
+type budgetFS struct {
+	vfs.FS
+	b *ioBudget
+}
+
+func (f budgetFS) Create(name string) (vfs.File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetFile{File: file, b: f.b}, nil
+}
+
+type budgetFile struct {
+	vfs.File
+	b *ioBudget
+}
+
+func (f *budgetFile) Write(p []byte) (int, error) {
+	if !f.b.take(int64(len(p))) {
+		return 0, ErrTableClosed
+	}
+	return f.File.Write(p)
+}

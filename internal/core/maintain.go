@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"littletable/internal/period"
+)
+
+// Background maintenance scheduler.
+//
+// The paper's merge policy (§3.4.1–§3.4.2) never merges across time
+// periods, so merges on distinct periods of the same table share no input
+// tablets; they only contend on the short in-memory critical sections
+// under mu and the descriptor write. That disjointness is what makes
+// maintenance parallel-safe: the work queue here is "per table × time
+// period", each period has at most one merge in flight (the merging set),
+// each claimed input is marked busy under mu before any I/O starts, and
+// commits remain serialized under mu, so recovery and open cursors see
+// exactly the states the serial engine could produce.
+//
+// Fairness: a period busy enough to always have a fresh candidate pair
+// could otherwise monopolize the workers while an old period's backlog
+// lingers, voiding the appendix's O(log T) tablet bound. Each period
+// therefore records when it first became claimable, and claims go to the
+// longest-waiting period (priority aging); the accumulated queue delay is
+// exported as Stats.MergeWaitNs (ExpiryWaitNs for TTL rounds).
+
+// maintClaim is one claimed merge: the period it locks, the busy-marked
+// inputs, and the output sequence number reserved under mu.
+type maintClaim struct {
+	per    period.Period
+	inputs []*diskTablet
+	seq    uint64
+}
+
+// kickMaintLocked rings the maintenance workers' doorbell (non-blocking;
+// buffered(1) level trigger). No-op in serial mode. Caller holds t.mu.
+func (t *Table) kickMaintLocked() {
+	if t.maintKick == nil {
+		return
+	}
+	select {
+	case t.maintKick <- struct{}{}:
+	default:
+	}
+}
+
+// maintBroadcastLocked wakes MaintainUntilQuiet waiters after any change
+// to maintenance state. Caller holds t.mu.
+func (t *Table) maintBroadcastLocked() {
+	if t.maintCond != nil {
+		t.maintCond.Broadcast()
+	}
+}
+
+// claimMergeLocked selects and claims the next merge, or returns nil when
+// none applies: among periods with an eligible candidate set (per
+// pickWithinGroupLocked) and no merge already in flight, it picks the one
+// that has been waiting longest. When dry, it only reports whether a claim
+// exists, without taking it — MaintainUntilQuiet and the workers use that
+// to agree on "no work left". Claiming marks the inputs busy, enters the
+// period into the merging set, and reserves the output seq. Caller holds
+// t.mu; merge retry backoff is honored here so every path (serial
+// MergeStep, workers, quiet checks) sees the same schedule.
+func (t *Table) claimMergeLocked(now int64, dry bool) *maintClaim {
+	if t.mergeFails > 0 && now < t.mergeRetryAt {
+		return nil
+	}
+	var best *maintClaim
+	var bestSince int64
+	seen := make(map[period.Period]bool)
+	consider := func(group []*diskTablet, p period.Period) {
+		seen[p] = true
+		if t.merging[p] {
+			return
+		}
+		ins := t.pickWithinGroupLocked(group, p, now)
+		if ins == nil {
+			delete(t.mergeWaitSince, p)
+			return
+		}
+		since, ok := t.mergeWaitSince[p]
+		if !ok {
+			since = time.Now().UnixNano()
+			t.mergeWaitSince[p] = since
+		}
+		if best == nil || since < bestSince {
+			best = &maintClaim{per: p, inputs: ins}
+			bestSince = since
+		}
+	}
+	if t.opts.MergeAcrossPeriods {
+		// Ablation baseline: one group spanning all time, no rollover
+		// delay — the merge-as-much-as-possible policy of §6's systems.
+		consider(t.disk, period.Period{Start: minInt64, End: maxInt64, Gran: period.FourHour})
+	} else {
+		// Walk groups of same-period tablets in timespan order.
+		i := 0
+		for i < len(t.disk) {
+			p := period.For(t.disk[i].rec.MinTs, now)
+			j := i
+			for j < len(t.disk) && p.Contains(t.disk[j].rec.MinTs) {
+				j++
+			}
+			consider(t.disk[i:j], p)
+			i = j
+		}
+	}
+	// Drop aging entries for periods that no longer exist on disk (merged
+	// away, rolled into a coarser period) so the map stays bounded.
+	for p := range t.mergeWaitSince {
+		if !seen[p] {
+			delete(t.mergeWaitSince, p)
+		}
+	}
+	if best == nil || dry {
+		return best
+	}
+	t.stats.MergeWaitNs.Add(time.Now().UnixNano() - bestSince)
+	delete(t.mergeWaitSince, best.per)
+	t.merging[best.per] = true
+	for _, dt := range best.inputs {
+		dt.busy = true
+		t.acquireLocked(dt)
+	}
+	best.seq = t.nextSeq
+	t.nextSeq++
+	return best
+}
+
+// expiryDueLocked reports whether a TTL expiry round would reclaim at
+// least one tablet right now, maintaining the waiting-since marker that
+// feeds Stats.ExpiryWaitNs. Caller holds t.mu.
+func (t *Table) expiryDueLocked(now int64) bool {
+	if t.ttl <= 0 || t.expiring {
+		return false
+	}
+	cutoff := now - t.ttl
+	for _, dt := range t.disk {
+		if !dt.busy && dt.rec.MaxTs < cutoff {
+			if t.expireWaitSince == 0 {
+				t.expireWaitSince = time.Now().UnixNano()
+			}
+			return true
+		}
+	}
+	t.expireWaitSince = 0
+	return false
+}
+
+// hasMaintWorkLocked reports whether a maintenance worker calling
+// MaintStep now would find something to do. Caller holds t.mu.
+func (t *Table) hasMaintWorkLocked(now int64) bool {
+	return t.expiryDueLocked(now) || t.claimMergeLocked(now, true) != nil
+}
+
+// MaintStep performs one unit of background maintenance: a due TTL expiry
+// round if any (expiry is cheap — drop + descriptor write — and must not
+// queue behind a long merge), otherwise one merge. It reports whether it
+// did anything. Safe for concurrent use; the maintenance workers drain it.
+func (t *Table) MaintStep() (bool, error) {
+	now := t.opts.Clock.Now()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false, ErrTableClosed
+	}
+	due := t.expiryDueLocked(now)
+	t.mu.Unlock()
+	if due {
+		if err := t.expireTTL(now); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
+	return t.MergeStep()
+}
+
+// maintWorker is one background maintenance worker: woken by the
+// doorbell, it drains MaintStep until nothing is claimable. Merge failures
+// are logged, counted, and paced by MergeStep's clock-based backoff, so
+// the worker itself never spins on a failing disk — it just parks until
+// the next tick rings the doorbell. It exits when Close closes stopMaint.
+func (t *Table) maintWorker() {
+	defer t.maintWG.Done()
+	for {
+		select {
+		case <-t.stopMaint:
+			return
+		case <-t.maintKick:
+		}
+		for {
+			did, err := t.MaintStep()
+			if err != nil {
+				if errors.Is(err, ErrTableClosed) {
+					return
+				}
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
+}
+
+// MaintainUntilQuiet blocks until background maintenance has nothing left
+// to do: no claimable merge, no due expiry, and nothing in flight. With no
+// workers configured it drains inline (expiry + MergeUntilStable), so
+// callers can use it regardless of mode. Work that is merely deferred — a
+// tablet younger than MergeDelay, a period inside its rollover delay, a
+// merge backoff window — does not keep it waiting; it describes the
+// schedule now, not the schedule after the clock advances.
+func (t *Table) MaintainUntilQuiet() error {
+	if t.maintKick == nil {
+		if err := t.ExpireNow(); err != nil {
+			return err
+		}
+		_, err := t.MergeUntilStable()
+		if err != nil {
+			return err
+		}
+		return t.ExpireNow()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.kickMaintLocked()
+	for {
+		if t.closed {
+			return ErrTableClosed
+		}
+		now := t.opts.Clock.Now()
+		if !t.hasMaintWorkLocked(now) && len(t.merging) == 0 && !t.expiring {
+			return nil
+		}
+		t.kickMaintLocked()
+		t.maintCond.Wait()
+	}
+}
+
+// MergesInFlightNow returns how many merges are currently running;
+// tests and the crash harness sample it to prove real overlap.
+func (t *Table) MergesInFlightNow() int64 {
+	return t.stats.MergesInFlight.Load()
+}

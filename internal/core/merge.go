@@ -20,9 +20,20 @@ const (
 	mergeBackoffCap  = 60 * clock.Second
 )
 
+// mergeBackoffMaxDoublings bounds the doubling loop below on its own: 63
+// doublings of a positive int64 base already wrap, and the cap is reached
+// far sooner, so the iteration count must never track a pathological
+// fails value.
+const mergeBackoffMaxDoublings = 8
+
 // mergeBackoff returns the delay before the next merge attempt after the
-// given number of consecutive failures.
+// given number of consecutive failures. The loop is capped explicitly —
+// both by the delay cap and by an iteration bound — so no fails count,
+// however large or corrupt, can overflow the multiplication.
 func mergeBackoff(fails int) int64 {
+	if fails > mergeBackoffMaxDoublings {
+		fails = mergeBackoffMaxDoublings
+	}
 	d := int64(mergeBackoffBase)
 	for i := 1; i < fails && d < mergeBackoffCap; i++ {
 		d *= 2
@@ -52,13 +63,6 @@ func mergeBackoff(fails int) int64 {
 // retries. Failures, retries, and the eventual recovery are counted in
 // Stats.
 func (t *Table) MergeStep() (bool, error) {
-	t.mu.Lock()
-	if t.mergeFails > 0 && t.opts.Clock.Now() < t.mergeRetryAt {
-		t.mu.Unlock()
-		return false, nil
-	}
-	t.mu.Unlock()
-
 	ok, err := t.mergeStep()
 
 	t.mu.Lock()
@@ -73,6 +77,9 @@ func (t *Table) MergeStep() (bool, error) {
 		t.mergeRetryAt = t.opts.Clock.Now() + d
 		t.opts.Logf("littletable: table %s: merge failed (%d consecutive): %v; retrying in %ds",
 			t.name, t.mergeFails, err, d/clock.Second)
+		// The backoff changed the schedule; MaintainUntilQuiet waiters
+		// must re-evaluate or they would wait out the backoff window.
+		t.maintBroadcastLocked()
 	case ok && t.mergeFails > 0:
 		t.stats.MergeRetries.Add(1)
 		t.stats.FaultRecoveries.Add(1)
@@ -83,9 +90,13 @@ func (t *Table) MergeStep() (bool, error) {
 	return ok, err
 }
 
+// mergeStep claims one merge (see claimMergeLocked for the schedule:
+// per-period exclusivity, priority aging, retry backoff) and runs it.
+// Merges take the read side of maintMu, so merges on disjoint periods
+// overlap while DeleteWhere and tiering still exclude them wholesale.
 func (t *Table) mergeStep() (bool, error) {
-	t.flushMu.Lock()
-	defer t.flushMu.Unlock()
+	t.maintMu.RLock()
+	defer t.maintMu.RUnlock()
 
 	now := t.opts.Clock.Now()
 	t.mu.Lock()
@@ -93,30 +104,28 @@ func (t *Table) mergeStep() (bool, error) {
 		t.mu.Unlock()
 		return false, ErrTableClosed
 	}
-	inputs := t.pickMergeLocked(now)
-	if inputs == nil {
+	c := t.claimMergeLocked(now, false)
+	if c == nil {
 		t.mu.Unlock()
 		return false, nil
 	}
-	for _, dt := range inputs {
-		dt.busy = true
-		t.acquireLocked(dt)
-	}
-	seq := t.nextSeq
-	t.nextSeq++
 	sc := t.sc
 	ttl := t.ttl
 	t.mu.Unlock()
 
-	out, err := t.mergeTablets(sc, inputs, seq, expireBefore(now, ttl), now)
+	t.stats.MergesInFlight.Add(1)
+	out, err := t.mergeTablets(sc, c.inputs, c.seq, expireBefore(now, ttl), now)
+	t.stats.MergesInFlight.Add(-1)
 
 	t.mu.Lock()
-	for _, dt := range inputs {
+	delete(t.merging, c.per)
+	for _, dt := range c.inputs {
 		dt.busy = false
 	}
 	if err != nil || t.closed {
+		t.maintBroadcastLocked()
 		t.mu.Unlock()
-		for _, dt := range inputs {
+		for _, dt := range c.inputs {
 			t.release(dt)
 		}
 		if err == nil {
@@ -124,14 +133,23 @@ func (t *Table) mergeStep() (bool, error) {
 		}
 		return false, err
 	}
-	for _, dt := range inputs {
+	for _, dt := range c.inputs {
 		t.dropLocked(dt)
 	}
 	t.disk = append(t.disk, out)
 	t.sortDiskLocked()
-	derr := t.writeDescriptorLocked()
+	t.bumpDescGenLocked()
+	// The output tablet may itself seed the period's next merge; tell an
+	// idle worker, and wake MaintainUntilQuiet waiters either way.
+	t.kickMaintLocked()
+	t.maintBroadcastLocked()
 	t.mu.Unlock()
-	for _, dt := range inputs {
+	// Persist outside mu so inserts never stall behind the descriptor's
+	// disk latency; the claim still holds refs on the inputs, so their
+	// files outlive every on-disk descriptor that names them — release
+	// (and with it deletion) strictly follows the persist.
+	derr := t.persistDescriptor()
+	for _, dt := range c.inputs {
 		t.release(dt)
 	}
 	if derr != nil {
@@ -141,32 +159,6 @@ func (t *Table) mergeStep() (bool, error) {
 	t.stats.BytesMerged.Add(out.rec.Bytes)
 	t.stats.RowsRewritten.Add(out.rec.RowCount)
 	return true, nil
-}
-
-// pickMergeLocked selects the input tablets for the next merge, or nil.
-// Caller holds t.mu.
-func (t *Table) pickMergeLocked(now int64) []*diskTablet {
-	if t.opts.MergeAcrossPeriods {
-		// Ablation baseline: one group spanning all time, no rollover
-		// delay — the merge-as-much-as-possible policy of §6's systems.
-		return t.pickWithinGroupLocked(t.disk, period.Period{
-			Start: minInt64, End: maxInt64, Gran: period.FourHour,
-		}, now)
-	}
-	// Walk groups of same-period tablets in timespan order.
-	i := 0
-	for i < len(t.disk) {
-		p := period.For(t.disk[i].rec.MinTs, now)
-		j := i
-		for j < len(t.disk) && p.Contains(t.disk[j].rec.MinTs) {
-			j++
-		}
-		if ins := t.pickWithinGroupLocked(t.disk[i:j], p, now); ins != nil {
-			return ins
-		}
-		i = j
-	}
-	return nil
 }
 
 func (t *Table) pickWithinGroupLocked(group []*diskTablet, p period.Period, now int64) []*diskTablet {
@@ -229,13 +221,20 @@ func mergeSeed(name string, periodStart int64) uint64 {
 // (§3.4.1), translating rows to the current schema and dropping rows whose
 // timestamps have expired.
 func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64, expireLT int64, now int64) (*diskTablet, error) {
+	// Maintenance I/O budget: writes are metered as they happen (the
+	// budgetFS wrapper below); reads are charged up front per input
+	// tablet, since a merge reads every block of every input exactly once.
+	writeFS := t.opts.FS
+	if t.ioBudget != nil {
+		writeFS = budgetFS{FS: t.opts.FS, b: t.ioBudget}
+	}
 	path := filepath.Join(t.dir, tabletFileName(seq))
 	w, err := tablet.Create(path, sc, tablet.WriterOptions{
 		BlockSize:          t.opts.BlockSize,
 		DisableCompression: t.opts.DisableCompression,
 		DisableBloom:       t.opts.DisableBloom,
 		Sync:               t.opts.SyncWrites,
-		FS:                 t.opts.FS,
+		FS:                 writeFS,
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +253,10 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 		}
 	}()
 	for ord, dt := range inputs {
+		if t.ioBudget != nil && !t.ioBudget.take(dt.rec.Bytes) {
+			_ = w.Abort() // best-effort cleanup; the close wins
+			return nil, ErrTableClosed
+		}
 		src, err := newDiskSource(sc, dt.tab, &q, &scanned, ro)
 		if err != nil {
 			_ = w.Abort() // best-effort cleanup; the original error wins

@@ -103,6 +103,23 @@ type Options struct {
 	// prefix-durability guarantee is unchanged.
 	FlushWorkers int
 
+	// MergeWorkers is the number of background maintenance workers running
+	// merges and TTL expiry. 0 (the default) keeps the serial model:
+	// maintenance runs inline in Tick, one merge at a time. With workers,
+	// merges on disjoint time periods of the same table proceed in
+	// parallel — the §3.4.2 policy never merges across periods, so two
+	// merges on different periods share no input tablets — while the
+	// `busy` flags and mu-serialized descriptor commits keep recovery and
+	// open cursors correct exactly as in the serial engine.
+	MergeWorkers int
+
+	// MaintenanceIOBytesPerSec caps the bytes per second of maintenance
+	// I/O (merge reads + writes) across all workers of this table, via a
+	// shared token bucket, so background compaction cannot starve the
+	// foreground insert/query paths of disk bandwidth. 0 (the default)
+	// means unlimited.
+	MaintenanceIOBytesPerSec int64
+
 	// InsertBatch is the maximum number of rows applied per table-lock
 	// acquisition on the insert path. 0 selects the default; negative
 	// values apply row-at-a-time (the seed behaviour).
@@ -249,4 +266,20 @@ func (o Options) maxUnflushedBytes() int64 {
 		return 0
 	}
 	return o.MaxUnflushedBytes
+}
+
+// mergeWorkers returns the effective maintenance worker count (0 = serial).
+func (o Options) mergeWorkers() int {
+	if o.MergeWorkers < 0 {
+		return 0
+	}
+	return o.MergeWorkers
+}
+
+// maintenanceIOBytesPerSec returns the effective budget (0 = unlimited).
+func (o Options) maintenanceIOBytesPerSec() int64 {
+	if o.MaintenanceIOBytesPerSec < 0 {
+		return 0
+	}
+	return o.MaintenanceIOBytesPerSec
 }

@@ -396,3 +396,19 @@ func TestMergeBackoffGrowth(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeBackoffCapped: the doubling loop is iteration-capped, so a
+// pathological mergeFails count — a long outage, or a corrupt value —
+// can neither overflow the int64 multiplication nor spin; every count
+// past the cap yields exactly the cap.
+func TestMergeBackoffCapped(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	for _, fails := range []int{mergeBackoffMaxDoublings + 1, 100, 1 << 40, maxInt} {
+		if got := mergeBackoff(fails); got != mergeBackoffCap {
+			t.Errorf("mergeBackoff(%d) = %d, want cap %d", fails, got, int64(mergeBackoffCap))
+		}
+	}
+	if got := mergeBackoff(-5); got != mergeBackoffBase {
+		t.Errorf("mergeBackoff(-5) = %d, want base %d", got, int64(mergeBackoffBase))
+	}
+}

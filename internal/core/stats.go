@@ -42,6 +42,15 @@ type Stats struct {
 	BackpressureStalls atomic.Int64 // inserts that blocked on the unflushed-bytes cap
 	CommitFailures     atomic.Int64 // descriptor commits that failed, losing sealed rows
 	RowsLost           atomic.Int64 // rows dropped by failed descriptor commits
+
+	// Maintenance-scheduler counters.
+	MergesInFlight            atomic.Int64 // gauge: merges currently running
+	MergeWaitNs               atomic.Int64 // ns merge-eligible periods waited for a worker
+	ExpiriesInFlight          atomic.Int64 // gauge: TTL expiry rounds currently running
+	ExpiryWaitNs              atomic.Int64 // ns due expiry work waited for a worker
+	ExpiryRuns                atomic.Int64 // expiry rounds that reclaimed >=1 tablet
+	MaintenanceBytesThrottled atomic.Int64 // maintenance I/O bytes delayed by the budget
+	MaintenanceThrottleNs     atomic.Int64 // ns maintenance spent blocked in the budget
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -79,6 +88,14 @@ type StatsSnapshot struct {
 	BackpressureStalls int64
 	CommitFailures     int64
 	RowsLost           int64
+
+	MergesInFlight            int64
+	MergeWaitNs               int64
+	ExpiriesInFlight          int64
+	ExpiryWaitNs              int64
+	ExpiryRuns                int64
+	MaintenanceBytesThrottled int64
+	MaintenanceThrottleNs     int64
 }
 
 // Snapshot copies the counters.
@@ -117,6 +134,14 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BackpressureStalls: s.BackpressureStalls.Load(),
 		CommitFailures:     s.CommitFailures.Load(),
 		RowsLost:           s.RowsLost.Load(),
+
+		MergesInFlight:            s.MergesInFlight.Load(),
+		MergeWaitNs:               s.MergeWaitNs.Load(),
+		ExpiriesInFlight:          s.ExpiriesInFlight.Load(),
+		ExpiryWaitNs:              s.ExpiryWaitNs.Load(),
+		ExpiryRuns:                s.ExpiryRuns.Load(),
+		MaintenanceBytesThrottled: s.MaintenanceBytesThrottled.Load(),
+		MaintenanceThrottleNs:     s.MaintenanceThrottleNs.Load(),
 	}
 }
 

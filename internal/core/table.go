@@ -105,14 +105,29 @@ type Table struct {
 	iqMu    sync.Mutex
 	insertQ []*insertReq
 
-	// flushMu serializes MergeStep, DeleteWhere, and tiering against
-	// themselves. Flushes no longer take it: the group state machine under
-	// mu lets several flush workers write files concurrently while commits
-	// stay ordered.
-	flushMu sync.Mutex
+	// maintMu coordinates structural maintenance. Merges take the read
+	// side — merges on disjoint periods share no inputs (§3.4.2 forbids
+	// cross-period merges), so they may run in parallel, serialized only
+	// by the per-period merging set and busy flags under mu. DeleteWhere
+	// and tiering take the write side: they rewrite or relocate arbitrary
+	// tablets and must see no merge in flight. Flushes never take it: the
+	// group state machine under mu orders their commits. Lock order:
+	// maintMu before mu.
+	maintMu sync.RWMutex
+
+	// descMu serializes descriptor file writes. Foreground paths write
+	// synchronously under mu (writeDescriptorLocked, lock order mu →
+	// descMu); background maintenance commits mutate state and bump
+	// descGen under mu, then persist OUTSIDE mu (persistDescriptor), so
+	// inserts never wait out a descriptor's disk latency behind a merge.
+	// The generation pair keeps the on-disk descriptor monotone: a
+	// snapshot is only written if no newer one already landed.
+	descMu      sync.Mutex
+	descGen     uint64 // guarded by mu: state changes needing persistence
+	descWritten uint64 // guarded by descMu: last generation on disk
 
 	// mu guards the fields below. It is held only for short, in-memory
-	// critical sections plus descriptor writes.
+	// critical sections plus foreground descriptor writes.
 	mu          sync.Mutex
 	flushCond   *sync.Cond
 	sc          *schema.Schema
@@ -131,6 +146,22 @@ type Table struct {
 	flushKick chan struct{} // buffered(1) doorbell: sealed work exists
 	stopFlush chan struct{} // closed by Close to stop the workers
 	flushWG   sync.WaitGroup
+
+	// Maintenance worker pool (maintKick nil when Options.MergeWorkers ==
+	// 0; the rest initialized always so serial MergeStep shares the claim
+	// logic). merging holds periods with a merge in flight; mergeWaitSince
+	// and expireWaitSince record when work first became claimable, for
+	// priority aging and the *WaitNs counters. All guarded by mu except
+	// the WaitGroup and channels.
+	maintKick       chan struct{} // buffered(1) doorbell: maintenance work exists
+	stopMaint       chan struct{} // closed by Close; also unblocks the I/O budget
+	maintWG         sync.WaitGroup
+	maintCond       *sync.Cond // broadcast on any maintenance state change
+	merging         map[period.Period]bool
+	mergeWaitSince  map[period.Period]int64 // period -> wall ns first claimable
+	expiring        bool
+	expireWaitSince int64
+	ioBudget        *ioBudget // nil when MaintenanceIOBytesPerSec == 0
 
 	// Fault-recovery state (guarded by mu): consecutive flush/merge
 	// failures and, for merges, the earliest time of the next attempt
@@ -200,6 +231,13 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		filling: make(map[period.Period]*fillingTablet),
 	}
 	t.flushCond = sync.NewCond(&t.mu)
+	t.maintCond = sync.NewCond(&t.mu)
+	t.merging = make(map[period.Period]bool)
+	t.mergeWaitSince = make(map[period.Period]int64)
+	t.stopMaint = make(chan struct{})
+	if rate := opts.maintenanceIOBytesPerSec(); rate > 0 {
+		t.ioBudget = newIOBudget(rate, t.stopMaint, &t.stats)
+	}
 	if opts.BlockCacheBytes > 0 {
 		t.blockCache = blockcache.New(opts.BlockCacheBytes)
 	}
@@ -256,6 +294,13 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		for i := 0; i < opts.FlushWorkers; i++ {
 			t.flushWG.Add(1)
 			go t.flushWorker()
+		}
+	}
+	if n := opts.mergeWorkers(); n > 0 {
+		t.maintKick = make(chan struct{}, 1)
+		for i := 0; i < n; i++ {
+			t.maintWG.Add(1)
+			go t.maintWorker()
 		}
 	}
 	return t, nil
@@ -701,13 +746,18 @@ func (t *Table) Close() error {
 	if t.stopFlush != nil {
 		close(t.stopFlush)
 	}
-	// Wake inserters stalled on backpressure and drainers waiting for
-	// in-flight groups; they observe closed and bail out.
+	// stopMaint also unblocks maintenance I/O parked in the token bucket.
+	close(t.stopMaint)
+	// Wake inserters stalled on backpressure, drainers waiting for
+	// in-flight groups, and MaintainUntilQuiet waiters; they observe
+	// closed and bail out.
 	t.flushCond.Broadcast()
+	t.maintCond.Broadcast()
 	t.mu.Unlock()
 	// Workers may be mid-write; they notice closed at commit time, abort
 	// their output files, and exit before we tear the tablet list down.
 	t.flushWG.Wait()
+	t.maintWG.Wait()
 	t.mu.Lock()
 	t.closeAllLocked()
 	t.mu.Unlock()
@@ -790,8 +840,9 @@ func (t *Table) alterSchema(f func(*schema.Schema) (*schema.Schema, error)) erro
 	return nil
 }
 
-// writeDescriptorLocked persists current state; callers hold t.mu.
-func (t *Table) writeDescriptorLocked() error {
+// buildDescriptorLocked snapshots the current persistable state; callers
+// hold t.mu.
+func (t *Table) buildDescriptorLocked() *descriptor {
 	d := &descriptor{
 		Name:    t.name,
 		Schema:  t.sc,
@@ -801,7 +852,56 @@ func (t *Table) writeDescriptorLocked() error {
 	for _, dt := range t.disk {
 		d.Tablets = append(d.Tablets, dt.rec)
 	}
-	return writeDescriptor(t.opts.FS, t.dir, d, t.opts.SyncWrites)
+	return d
+}
+
+// writeDescriptorLocked persists current state synchronously; callers hold
+// t.mu. Foreground paths (flush commit, schema changes, deletes) use it so
+// their error handling stays atomic with the mutation; it takes descMu for
+// the file write so it cannot interleave with a background
+// persistDescriptor and regress the on-disk snapshot.
+func (t *Table) writeDescriptorLocked() error {
+	t.descGen++
+	gen := t.descGen
+	d := t.buildDescriptorLocked()
+	t.descMu.Lock()
+	defer t.descMu.Unlock()
+	if err := writeDescriptor(t.opts.FS, t.dir, d, t.opts.SyncWrites); err != nil {
+		return err
+	}
+	if gen > t.descWritten {
+		t.descWritten = gen
+	}
+	return nil
+}
+
+// bumpDescGenLocked records that in-memory state has moved ahead of the
+// on-disk descriptor; the caller must follow up with persistDescriptor
+// after releasing mu. Caller holds t.mu.
+func (t *Table) bumpDescGenLocked() { t.descGen++ }
+
+// persistDescriptor writes the newest descriptor snapshot without holding
+// t.mu across the disk I/O: snapshot under mu (cheap), write under descMu.
+// If a later generation already reached disk — a racing commit persisted a
+// snapshot that includes this caller's mutation, since snapshots are
+// always of the full current state — the write is skipped. Success means
+// the on-disk descriptor reflects at least the state at the caller's bump.
+// Caller must NOT hold t.mu.
+func (t *Table) persistDescriptor() error {
+	t.mu.Lock()
+	gen := t.descGen
+	d := t.buildDescriptorLocked()
+	t.mu.Unlock()
+	t.descMu.Lock()
+	defer t.descMu.Unlock()
+	if gen <= t.descWritten {
+		return nil
+	}
+	if err := writeDescriptor(t.opts.FS, t.dir, d, t.opts.SyncWrites); err != nil {
+		return err
+	}
+	t.descWritten = gen
+	return nil
 }
 
 // expireBefore returns the timestamp before which rows are expired, or

@@ -25,8 +25,10 @@ func (t *Table) TierColdTablets(olderThan int64, coldDir string) (int, error) {
 	if err := t.opts.FS.MkdirAll(coldDir); err != nil {
 		return 0, err
 	}
-	t.flushMu.Lock()
-	defer t.flushMu.Unlock()
+	// Write side of maintMu: tiering relocates tablet files and must see
+	// no merge in flight.
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 
 	t.mu.Lock()
 	if t.closed {

@@ -1,16 +1,20 @@
 package core
 
+import "time"
+
 // expireTTL reclaims disk space by removing from the descriptor, and then
 // deleting, any tablet whose rows have all passed their TTL (§3.3). Rows
 // that expire before their tablet does are filtered from query results by
-// the iterator.
+// the iterator. At most one expiry round runs at a time (the expiring
+// flag); tablets being merged are skipped — the merge itself drops their
+// expired rows, and its output becomes reclaimable on a later round.
 func (t *Table) expireTTL(now int64) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrTableClosed
 	}
-	if t.ttl <= 0 {
+	if t.ttl <= 0 || t.expiring {
 		t.mu.Unlock()
 		return nil
 	}
@@ -22,18 +26,41 @@ func (t *Table) expireTTL(now int64) error {
 		}
 	}
 	if len(doomed) == 0 {
+		t.expireWaitSince = 0
 		t.mu.Unlock()
 		return nil
 	}
+	t.expiring = true
+	if t.expireWaitSince != 0 {
+		t.stats.ExpiryWaitNs.Add(time.Now().UnixNano() - t.expireWaitSince)
+		t.expireWaitSince = 0
+	}
+	t.stats.ExpiriesInFlight.Add(1)
 	for _, dt := range doomed {
+		// Hold a ref across the descriptor persist below: the files must
+		// outlive any on-disk descriptor that still names them, so deletion
+		// (at release) strictly follows the persist.
+		t.acquireLocked(dt)
 		t.dropLocked(dt)
 	}
-	err := t.writeDescriptorLocked()
+	t.bumpDescGenLocked()
+	t.mu.Unlock()
+	// Persist outside mu so inserts never stall behind the descriptor's
+	// disk latency; the expiring flag keeps further rounds out meanwhile.
+	err := t.persistDescriptor()
+	for _, dt := range doomed {
+		t.release(dt)
+	}
+	t.mu.Lock()
+	t.expiring = false
+	t.stats.ExpiriesInFlight.Add(-1)
+	t.maintBroadcastLocked()
 	t.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	t.stats.TabletsExpired.Add(int64(len(doomed)))
+	t.stats.ExpiryRuns.Add(1)
 	return nil
 }
 

@@ -1,0 +1,270 @@
+package ltbench
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/schema"
+	"littletable/internal/vfs"
+)
+
+// MaintainConfig sizes the concurrent-maintenance experiment.
+type MaintainConfig struct {
+	// Periods is how many disjoint, merge-eligible time periods the table
+	// starts with; default 8. Period-disjointness is what lets merges run
+	// in parallel, so this is the available parallelism.
+	Periods int
+	// TabletsPerPeriod tablets per period await merging; default 6.
+	TabletsPerPeriod int
+	// RowsPerTablet rows of RowBytes each per tablet; defaults 400 × 256 B.
+	RowsPerTablet int
+	RowBytes      int
+	// WorkerCounts are the x values; default {1, 2, 8}.
+	WorkerCounts []int
+	// ReadDelay/WriteDelay model the §5.1.1 drive's per-operation seek
+	// cost, and WriteBytesPerSec its sequential transfer rate, injected
+	// via vfs.LatencyFS. Defaults 500 µs / 500 µs / 8 MB/s — heavy enough
+	// that each merge's cost is dominated by modeled device time, which
+	// parallel workers overlap, rather than host CPU, which they contend
+	// for.
+	ReadDelay        time.Duration
+	WriteDelay       time.Duration
+	WriteBytesPerSec int64
+	// IOBytesPerSec, when nonzero, also applies the engine's maintenance
+	// I/O budget (-maintenance-io-bytes-per-sec) on top of the modeled
+	// disk; default 0 (unlimited).
+	IOBytesPerSec int64
+	// ForegroundRows is how many timed single-row inserts run alongside
+	// maintenance (and again quiescent, for the baseline); default 2000.
+	ForegroundRows int
+	Dir            string // temp-dir parent; "" = system default
+}
+
+func (c *MaintainConfig) defaults() {
+	if c.Periods == 0 {
+		c.Periods = 8
+	}
+	if c.TabletsPerPeriod == 0 {
+		c.TabletsPerPeriod = 6
+	}
+	if c.RowsPerTablet == 0 {
+		c.RowsPerTablet = 600
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 256
+	}
+	if len(c.WorkerCounts) == 0 {
+		c.WorkerCounts = []int{1, 2, 8}
+	}
+	if c.ReadDelay == 0 {
+		c.ReadDelay = 500 * time.Microsecond
+	}
+	if c.WriteDelay == 0 {
+		c.WriteDelay = 500 * time.Microsecond
+	}
+	if c.WriteBytesPerSec == 0 {
+		c.WriteBytesPerSec = 8 << 20
+	}
+	if c.ForegroundRows == 0 {
+		c.ForegroundRows = 2000
+	}
+}
+
+// RunMaintain measures the background maintenance scheduler: a table with
+// Periods disjoint merge-eligible periods converges to its merged steady
+// state under 1, 2, … workers, every merge byte paying a modeled device
+// latency (vfs.LatencyFS). Because the merge policy never crosses periods,
+// distinct periods' merges share no inputs — convergence time should fall
+// roughly with the worker count until it hits the period count or the
+// device. A foreground inserter runs throughout and its p99 latency is
+// compared against the same inserter on the quiescent (fully merged)
+// table: background maintenance must not starve the write path.
+func RunMaintain(cfg MaintainConfig) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "maintain",
+		Title:  "concurrent maintenance: convergence time and insert p99 vs merge workers",
+	}
+	conv := Series{Name: "maintenance convergence (s)"}
+	p99 := Series{Name: "insert p99 during maintenance (µs)"}
+	quiet := Series{Name: "insert p99 quiescent (µs)"}
+	var t1 float64
+	var bestSpeedup float64
+	var bestAt int
+	var worstRatio float64
+	for _, workers := range cfg.WorkerCounts {
+		m, err := runMaintainOnce(cfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d workers", workers)
+		conv.Points = append(conv.Points, Point{X: float64(workers), Y: m.convergeSec, Label: label})
+		p99.Points = append(p99.Points, Point{X: float64(workers), Y: m.busyP99us, Label: label})
+		quiet.Points = append(quiet.Points, Point{X: float64(workers), Y: m.quietP99us, Label: label})
+		if workers == cfg.WorkerCounts[0] {
+			t1 = m.convergeSec
+		}
+		if s := t1 / m.convergeSec; s > bestSpeedup {
+			bestSpeedup, bestAt = s, workers
+		}
+		if m.quietP99us > 0 {
+			if r := m.busyP99us / m.quietP99us; r > worstRatio {
+				worstRatio = r
+			}
+		}
+	}
+	res.Series = []Series{conv, p99, quiet}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("period-disjoint merges parallelize: convergence %.1fx faster at %d workers than at %d (modeled-latency disk, %d periods × %d tablets)",
+			bestSpeedup, bestAt, cfg.WorkerCounts[0], cfg.Periods, cfg.TabletsPerPeriod),
+		fmt.Sprintf("foreground inserts stay responsive: worst p99 during maintenance is %.2fx the quiescent p99", worstRatio))
+	return res, nil
+}
+
+type maintainMeasure struct {
+	convergeSec float64
+	busyP99us   float64
+	quietP99us  float64
+}
+
+// runMaintainOnce builds the backlog on a fast disk, reopens on the
+// modeled-latency disk with the given worker count, and times convergence
+// with a foreground inserter sampling insert latency throughout.
+func runMaintainOnce(cfg MaintainConfig, workers int) (maintainMeasure, error) {
+	var m maintainMeasure
+	dir, err := scratchDir(cfg.Dir, "maintain")
+	if err != nil {
+		return m, err
+	}
+	defer scratchRemove(dir)
+
+	// Build phase, full speed: TabletsPerPeriod flushed tablets in each of
+	// Periods distinct weeks, all several weeks old so the §3.4.2 rollover
+	// delay is long past and every period is claimable at once.
+	clk := clock.NewFake(1_782_018_420 * clock.Second)
+	start := clk.Now()
+	tab, err := core.CreateTable(dir, "bench", benchSchema(), 0, core.Options{
+		Clock:      clk,
+		FlushSize:  1 << 30, // flush only via FlushAll: one tablet per call
+		MergeDelay: 365 * clock.Day,
+	})
+	if err != nil {
+		return m, err
+	}
+	rng := newXorshift(7)
+	seq := int64(0)
+	for p := 0; p < cfg.Periods; p++ {
+		base := start - int64(4+p)*clock.Week
+		for b := 0; b < cfg.TabletsPerPeriod; b++ {
+			batch := make([]schema.Row, 0, cfg.RowsPerTablet)
+			for i := 0; i < cfg.RowsPerTablet; i++ {
+				batch = append(batch, benchRow(rng, seq, base+int64(b*cfg.RowsPerTablet+i), cfg.RowBytes))
+				seq++
+			}
+			if err := tab.Insert(batch); err != nil {
+				tab.Close()
+				return m, err
+			}
+			if err := tab.FlushAll(); err != nil {
+				tab.Close()
+				return m, err
+			}
+		}
+	}
+	if err := tab.Close(); err != nil {
+		return m, err
+	}
+
+	// Measurement phase: modeled-latency disk, MergeDelay cleared by a
+	// clock jump, `workers` background workers (0 would drain serially
+	// inline). Foreground inserts go to memory only (huge FlushSize), so
+	// their latency isolates write-path contention with maintenance —
+	// shared locks and descriptor commits — not flush I/O.
+	slow := vfs.LatencyFS{
+		FS:               vfs.OsFS{},
+		ReadDelay:        cfg.ReadDelay,
+		WriteDelay:       cfg.WriteDelay,
+		WriteBytesPerSec: cfg.WriteBytesPerSec,
+	}
+	tab, err = core.OpenTable(dir, "bench", core.Options{
+		Clock:                    clk,
+		FS:                       slow,
+		FlushSize:                1 << 30,
+		MergeDelay:               1 * clock.Second,
+		MergeWorkers:             workers,
+		MaintenanceIOBytesPerSec: cfg.IOBytesPerSec,
+	})
+	if err != nil {
+		return m, err
+	}
+	defer tab.Close()
+	clk.Advance(2 * clock.Second)
+
+	insertLoop := func(stop *atomic.Bool, bound int, tsBase int64) ([]time.Duration, error) {
+		rng := newXorshift(uint64(workers)*97 + 13)
+		capHint := bound
+		if capHint > 1<<14 {
+			capHint = 1 << 14
+		}
+		lat := make([]time.Duration, 0, capHint)
+		for i := 0; i < bound && !stop.Load(); i++ {
+			row := benchRow(rng, seq, tsBase+int64(i), cfg.RowBytes)
+			seq++
+			t0 := time.Now()
+			if err := tab.Insert([]schema.Row{row}); err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+			time.Sleep(50 * time.Microsecond)
+		}
+		return lat, nil
+	}
+
+	var stop atomic.Bool
+	type insRes struct {
+		lat []time.Duration
+		err error
+	}
+	ch := make(chan insRes, 1)
+	go func() {
+		lat, err := insertLoop(&stop, 1<<30, start)
+		ch <- insRes{lat, err}
+	}()
+	t0 := time.Now()
+	err = tab.MaintainUntilQuiet()
+	m.convergeSec = time.Since(t0).Seconds()
+	stop.Store(true)
+	ins := <-ch
+	if err != nil {
+		return m, err
+	}
+	if ins.err != nil {
+		return m, ins.err
+	}
+	m.busyP99us = p99us(ins.lat)
+
+	// Quiescent baseline: same inserter, merged table, no maintenance.
+	quietLat, err := insertLoop(new(atomic.Bool), cfg.ForegroundRows, start+1<<20)
+	if err != nil {
+		return m, err
+	}
+	m.quietP99us = p99us(quietLat)
+	return m, nil
+}
+
+// p99us returns the 99th-percentile latency in microseconds.
+func p99us(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := len(lat) * 99 / 100
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return float64(lat[idx]) / float64(time.Microsecond)
+}

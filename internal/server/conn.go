@@ -293,6 +293,14 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			BackpressureStalls: st.BackpressureStalls,
 			CommitFailures:     st.CommitFailures,
 			RowsLost:           st.RowsLost,
+
+			MergesInFlight:            st.MergesInFlight,
+			MergeWaitNs:               st.MergeWaitNs,
+			ExpiriesInFlight:          st.ExpiriesInFlight,
+			ExpiryWaitNs:              st.ExpiryWaitNs,
+			ExpiryRuns:                st.ExpiryRuns,
+			MaintenanceBytesThrottled: st.MaintenanceBytesThrottled,
+			MaintenanceThrottleNs:     st.MaintenanceThrottleNs,
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())

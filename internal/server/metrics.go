@@ -90,6 +90,20 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].CommitFailures }},
 		{"littletable_rows_lost_total", "Rows dropped by failed descriptor commits", "counter",
 			func(i int) int64 { return snaps[i].RowsLost }},
+		{"littletable_merge_wait_ns_total", "Nanoseconds merge-eligible periods waited for a worker", "counter",
+			func(i int) int64 { return snaps[i].MergeWaitNs }},
+		{"littletable_expiry_wait_ns_total", "Nanoseconds due TTL expiry waited for a worker", "counter",
+			func(i int) int64 { return snaps[i].ExpiryWaitNs }},
+		{"littletable_expiry_runs_total", "TTL expiry rounds that reclaimed tablets", "counter",
+			func(i int) int64 { return snaps[i].ExpiryRuns }},
+		{"littletable_maintenance_bytes_throttled_total", "Maintenance I/O bytes delayed by the budget", "counter",
+			func(i int) int64 { return snaps[i].MaintenanceBytesThrottled }},
+		{"littletable_maintenance_throttle_ns_total", "Nanoseconds maintenance spent blocked in the I/O budget", "counter",
+			func(i int) int64 { return snaps[i].MaintenanceThrottleNs }},
+		{"littletable_merges_in_flight", "Merges running right now", "gauge",
+			func(i int) int64 { return snaps[i].MergesInFlight }},
+		{"littletable_expiries_in_flight", "TTL expiry rounds running right now", "gauge",
+			func(i int) int64 { return snaps[i].ExpiriesInFlight }},
 		{"littletable_sealed_bytes", "Sealed-but-unflushed memtable bytes", "gauge",
 			func(i int) int64 { return tables[i].SealedBytes() }},
 		{"littletable_flush_queue_depth", "Sealed flush groups awaiting commit", "gauge",

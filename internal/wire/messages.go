@@ -495,6 +495,16 @@ type StatsResult struct {
 	BackpressureStalls int64
 	CommitFailures     int64 // descriptor commits that failed, losing sealed rows
 	RowsLost           int64 // rows dropped by failed descriptor commits
+
+	// Maintenance-scheduler counters: parallel merge/expiry progress,
+	// queue delay (priority aging), and I/O-budget throttling.
+	MergesInFlight            int64 // gauge: merges running right now
+	MergeWaitNs               int64
+	ExpiriesInFlight          int64 // gauge: expiry rounds running right now
+	ExpiryWaitNs              int64
+	ExpiryRuns                int64
+	MaintenanceBytesThrottled int64
+	MaintenanceThrottleNs     int64
 }
 
 // Encode serializes the message payload.
@@ -512,6 +522,9 @@ func (m *StatsResult) Encode() []byte {
 		m.InsertBatches, m.GroupCommits, m.TabletsSealed,
 		m.AsyncFlushes, m.SealedBytes, m.FlushQueueDepth,
 		m.BackpressureStalls, m.CommitFailures, m.RowsLost,
+		m.MergesInFlight, m.MergeWaitNs,
+		m.ExpiriesInFlight, m.ExpiryWaitNs, m.ExpiryRuns,
+		m.MaintenanceBytesThrottled, m.MaintenanceThrottleNs,
 	} {
 		b.I64(v)
 	}
@@ -534,6 +547,9 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.InsertBatches, &m.GroupCommits, &m.TabletsSealed,
 		&m.AsyncFlushes, &m.SealedBytes, &m.FlushQueueDepth,
 		&m.BackpressureStalls, &m.CommitFailures, &m.RowsLost,
+		&m.MergesInFlight, &m.MergeWaitNs,
+		&m.ExpiriesInFlight, &m.ExpiryWaitNs, &m.ExpiryRuns,
+		&m.MaintenanceBytesThrottled, &m.MaintenanceThrottleNs,
 	} {
 		*f = d.I64()
 	}

@@ -212,11 +212,18 @@ func TestMessagesRoundTrip(t *testing.T) {
 		RowsInserted: 1, RowsReturned: 2, DiskBytes: 3, RowEstimate: 4,
 		BlocksRead: 5, PrefetchHits: 6, ParallelOpens: 7,
 		BlockCacheHits: 8, BlockCacheMisses: 9,
+		MergesInFlight: 10, MergeWaitNs: 11, ExpiriesInFlight: 12,
+		ExpiryWaitNs: 13, ExpiryRuns: 14,
+		MaintenanceBytesThrottled: 15, MaintenanceThrottleNs: 16,
 	}
 	gst, err := DecodeStatsResult(st.Encode())
 	if err != nil || gst.RowsInserted != 1 || gst.RowEstimate != 4 ||
 		gst.BlocksRead != 5 || gst.PrefetchHits != 6 || gst.ParallelOpens != 7 ||
-		gst.BlockCacheHits != 8 || gst.BlockCacheMisses != 9 {
+		gst.BlockCacheHits != 8 || gst.BlockCacheMisses != 9 ||
+		gst.MergesInFlight != 10 || gst.MergeWaitNs != 11 ||
+		gst.ExpiriesInFlight != 12 || gst.ExpiryWaitNs != 13 ||
+		gst.ExpiryRuns != 14 || gst.MaintenanceBytesThrottled != 15 ||
+		gst.MaintenanceThrottleNs != 16 {
 		t.Errorf("StatsResult: %+v %v", gst, err)
 	}
 }
