@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint ltlint vet bench crash ci clean
+.PHONY: all build test race lint ltlint vet bench crash chaos ci clean
 
 all: build lint test
 
@@ -36,10 +36,16 @@ bench:
 crash:
 	$(GO) test ./internal/core -run 'CrashAtEveryBarrier'
 
+# chaos runs the network-fault chaos suite once with the default seed;
+# CI's chaos-harness job runs it -race -count=5 across seeds 1..3.
+chaos:
+	$(GO) test ./internal/client -race -run 'TestChaos'
+
 # ci mirrors the workflow's blocking jobs locally: build, vet, the project
-# analyzers, the race-enabled test suite, and a single-seed crash-harness
-# pass. The bench/fuzz smoke jobs are advisory and excluded here.
-ci: build vet ltlint race crash
+# analyzers, the race-enabled test suite, and single-seed crash- and
+# chaos-harness passes. The bench/fuzz smoke jobs are advisory and
+# excluded here.
+ci: build vet ltlint race crash chaos
 
 clean:
 	rm -rf bin

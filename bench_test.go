@@ -303,6 +303,30 @@ func BenchmarkInsertPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkNetload measures acked-insert goodput through the pooled wire
+// client on a clean link and through a 2%-drop netfault proxy. Every row
+// counted was acknowledged end-to-end; the lossy/clean ratio shows what
+// retries and reconnects cost.
+func BenchmarkNetload(b *testing.B) {
+	for _, pool := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			cfg := ltbench.NetloadConfig{
+				Rows:      4000,
+				PoolSizes: []int{pool},
+				Dir:       b.TempDir(),
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := ltbench.RunNetload(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Series[0].Points[0].Y, "rows/s-clean")
+				b.ReportMetric(res.Series[1].Points[0].Y, "rows/s-lossy")
+			}
+		})
+	}
+}
+
 // BenchmarkMergeParallel measures the concurrent maintenance scheduler
 // over a modeled-latency disk: time to merge a backlog of disjoint
 // merge-eligible periods to steady state at 1, 2, and 8 workers, plus the

@@ -7,13 +7,15 @@
 //
 //	littletabled -root /var/lib/littletable -addr :9155
 //
-// On SIGINT/SIGTERM the server stops accepting connections and shuts
-// down. By default it does NOT flush in-memory tablets on shutdown — the
+// On SIGINT/SIGTERM the server drains: it stops accepting connections,
+// lets in-flight requests finish (up to -drain-timeout), then closes. By
+// default it does NOT flush in-memory tablets on shutdown — the
 // durability contract is that recently-written data is re-readable from
 // its source (§2.3.4) — but -flush-on-exit opts into a clean flush.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
@@ -49,6 +51,8 @@ func main() {
 		maintIO     = flag.Int64("maintenance-io-bytes-per-sec", 0, "token-bucket cap on maintenance I/O bytes per second, shared across a table's workers (0 = unlimited)")
 		insertBatch = flag.Int("insert-batch", 0, "rows applied per table-lock acquisition on insert (0 = default, <0 = row-at-a-time)")
 		maxUnflush  = flag.Int64("max-unflushed-bytes", 0, "sealed-but-unflushed bytes before inserts stall (0 = default, <0 = unlimited)")
+		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, wait this long for in-flight requests before closing (0 = close immediately)")
+		maxInFlight = flag.Int("max-in-flight", 0, "shed requests beyond this many concurrently in flight with a retryable Overloaded refusal (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,7 @@ func main() {
 		ReadTimeout:         *readTO,
 		WriteTimeout:        *writeTO,
 		MaxRequestBytes:     *maxRequest,
+		MaxInFlight:         *maxInFlight,
 	}
 	opts.Core.DisableCompression = *noCompress
 	opts.Core.DisableBloom = *noBloom
@@ -103,7 +108,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("littletabled: shutting down")
+	if *drainTO > 0 {
+		log.Printf("littletabled: draining (timeout %v)", *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("littletabled: drain: %v", err)
+		}
+		cancel()
+	} else {
+		log.Printf("littletabled: shutting down")
+	}
 	if *flushOnExit {
 		if err := srv.FlushAllTables(); err != nil {
 			log.Printf("littletabled: flush on exit: %v", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -97,5 +98,65 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	rows, err := tab2.QueryAll(littletable.NewQuery())
 	if err != nil || len(rows) != 1 {
 		t.Fatalf("after restart: %d rows, %v", len(rows), err)
+	}
+}
+
+// TestDaemonDrainsIdleConnsPromptly proves the SIGTERM drain does not
+// wait out -drain-timeout when connected clients are merely idle: idle
+// connections are closed immediately and the process exits, leaving the
+// client with a typed disconnect.
+func TestDaemonDrainsIdleConnsPromptly(t *testing.T) {
+	bin := buildDaemon(t)
+	addr := "127.0.0.1:39156"
+	cmd := exec.Command(bin, "-root", t.TempDir(), "-addr", addr,
+		"-drain-timeout", "30s", "-max-in-flight", "64")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	var c *littletable.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		c, err = littletable.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer c.Close()
+	if _, err := c.ListTables(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon sat out the drain timeout on idle connections")
+	}
+	cmd.Process = nil
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("drain of idle conns took %v", elapsed)
+	}
+	if _, err := c.ListTables(); !errors.Is(err, littletable.ErrClientDisconnected) {
+		t.Fatalf("after drain: %v, want ErrClientDisconnected", err)
 	}
 }

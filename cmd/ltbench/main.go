@@ -50,7 +50,7 @@ func main() {
 		names = []string{
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
-			"parallel", "writeload", "maintain",
+			"parallel", "writeload", "maintain", "netload",
 		}
 	}
 	for _, name := range names {
@@ -158,6 +158,14 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.WorkerCounts = []int{0, 1, 2, 4, 8}
 		}
 		return ltbench.RunWriteload(cfg)
+	case "netload":
+		cfg := ltbench.NetloadConfig{}
+		if full {
+			cfg.Rows = 32000
+			cfg.PoolSizes = []int{1, 2, 4, 8, 16}
+			cfg.Inserters = 8
+		}
+		return ltbench.RunNetload(cfg)
 	case "maintain":
 		cfg := ltbench.MaintainConfig{}
 		if full {
@@ -176,5 +184,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload all`)
 }

@@ -1,0 +1,423 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"littletable/internal/netfault"
+	"littletable/internal/schema"
+	"littletable/internal/server"
+	"littletable/internal/wire"
+)
+
+// chaosSeed returns the fault-schedule seed, set by the CI chaos matrix
+// via LTNETFAULT_SEED (default 1) — the same convention as the crash
+// harness's LTCRASH_SEED, so a failing run is replayable.
+func chaosSeed() int64 {
+	if v := os.Getenv("LTNETFAULT_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
+// chaosProxy starts a fault-injecting proxy in front of addr and, when
+// the test fails and LTNETFAULT_ARTIFACT names a directory, dumps the
+// recorded fault script there for reproduction.
+func chaosProxy(t *testing.T, addr string, cfg netfault.Config) *netfault.Proxy {
+	t.Helper()
+	cfg.Seed = chaosSeed()
+	p, err := netfault.New(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			if dir := os.Getenv("LTNETFAULT_ARTIFACT"); dir != "" {
+				if err := os.MkdirAll(dir, 0o755); err == nil {
+					name := strings.ReplaceAll(t.Name(), "/", "_") + ".faults.txt"
+					header := fmt.Sprintf("seed %d\n", cfg.Seed)
+					os.WriteFile(filepath.Join(dir, name), []byte(header+p.Script()), 0o644)
+				}
+			}
+		}
+		p.Close()
+	})
+	return p
+}
+
+// typedChaosError reports whether err is one of the client's sanctioned
+// failure modes under network faults — the "fail cleanly with typed
+// errors" half of the chaos contract.
+func typedChaosError(err error) bool {
+	var re *RemoteError
+	return errors.Is(err, ErrDisconnected) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrClientClosed) ||
+		errors.Is(err, wire.ErrCorrupt) ||
+		errors.As(err, &re)
+}
+
+func startChaosServer(t *testing.T, sopts server.Options) (*server.Server, string) {
+	t.Helper()
+	if sopts.Root == "" {
+		sopts.Root = t.TempDir()
+	}
+	sopts.Logf = func(string, ...interface{}) {} // fault storms are noisy
+	s, err := server.New(sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+	t.Cleanup(func() { s.Close() })
+	return s, lis.Addr().String()
+}
+
+// TestChaosNoAckedInsertLost is the §4.1 contract under fire: writers
+// insert unique rows through a proxy injecting drops, resets, and partial
+// writes. Whatever the network does, every insert the client saw
+// acknowledged must be readable afterwards, and every failure must carry
+// a typed error.
+func TestChaosNoAckedInsertLost(t *testing.T) {
+	baseline := stableGoroutineCount()
+	s, addr := startChaosServer(t, server.Options{})
+	p := chaosProxy(t, addr, netfault.Config{
+		DropRate:    0.02,
+		ResetRate:   0.02,
+		PartialRate: 0.01,
+	})
+
+	admin := dialOpts(t, addr, fastOpts()) // direct: table setup is not under test
+	if err := admin.CreateTable("chaos", eventsSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const rowsPerWriter = 120
+	type key struct{ w, seq int64 }
+	var mu sync.Mutex
+	acked := map[key]bool{}
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			opts := fastOpts()
+			opts.JitterSeed = chaosSeed() + w
+			c, err := DialContext(context.Background(), p.Addr(), opts)
+			if err != nil {
+				// The proxy can kill the handshake conn; that is a clean,
+				// typed refusal, not a correctness failure.
+				if !typedChaosError(err) {
+					errCh <- fmt.Errorf("writer %d dial: %w", w, err)
+				}
+				return
+			}
+			defer c.Close()
+			tab, err := c.OpenTable("chaos")
+			if err != nil {
+				if !typedChaosError(err) {
+					errCh <- fmt.Errorf("writer %d open: %w", w, err)
+				}
+				return
+			}
+			for seq := int64(0); seq < rowsPerWriter; seq++ {
+				err := tab.InsertNow([]schema.Row{eventRow(w, seq, 1_000_000+seq, seq, "chaos")})
+				if err == nil {
+					mu.Lock()
+					acked[key{w, seq}] = true
+					mu.Unlock()
+					continue
+				}
+				if !typedChaosError(err) {
+					errCh <- fmt.Errorf("writer %d seq %d: untyped error: %w", w, seq, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Heal: read back over a clean path and diff against the ack set.
+	tab, err := admin.OpenTable("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tab.Query(NewQuery()).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[key]bool{}
+	for _, r := range rows {
+		present[key{r[0].Int, r[1].Int}] = true
+	}
+	var lost int
+	mu.Lock()
+	for k := range acked {
+		if !present[k] {
+			lost++
+			t.Errorf("acked insert lost: writer %d seq %d", k.w, k.seq)
+		}
+	}
+	ackedN := len(acked)
+	mu.Unlock()
+	if lost > 0 {
+		t.Fatalf("%d of %d acked inserts lost (seed %d)", lost, ackedN, chaosSeed())
+	}
+	p.Close() // joins the pump goroutines; Stats is stable after this
+	t.Logf("seed %d: %d acked, %d present, proxy stats: %+v", chaosSeed(), ackedN, len(present), p.Stats())
+	s.Close()
+	checkGoroutineCount(t, baseline)
+}
+
+// TestChaosQueriesFailCleanly runs reads through a proxy that corrupts,
+// drops, and delays. The wire protocol has no frame checksums, so
+// corruption may garble results — the contract here is weaker and
+// explicit: every query either succeeds or fails with a typed error;
+// no panics, no hangs, and the server itself survives garbled requests.
+func TestChaosQueriesFailCleanly(t *testing.T) {
+	baseline := stableGoroutineCount()
+	s, addr := startChaosServer(t, server.Options{})
+	p := chaosProxy(t, addr, netfault.Config{
+		DropRate:    0.02,
+		ResetRate:   0.01,
+		CorruptRate: 0.05,
+		LatencyMax:  2 * time.Millisecond,
+	})
+
+	admin := dialOpts(t, addr, fastOpts())
+	if err := admin.CreateTable("chaos", eventsSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	tabDirect, err := admin.OpenTable("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := tabDirect.Insert(eventRow(1, i, 1_000_000+i, i, "steady")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tabDirect.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int64) {
+			defer wg.Done()
+			opts := fastOpts()
+			opts.JitterSeed = chaosSeed() + 100 + r
+			opts.RequestTimeout = 2 * time.Second
+			c, err := DialContext(context.Background(), p.Addr(), opts)
+			if err != nil {
+				if !typedChaosError(err) && !errors.Is(err, context.DeadlineExceeded) {
+					errCh <- fmt.Errorf("reader %d dial: %w", r, err)
+				}
+				return
+			}
+			defer c.Close()
+			tab, err := c.OpenTable("chaos")
+			if err != nil {
+				return // schema fetch lost to the storm; typed-ness checked below for queries
+			}
+			for k := 0; k < 25; k++ {
+				_, err := tab.Query(NewQuery()).All()
+				if err == nil || typedChaosError(err) || errors.Is(err, context.DeadlineExceeded) {
+					continue
+				}
+				// Corruption can surface as any decode error; it must still
+				// be an error value from our packages, not a panic or a
+				// silent wedge. Anything else is reported for inspection.
+				msg := err.Error()
+				if strings.Contains(msg, "wire:") || strings.Contains(msg, "ltval:") ||
+					strings.Contains(msg, "client:") || strings.Contains(msg, "schema:") ||
+					strings.Contains(msg, "json") {
+					continue
+				}
+				errCh <- fmt.Errorf("reader %d query %d: unclassified error: %w", r, k, err)
+				return
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The server survived the garbage: a clean client sees all rows.
+	rows, err := tabDirect.Query(NewQuery()).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("after corruption storm: %d rows, want 200", len(rows))
+	}
+	p.Close()
+	t.Logf("seed %d: proxy stats %+v", chaosSeed(), p.Stats())
+	s.Close()
+	checkGoroutineCount(t, baseline)
+}
+
+// TestChaosPoolRecoversAcrossServerRestart kills and replaces the server
+// mid-workload (with a flush first, honoring the §4.1 durability
+// contract): the same client must carry on over the proxy, and every
+// acked-and-flushed row must still be present afterwards.
+func TestChaosPoolRecoversAcrossServerRestart(t *testing.T) {
+	baseline := stableGoroutineCount()
+	root := t.TempDir()
+	s1, addr1 := startChaosServer(t, server.Options{Root: root})
+	p := chaosProxy(t, addr1, netfault.Config{DropRate: 0.01})
+
+	opts := fastOpts()
+	opts.JitterSeed = chaosSeed()
+	c, err := DialContext(context.Background(), p.Addr(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("chaos", eventsSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := c.OpenTable("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ w, seq int64 }
+	acked := map[key]bool{}
+	for seq := int64(0); seq < 60; seq++ {
+		if err := tab.InsertNow([]schema.Row{eventRow(1, seq, 1_000_000+seq, seq, "pre")}); err == nil {
+			acked[key{1, seq}] = true
+		} else if !typedChaosError(err) {
+			t.Fatalf("pre-restart insert: %v", err)
+		}
+	}
+	// Make acked rows durable, then hard-stop the server.
+	if err := s1.FlushAllTables(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, addr2 := startChaosServer(t, server.Options{Root: root})
+	p.SetTarget(addr2)
+	p.CutAll()
+
+	// Same client, same pool: it must reconnect and keep working.
+	for seq := int64(100); seq < 160; seq++ {
+		if err := tab.InsertNow([]schema.Row{eventRow(2, seq, 2_000_000+seq, seq, "post")}); err == nil {
+			acked[key{2, seq}] = true
+		} else if !typedChaosError(err) {
+			t.Fatalf("post-restart insert: %v", err)
+		}
+	}
+	rows, err := tab.Query(NewQuery()).All()
+	if err != nil {
+		t.Fatalf("post-restart query: %v", err)
+	}
+	present := map[key]bool{}
+	for _, r := range rows {
+		present[key{r[0].Int, r[1].Int}] = true
+	}
+	for k := range acked {
+		if !present[k] {
+			t.Errorf("acked row lost across restart: writer %d seq %d (seed %d)", k.w, k.seq, chaosSeed())
+		}
+	}
+	if got := c.Stats().Reconnects.Load(); got == 0 {
+		t.Error("restart recovery recorded no reconnects")
+	}
+	p.Close()
+	s2.Close()
+	checkGoroutineCount(t, baseline)
+}
+
+// TestChaosDrainUnderFire shuts the server down gracefully while clients
+// hammer it through a mildly faulty proxy: every request must complete or
+// fail typed (drain never truncates a response into garbage), Shutdown
+// must converge, and nothing may leak.
+func TestChaosDrainUnderFire(t *testing.T) {
+	baseline := stableGoroutineCount()
+	s, addr := startChaosServer(t, server.Options{MaxInFlight: 8})
+	p := chaosProxy(t, addr, netfault.Config{DropRate: 0.01, LatencyMax: time.Millisecond})
+
+	admin := dialOpts(t, addr, fastOpts())
+	if err := admin.CreateTable("chaos", eventsSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			opts := fastOpts()
+			opts.JitterSeed = chaosSeed() + 200 + w
+			opts.RequestTimeout = 2 * time.Second
+			c, err := DialContext(context.Background(), p.Addr(), opts)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			tab, err := c.OpenTable("chaos")
+			if err != nil {
+				return
+			}
+			for seq := int64(0); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := tab.InsertNow([]schema.Row{eventRow(w, seq, 3_000_000+seq, seq, "drain")})
+				if err != nil && !typedChaosError(err) && !errors.Is(err, context.DeadlineExceeded) {
+					errCh <- fmt.Errorf("worker %d under drain: %w", w, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the fire build
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown under fire: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if s.Stats().DrainNs.Load() <= 0 {
+		t.Error("drain duration not recorded")
+	}
+	p.Close()
+	checkGoroutineCount(t, baseline)
+}

@@ -1,17 +1,29 @@
 // Package client is LittleTable's client adaptor — the role the SQLite
-// virtual-table module plays in the paper (§3.1): it keeps a persistent
-// TCP connection to the server (so it notices crashes), fetches each
+// virtual-table module plays in the paper (§3.1): it keeps persistent
+// TCP connections to the server (so it notices crashes), fetches each
 // table's schema and sort order once, batches inserts, pushes
 // two-dimensional bounds down to the server, and transparently re-submits
 // queries when the server's row limit trips the more-available flag
 // (§3.5).
+//
+// The client is built for partial failure: requests draw connections from
+// a fixed-size pool, broken connections are redialed with jittered
+// exponential backoff, idempotent requests are retried across
+// connections, and the server's Overloaded refusal (which promises the
+// request was not processed) is retried for every request type. Rows
+// buffered for insert are never dropped silently — a failed flush reports
+// the unsent-row count so the application can re-read and re-insert
+// (§4.1).
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"net"
+	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"littletable/internal/core"
 	"littletable/internal/ltval"
@@ -23,74 +35,370 @@ import (
 // sending; §1 cites batches of 512 rows as common in production.
 const DefaultBatchSize = 512
 
+// Defaults for Options zero values.
+const (
+	DefaultPoolSize       = 4
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultMaxRetries     = 3
+	DefaultRetryBaseDelay = 10 * time.Millisecond
+	DefaultRetryMaxDelay  = time.Second
+)
+
+// Options tune the client's pool and retry policy. The zero value gets
+// the defaults above.
+type Options struct {
+	// PoolSize caps open connections; requests beyond it wait for a free
+	// connection. Default DefaultPoolSize.
+	PoolSize int
+
+	// DialTimeout bounds connect plus handshake for each new connection.
+	// Default DefaultDialTimeout.
+	DialTimeout time.Duration
+
+	// RequestTimeout, when positive, is the default deadline applied to
+	// each request (including its retries) that arrives without one. The
+	// deadline is threaded down to the connection's read/write deadlines.
+	// 0 means no default; explicit context deadlines always apply.
+	RequestTimeout time.Duration
+
+	// MaxRetries is how many times a retryable request is re-sent after a
+	// failure: dial failures and Overloaded refusals for every request
+	// type, post-send transport failures for idempotent requests only.
+	// 0 means DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+
+	// RetryBaseDelay and RetryMaxDelay shape the jittered exponential
+	// backoff between retries.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
+	// JitterSeed seeds the backoff jitter for reproducible tests; 0 seeds
+	// from the clock.
+	JitterSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize <= 0 {
+		o.PoolSize = DefaultPoolSize
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = DefaultMaxRetries
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	return o
+}
+
+// Stats count the client's resilience events; read them with atomic Loads.
+type Stats struct {
+	// Dials counts successful connection handshakes.
+	Dials atomic.Int64
+	// Reconnects counts connections torn down as broken or dead; the next
+	// request redials.
+	Reconnects atomic.Int64
+	// Retries counts request attempts beyond each request's first.
+	Retries atomic.Int64
+	// Overloaded counts Overloaded refusals observed from the server.
+	Overloaded atomic.Int64
+}
+
 // RemoteError is an error reported by the server.
 type RemoteError struct{ Msg string }
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "littletable: " + e.Msg }
 
-// ErrDisconnected reports a broken connection; the application decides
-// what recently-written data to re-read from its devices and re-insert
-// (§3.1, §4.1).
-var ErrDisconnected = errors.New("client: disconnected from server")
-
-// Client is a connection to one LittleTable server. Methods are safe for
-// concurrent use; requests serialize over the single connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	wc   *wire.Conn
-	dead bool
+// UnsentError reports buffered insert rows that were never acknowledged
+// by the server. Per the §4.1 contract the rows are dropped from the
+// buffer — the application re-reads recent data from its source and
+// re-inserts; retrying blind could duplicate rows the server did apply.
+type UnsentError struct {
+	// Rows is how many buffered rows went unacknowledged.
+	Rows int
+	// Err is the underlying failure.
+	Err error
 }
 
-// Dial connects and performs the protocol handshake.
+// Error implements error.
+func (e *UnsentError) Error() string {
+	return fmt.Sprintf("client: %d buffered rows unsent: %v", e.Rows, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *UnsentError) Unwrap() error { return e.Err }
+
+// Errors returned by the client.
+var (
+	// ErrDisconnected reports a broken connection; the application decides
+	// what recently-written data to re-read from its devices and re-insert
+	// (§3.1, §4.1).
+	ErrDisconnected = errors.New("client: disconnected from server")
+	// ErrOverloaded reports that the server shed the request at its
+	// admission gate (it was not processed) and retries were exhausted.
+	ErrOverloaded = errors.New("client: server overloaded")
+	// ErrClientClosed reports use after Close.
+	ErrClientClosed = errors.New("client: closed")
+)
+
+// Client is a pool-backed connection to one LittleTable server. Methods
+// are safe for concurrent use; up to PoolSize requests run in parallel.
+type Client struct {
+	opts  Options
+	pool  *pool
+	stats Stats
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	tables []*Table
+	closed bool
+}
+
+// background is the root context for the compat (non-context) API.
+//
+//ltlint:ignore ctxprop compat shims with no caller context start here; ctx entry points thread the caller's
+func background() context.Context { return context.Background() }
+
+// Dial connects with default Options and verifies the server handshake.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(background(), addr, Options{})
+}
+
+// DialContext connects with explicit Options, establishing and
+// handshaking one pooled connection eagerly so configuration and
+// reachability errors surface here rather than on first use.
+func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
+		opts: opts,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	c.pool = newPool(addr, opts, &c.stats)
+	pc, err := c.pool.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, wc: wire.NewConn(conn)}
-	h := &wire.Hello{Version: wire.ProtocolVersion}
-	if _, _, err := c.roundTrip(wire.MsgHello, h.Encode()); err != nil {
-		conn.Close()
-		return nil, err
-	}
+	c.pool.put(pc, false)
 	return c, nil
 }
 
-// Close tears down the connection.
+// Stats exposes the client's resilience counters.
+func (c *Client) Stats() *Stats { return &c.stats }
+
+// Close flushes every table's buffered rows, then tears down the pool.
+// If buffered rows cannot be delivered it still closes, and returns an
+// *UnsentError carrying the total unsent-row count — buffered data is
+// never dropped silently.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dead = true
-	return c.conn.Close()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	tables := append([]*Table(nil), c.tables...)
+	c.mu.Unlock()
+
+	var unsent int
+	var cause error
+	for _, t := range tables {
+		if err := t.Flush(); err != nil {
+			var ue *UnsentError
+			if errors.As(err, &ue) {
+				unsent += ue.Rows
+				if cause == nil {
+					cause = ue.Err
+				}
+			} else if cause == nil {
+				cause = err
+			}
+		}
+	}
+	c.pool.close()
+	if unsent > 0 {
+		return &UnsentError{Rows: unsent, Err: cause}
+	}
+	return cause
 }
 
-// roundTrip sends one request and reads one response, translating MsgError
-// into *RemoteError and transport failures into ErrDisconnected.
-func (c *Client) roundTrip(t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.dead {
-		return 0, nil, ErrDisconnected
+// retryAfterSend reports whether t may be re-sent even when a prior
+// attempt's fate is unknown (the request reached the wire but the
+// connection broke before a response). Reads and flushes are idempotent;
+// inserts, deletes, and schema changes are not, and blind re-sends could
+// apply them twice.
+func retryAfterSend(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgHello, wire.MsgListTables, wire.MsgGetSchema, wire.MsgQuery,
+		wire.MsgLatestRow, wire.MsgStats, wire.MsgServerStats, wire.MsgFlushTable:
+		return true
 	}
-	if err := c.wc.WriteMsg(t, payload); err != nil {
-		c.dead = true
-		return 0, nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
-	}
-	mt, resp, err := c.wc.ReadMsg()
-	if err != nil {
-		c.dead = true
-		return 0, nil, fmt.Errorf("%w: %v", ErrDisconnected, err)
-	}
-	if mt == wire.MsgError {
-		em, derr := wire.DecodeErrorMsg(resp)
-		if derr != nil {
-			return 0, nil, derr
+	return false
+}
+
+// do sends one request with the retry policy, translating MsgError into
+// *RemoteError and transport failures into ErrDisconnected.
+func (c *Client) do(ctx context.Context, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	if c.opts.RequestTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+			defer cancel()
 		}
-		return 0, nil, &RemoteError{Msg: em.Message}
 	}
-	return mt, resp, nil
+	for attempt := 0; ; attempt++ {
+		mt, resp, sent, err := c.once(ctx, t, payload)
+		if err == nil {
+			switch mt {
+			case wire.MsgOverloaded:
+				// The admission gate refused without processing; any
+				// request type may retry after backing off.
+				c.stats.Overloaded.Add(1)
+				if attempt < c.opts.MaxRetries {
+					if berr := c.backoff(ctx, attempt); berr != nil {
+						return 0, nil, fmt.Errorf("%w: %v", ErrOverloaded, berr)
+					}
+					c.stats.Retries.Add(1)
+					continue
+				}
+				msg := "admission gate full"
+				if em, derr := wire.DecodeErrorMsg(resp); derr == nil && em.Message != "" {
+					msg = em.Message
+				}
+				return 0, nil, fmt.Errorf("%w: %s", ErrOverloaded, msg)
+			case wire.MsgError:
+				em, derr := wire.DecodeErrorMsg(resp)
+				if derr != nil {
+					return 0, nil, derr
+				}
+				return 0, nil, &RemoteError{Msg: em.Message}
+			}
+			return mt, resp, nil
+		}
+		retryable := !sent || retryAfterSend(t)
+		if ctx.Err() != nil || !retryable || attempt >= c.opts.MaxRetries {
+			return 0, nil, err
+		}
+		if berr := c.backoff(ctx, attempt); berr != nil {
+			return 0, nil, err
+		}
+		c.stats.Retries.Add(1)
+	}
+}
+
+// once performs a single attempt on one pooled connection. sent reports
+// whether any request bytes may have reached the server: a false return
+// means the attempt is known side-effect free and always retryable.
+func (c *Client) once(ctx context.Context, t wire.MsgType, payload []byte) (mt wire.MsgType, resp []byte, sent bool, err error) {
+	pc, err := c.pool.get(ctx)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	// Thread the context deadline down to the socket.
+	if d, ok := ctx.Deadline(); ok {
+		err = pc.conn.SetDeadline(d)
+	} else {
+		err = pc.conn.SetDeadline(time.Time{})
+	}
+	if err != nil {
+		c.pool.put(pc, true)
+		return 0, nil, false, fmt.Errorf("%w: %v", ErrDisconnected, err)
+	}
+	// Cancellation interrupts a blocked read/write by expiring the
+	// deadline; the connection is then poisoned and discarded.
+	var watch chan struct{}
+	if ctx.Done() != nil {
+		watch = make(chan struct{})
+		go func(w chan struct{}) {
+			select {
+			case <-ctx.Done():
+				pc.conn.SetDeadline(aLongTimeAgo)
+			case <-w:
+			}
+		}(watch)
+	}
+	stopWatch := func() {
+		if watch != nil {
+			close(watch)
+			watch = nil
+		}
+	}
+
+	sent = true
+	werr := pc.wc.WriteMsg(t, payload)
+	if werr != nil {
+		stopWatch()
+		if errors.Is(werr, wire.ErrFrameTooBig) {
+			// Nothing was written; the conn is intact and the request is
+			// simply too large.
+			c.pool.put(pc, false)
+			return 0, nil, false, werr
+		}
+		c.pool.put(pc, true)
+		return 0, nil, true, c.transportErr(ctx, werr)
+	}
+	mt, resp, rerr := pc.wc.ReadMsg()
+	stopWatch()
+	if rerr != nil {
+		c.pool.put(pc, true)
+		return 0, nil, true, c.transportErr(ctx, rerr)
+	}
+	// The watcher may have poked the deadline right as the response
+	// landed; put re-probes idle conns before reuse, so a poisoned
+	// deadline costs a reconnect, never a wrong result.
+	c.pool.put(pc, false)
+	return mt, resp, true, nil
+}
+
+// transportErr wraps a mid-request failure, preferring the context's
+// error when the request was cancelled or timed out by the caller.
+func (c *Client) transportErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("client: request aborted: %w", cerr)
+	}
+	// The only deadline ever set on the socket is the context's, so an
+	// I/O timeout IS the caller's deadline — the socket timer can just
+	// fire a tick before ctx.Done() is observable.
+	if _, ok := ctx.Deadline(); ok && isTimeout(err) {
+		return fmt.Errorf("client: request aborted: %w", context.DeadlineExceeded)
+	}
+	return fmt.Errorf("%w: %v", ErrDisconnected, err)
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt,
+// or returns early with the context's error.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opts.RetryBaseDelay << uint(attempt)
+	if d <= 0 || d > c.opts.RetryMaxDelay {
+		d = c.opts.RetryMaxDelay
+	}
+	// Full jitter in [d/2, d): concurrent clients desynchronize instead of
+	// retrying in lockstep against a struggling server.
+	c.jmu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.jmu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 func expectOK(mt wire.MsgType, _ []byte, err error) error {
@@ -105,7 +413,12 @@ func expectOK(mt wire.MsgType, _ []byte, err error) error {
 
 // ListTables returns the server's table names.
 func (c *Client) ListTables() ([]string, error) {
-	mt, resp, err := c.roundTrip(wire.MsgListTables, nil)
+	return c.ListTablesCtx(background())
+}
+
+// ListTablesCtx is ListTables with a caller deadline.
+func (c *Client) ListTablesCtx(ctx context.Context) ([]string, error) {
+	mt, resp, err := c.do(ctx, wire.MsgListTables, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +432,19 @@ func (c *Client) ListTables() ([]string, error) {
 	return m.Names, nil
 }
 
+// ServerStats fetches the server's connection-level counters: active
+// conns, in-flight requests, shed requests, drain time.
+func (c *Client) ServerStats(ctx context.Context) (*wire.ServerStatsResult, error) {
+	mt, resp, err := c.do(ctx, wire.MsgServerStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgServerStatsResult {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeServerStatsResult(resp)
+}
+
 // CreateTable creates a table with the given schema and TTL (microseconds;
 // 0 = never expire).
 func (c *Client) CreateTable(name string, sc *schema.Schema, ttl int64) error {
@@ -127,13 +453,13 @@ func (c *Client) CreateTable(name string, sc *schema.Schema, ttl int64) error {
 	if err != nil {
 		return err
 	}
-	return expectOK(c.roundTrip(wire.MsgCreateTable, payload))
+	return expectOK(c.do(background(), wire.MsgCreateTable, payload))
 }
 
 // DropTable removes a table and its data.
 func (c *Client) DropTable(name string) error {
 	m := &wire.TableName{Name: name}
-	return expectOK(c.roundTrip(wire.MsgDropTable, m.Encode()))
+	return expectOK(c.do(background(), wire.MsgDropTable, m.Encode()))
 }
 
 // Table is a handle on one remote table, carrying its cached schema.
@@ -159,13 +485,16 @@ func (c *Client) OpenTable(name string) (*Table, error) {
 	if err := t.RefreshSchema(); err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	c.tables = append(c.tables, t)
+	c.mu.Unlock()
 	return t, nil
 }
 
 // RefreshSchema re-fetches the schema, e.g. after a stale-schema error.
 func (t *Table) RefreshSchema() error {
 	m := &wire.TableName{Name: t.name}
-	mt, resp, err := t.c.roundTrip(wire.MsgGetSchema, m.Encode())
+	mt, resp, err := t.c.do(background(), wire.MsgGetSchema, m.Encode())
 	if err != nil {
 		return err
 	}
@@ -200,6 +529,13 @@ func (t *Table) TTL() int64 {
 	return t.ttl
 }
 
+// Buffered returns how many insert rows are batched but not yet sent.
+func (t *Table) Buffered() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.batch)
+}
+
 // Insert buffers rows, flushing automatically at BatchSize (the adaptor
 // "takes clients' inserts and transmits them to the LittleTable server in
 // batches", §3.1). Call Flush to force the tail out.
@@ -214,8 +550,14 @@ func (t *Table) Insert(rows ...schema.Row) error {
 	return nil
 }
 
-// Flush sends any buffered rows.
-func (t *Table) Flush() error {
+// Flush sends any buffered rows. On failure it returns an *UnsentError
+// carrying the unacknowledged row count; the rows leave the buffer either
+// way (§4.1: the application re-reads and re-inserts — a blind client-side
+// replay could duplicate rows the server did apply).
+func (t *Table) Flush() error { return t.FlushCtx(background()) }
+
+// FlushCtx is Flush with a caller deadline.
+func (t *Table) FlushCtx(ctx context.Context) error {
 	t.mu.Lock()
 	if len(t.batch) == 0 {
 		t.mu.Unlock()
@@ -227,17 +569,25 @@ func (t *Table) Flush() error {
 	serverTs := t.ServerTimestamps
 	t.mu.Unlock()
 	m := wire.NewInsert(t.name, sc, serverTs, rows)
-	return expectOK(t.c.roundTrip(wire.MsgInsert, m.Encode()))
+	if err := expectOK(t.c.do(ctx, wire.MsgInsert, m.Encode())); err != nil {
+		return &UnsentError{Rows: len(rows), Err: err}
+	}
+	return nil
 }
 
 // InsertNow sends rows immediately, bypassing the batch buffer.
 func (t *Table) InsertNow(rows []schema.Row) error {
+	return t.InsertNowCtx(background(), rows)
+}
+
+// InsertNowCtx is InsertNow with a caller deadline.
+func (t *Table) InsertNowCtx(ctx context.Context, rows []schema.Row) error {
 	t.mu.Lock()
 	sc := t.sc
 	serverTs := t.ServerTimestamps
 	t.mu.Unlock()
 	m := wire.NewInsert(t.name, sc, serverTs, rows)
-	return expectOK(t.c.roundTrip(wire.MsgInsert, m.Encode()))
+	return expectOK(t.c.do(ctx, wire.MsgInsert, m.Encode()))
 }
 
 // Query mirrors core.Query on the client side.
@@ -259,6 +609,7 @@ func NewQuery() Query {
 // (§3.5).
 type Rows struct {
 	t      *Table
+	ctx    context.Context
 	q      Query
 	buf    []schema.Row
 	i      int
@@ -272,8 +623,12 @@ type Rows struct {
 
 // Query starts a streaming query.
 func (t *Table) Query(q Query) *Rows {
-	r := &Rows{t: t, q: q, sc: t.Schema(), more: true}
-	return r
+	return t.QueryCtx(background(), q)
+}
+
+// QueryCtx starts a streaming query whose page fetches run under ctx.
+func (t *Table) QueryCtx(ctx context.Context, q Query) *Rows {
+	return &Rows{t: t, ctx: ctx, q: q, sc: t.Schema(), more: true}
 }
 
 // Next advances to the next result row.
@@ -325,7 +680,7 @@ func (r *Rows) fetch() error {
 		}
 		wq.Limit = uint32(remaining)
 	}
-	mt, resp, err := r.t.c.roundTrip(wire.MsgQuery, wq.Encode())
+	mt, resp, err := r.t.c.do(r.ctx, wire.MsgQuery, wq.Encode())
 	if err != nil {
 		return err
 	}
@@ -381,8 +736,13 @@ func (r *Rows) All() ([]schema.Row, error) {
 
 // LatestRow fetches the most recent row whose key starts with prefix.
 func (t *Table) LatestRow(prefix []ltval.Value) (schema.Row, bool, error) {
+	return t.LatestRowCtx(background(), prefix)
+}
+
+// LatestRowCtx is LatestRow with a caller deadline.
+func (t *Table) LatestRowCtx(ctx context.Context, prefix []ltval.Value) (schema.Row, bool, error) {
 	m := &wire.LatestRow{Table: t.name, Prefix: prefix}
-	mt, resp, err := t.c.roundTrip(wire.MsgLatestRow, m.Encode())
+	mt, resp, err := t.c.do(ctx, wire.MsgLatestRow, m.Encode())
 	if err != nil {
 		return nil, false, err
 	}
@@ -411,7 +771,7 @@ func (t *Table) DeleteRange(q Query) (int64, error) {
 		MinTs:    q.MinTs,
 		MaxTs:    q.MaxTs,
 	}
-	mt, resp, err := t.c.roundTrip(wire.MsgDelete, m.Encode())
+	mt, resp, err := t.c.do(background(), wire.MsgDelete, m.Encode())
 	if err != nil {
 		return 0, err
 	}
@@ -428,7 +788,7 @@ func (t *Table) DeleteRange(q Query) (int64, error) {
 // AlterTTL changes the table's TTL.
 func (t *Table) AlterTTL(ttl int64) error {
 	m := &wire.AlterTTL{Table: t.name, TTL: ttl}
-	if err := expectOK(t.c.roundTrip(wire.MsgAlterTTL, m.Encode())); err != nil {
+	if err := expectOK(t.c.do(background(), wire.MsgAlterTTL, m.Encode())); err != nil {
 		return err
 	}
 	t.mu.Lock()
@@ -440,7 +800,7 @@ func (t *Table) AlterTTL(ttl int64) error {
 // AddColumn appends a column and refreshes the cached schema.
 func (t *Table) AddColumn(name string, typ ltval.Type, def ltval.Value) error {
 	m := &wire.AddColumn{Table: t.name, Name: name, Type: typ, Default: def}
-	if err := expectOK(t.c.roundTrip(wire.MsgAddColumn, m.Encode())); err != nil {
+	if err := expectOK(t.c.do(background(), wire.MsgAddColumn, m.Encode())); err != nil {
 		return err
 	}
 	return t.RefreshSchema()
@@ -449,7 +809,7 @@ func (t *Table) AddColumn(name string, typ ltval.Type, def ltval.Value) error {
 // WidenColumn widens an int32 column and refreshes the cached schema.
 func (t *Table) WidenColumn(name string) error {
 	m := &wire.WidenColumn{Table: t.name, Name: name}
-	if err := expectOK(t.c.roundTrip(wire.MsgWidenColumn, m.Encode())); err != nil {
+	if err := expectOK(t.c.do(background(), wire.MsgWidenColumn, m.Encode())); err != nil {
 		return err
 	}
 	return t.RefreshSchema()
@@ -460,13 +820,13 @@ func (t *Table) WidenColumn(name string) error {
 // are durable.
 func (t *Table) FlushTable() error {
 	m := &wire.TableName{Name: t.name}
-	return expectOK(t.c.roundTrip(wire.MsgFlushTable, m.Encode()))
+	return expectOK(t.c.do(background(), wire.MsgFlushTable, m.Encode()))
 }
 
 // Stats fetches the table's server-side counters.
 func (t *Table) Stats() (*wire.StatsResult, error) {
 	m := &wire.TableName{Name: t.name}
-	mt, resp, err := t.c.roundTrip(wire.MsgStats, m.Encode())
+	mt, resp, err := t.c.do(background(), wire.MsgStats, m.Encode())
 	if err != nil {
 		return nil, err
 	}

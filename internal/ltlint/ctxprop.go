@@ -4,17 +4,19 @@ import (
 	"go/ast"
 )
 
-// CtxProp enforces the cancellation chain built in PR 2: a server query's
-// QueryCtx threads core→tablet→vfs so an abandoned query stops consuming
-// disk. A context.Background()/TODO() inside internal/core or
-// internal/tablet severs that chain — block loads and prefetch pipelines
-// spawned under it outlive the caller. The only sanctioned use is the
-// public context-free API shim (Table.Query wrapping QueryCtx), which
-// carries an //ltlint:ignore with that justification.
+// CtxProp enforces the cancellation chain built in PR 2 and extended to
+// the wire layer in PR 6: a query's context threads
+// client→server→core→tablet→vfs so an abandoned request stops consuming
+// sockets and disk. A context.Background()/TODO() inside the checked
+// packages severs that chain — reads, block loads, and prefetch pipelines
+// spawned under it outlive the caller. The only sanctioned uses are the
+// designated roots: the public context-free API shims and the server's
+// BaseContext fallback, each carrying an //ltlint:ignore with its
+// justification.
 var CtxProp = &Analyzer{
 	Name: "ctxprop",
-	Doc: "context.Background()/TODO() inside internal/core or internal/tablet " +
-		"severs the core→tablet→vfs cancellation chain; thread the caller's QueryCtx",
+	Doc: "context.Background()/TODO() inside internal/{core,tablet,client,server} " +
+		"severs the client→server→core→tablet→vfs cancellation chain; thread the caller's context",
 	Run: runCtxProp,
 }
 
@@ -23,6 +25,8 @@ func runCtxProp(p *Pass) error {
 	checked := map[string]bool{
 		mod + "/internal/core":   true,
 		mod + "/internal/tablet": true,
+		mod + "/internal/client": true,
+		mod + "/internal/server": true,
 	}
 	for _, pkg := range p.Prog.Pkgs {
 		if !checked[pkg.PkgPath] {
@@ -43,8 +47,8 @@ func runCtxProp(p *Pass) error {
 					return true
 				}
 				if sel == "Background" || sel == "TODO" {
-					p.Reportf(call.Pos(), "context.%s() severs the core→tablet→vfs cancellation "+
-						"chain; thread the caller's QueryCtx instead", sel)
+					p.Reportf(call.Pos(), "context.%s() severs the client→server→core→tablet→vfs "+
+						"cancellation chain; thread the caller's context instead", sel)
 				}
 				return true
 			})

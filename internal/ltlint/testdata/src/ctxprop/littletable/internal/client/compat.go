@@ -1,0 +1,27 @@
+// Package client joined the checked set in PR 6: the pool threads request
+// deadlines down to socket deadlines, so a stray root context here makes a
+// request uncancellable.
+package client
+
+import "context"
+
+func roundTrip(ctx context.Context) error { return nil }
+
+// stray shows the violation: minting a root mid-request discards the
+// caller's deadline before it reaches the socket.
+func stray() error {
+	return roundTrip(context.TODO()) // want `context\.TODO\(\) severs the client→server→core→tablet→vfs cancellation chain`
+}
+
+// background is the sanctioned compat-shim root, minted in exactly one
+// annotated place.
+func background() context.Context {
+	//ltlint:ignore ctxprop compat shims with no caller context start here
+	return context.Background()
+}
+
+// Compat is the context-free public method shape: it starts from the one
+// sanctioned root instead of minting its own.
+func Compat() error {
+	return roundTrip(background())
+}

@@ -9,11 +9,11 @@ func run(ctx context.Context, q query) error { return nil }
 // detached shows the violation: a fresh root context severs the caller's
 // cancellation chain.
 func detached(q query) error {
-	return run(context.Background(), q) // want `context\.Background\(\) severs the core→tablet→vfs cancellation chain`
+	return run(context.Background(), q) // want `context\.Background\(\) severs the client→server→core→tablet→vfs cancellation chain`
 }
 
 func parked(q query) error {
-	return run(context.TODO(), q) // want `context\.TODO\(\) severs the core→tablet→vfs cancellation chain`
+	return run(context.TODO(), q) // want `context\.TODO\(\) severs the client→server→core→tablet→vfs cancellation chain`
 }
 
 // Query is the public context-free entry point — the one sanctioned

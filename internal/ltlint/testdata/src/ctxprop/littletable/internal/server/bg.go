@@ -1,7 +1,18 @@
-// Package server sits outside the checked core/tablet query path: it is
-// where root contexts are legitimately minted.
+// Package server joined the checked set in PR 6: handler-side roots are
+// just as capable of severing the chain as core-side ones.
 package server
 
 import "context"
 
-func Root() context.Context { return context.Background() }
+// Root shows the violation: a handler minting its own root detaches every
+// query spawned under it from the connection's lifetime.
+func Root() context.Context {
+	return context.Background() // want `context\.Background\(\) severs the client→server→core→tablet→vfs cancellation chain`
+}
+
+// BaseRoot is the one sanctioned server root: the BaseContext fallback for
+// embedders that don't supply one, cancelled on Close/Shutdown.
+func BaseRoot() context.Context {
+	//ltlint:ignore ctxprop the server root: embedders without a BaseContext get a root cancelled on Close/Shutdown
+	return context.Background()
+}

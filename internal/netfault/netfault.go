@@ -1,0 +1,338 @@
+// Package netfault is a fault-injecting TCP proxy, the network-path
+// counterpart of internal/vfs.FaultFS: the PR 1 crash harness proves the
+// storage layer against power cuts at every barrier, and this package
+// proves the wire layer against the partial failures a fleet of
+// long-lived client connections actually sees (§3.1, §4.1) — added
+// latency, dropped and reset connections, truncated writes, and byte
+// corruption on lossy links.
+//
+// A Proxy listens on loopback and forwards byte streams to a target
+// address. Every forwarded chunk consults a seeded PRNG against the
+// configured fault rates, so a failing chaos run is replayable from its
+// seed, and every fault decision is appended to a human-readable script
+// (mirroring the crash harness's LTCRASH_ARTIFACT fault-script dump).
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the per-chunk fault probabilities and the injected-latency
+// ceiling. All rates are in [0, 1] and independent; the zero value is a
+// transparent proxy.
+type Config struct {
+	// Seed drives every fault decision; runs with the same seed and the
+	// same traffic shape explore the same fault schedule.
+	Seed int64
+	// DropRate is the probability a chunk is discarded and the connection
+	// closed cleanly (FIN) — the far end sees an EOF mid-stream.
+	DropRate float64
+	// ResetRate is the probability the connection is torn down with an
+	// RST (SO_LINGER 0), the way a crashed peer or a middlebox kills it.
+	ResetRate float64
+	// PartialRate is the probability a chunk is truncated partway through
+	// and the connection then closed — a write that "succeeded" on the
+	// sender but only partly arrived.
+	PartialRate float64
+	// CorruptRate is the probability one byte of a chunk is flipped in
+	// transit. The wire protocol has no frame checksums (TCP's own are
+	// assumed); corruption must surface as a decode error or a dropped
+	// connection, never a panic.
+	CorruptRate float64
+	// LatencyMax, when positive, delays each chunk by a uniform duration
+	// in [0, LatencyMax).
+	LatencyMax time.Duration
+}
+
+// Stats count the faults a Proxy has injected.
+type Stats struct {
+	ConnsOpened   atomic.Int64
+	ConnsDropped  atomic.Int64 // clean mid-stream closes
+	ConnsReset    atomic.Int64 // RST teardowns
+	PartialWrites atomic.Int64 // truncated chunks
+	BytesCorrupt  atomic.Int64 // flipped bytes
+	ChunksDelayed atomic.Int64 // chunks that paid injected latency
+}
+
+// Proxy forwards TCP streams to a target, injecting faults per Config.
+type Proxy struct {
+	cfg   Config
+	lis   net.Listener
+	stats Stats
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	target  string
+	conns   map[net.Conn]struct{}
+	script  []string
+	blocked bool // DropAll: refuse new conns, like a black-holed address
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		lis:    lis,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		target: target,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; clients dial this instead of
+// the real server.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Stats exposes the fault counters.
+func (p *Proxy) Stats() *Stats { return &p.stats }
+
+// SetTarget redirects new connections, e.g. after a server restart on a
+// new port. Existing connections keep their original target.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.logf("target -> %s", addr)
+	p.mu.Unlock()
+}
+
+// DropAll toggles black-hole mode: while set, new connections are
+// accepted and immediately closed and existing ones are cut, so clients
+// exercise their dial-retry and backoff paths.
+func (p *Proxy) DropAll(on bool) {
+	p.mu.Lock()
+	p.blocked = on
+	p.logf("dropall=%v", on)
+	p.mu.Unlock()
+	if on {
+		p.CutAll()
+	}
+}
+
+// CutAll hard-closes every live proxied connection — a momentary network
+// partition or a middlebox flushing its flow table.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.logf("cutall (%d conns)", len(p.conns))
+	p.mu.Unlock()
+}
+
+// Script returns the recorded fault decisions in order, for the chaos
+// harness's on-failure artifact.
+func (p *Proxy) Script() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Join(p.script, "\n")
+}
+
+// Close stops accepting and severs every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.lis.Close()
+	p.wg.Wait()
+	return err
+}
+
+// logf appends to the fault script; callers hold p.mu.
+func (p *Proxy) logf(format string, args ...interface{}) {
+	p.script = append(p.script, fmt.Sprintf(format, args...))
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if p.blocked {
+			p.logf("refuse conn (dropall)")
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		target := p.target
+		p.mu.Unlock()
+		p.stats.ConnsOpened.Add(1)
+		p.wg.Add(1)
+		go p.proxyConn(conn, target)
+	}
+}
+
+// proxyConn forwards both directions until one side dies or a fault kills
+// the pair.
+func (p *Proxy) proxyConn(client net.Conn, target string) {
+	defer p.wg.Done()
+	upstream, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		p.mu.Lock()
+		p.logf("upstream dial %s failed: %v", target, err)
+		p.mu.Unlock()
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		upstream.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
+	p.mu.Unlock()
+
+	var once sync.Once
+	closeBoth := func(reset bool) {
+		once.Do(func() {
+			if reset {
+				setLinger0(client)
+				setLinger0(upstream)
+			}
+			client.Close()
+			upstream.Close()
+			p.mu.Lock()
+			delete(p.conns, client)
+			delete(p.conns, upstream)
+			p.mu.Unlock()
+		})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump("c->s", client, upstream, closeBoth) }()
+	go func() { defer wg.Done(); p.pump("s->c", upstream, client, closeBoth) }()
+	wg.Wait()
+	closeBoth(false)
+}
+
+func setLinger0(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+}
+
+// pump copies src→dst chunk by chunk, rolling the fault dice before each
+// forward.
+func (p *Proxy) pump(dir string, src, dst net.Conn, closeBoth func(reset bool)) {
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			switch f := p.roll(dir, n); f.kind {
+			case faultNone:
+			case faultDelay:
+				p.stats.ChunksDelayed.Add(1)
+				time.Sleep(f.delay)
+			case faultDrop:
+				p.stats.ConnsDropped.Add(1)
+				closeBoth(false)
+				return
+			case faultReset:
+				p.stats.ConnsReset.Add(1)
+				closeBoth(true)
+				return
+			case faultPartial:
+				p.stats.PartialWrites.Add(1)
+				if f.cut > 0 {
+					dst.Write(chunk[:f.cut])
+				}
+				closeBoth(false)
+				return
+			case faultCorrupt:
+				p.stats.BytesCorrupt.Add(1)
+				chunk[f.cut] ^= f.mask
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				closeBoth(false)
+				return
+			}
+		}
+		if err != nil {
+			// EOF or a closed socket: propagate the close to the peer.
+			closeBoth(false)
+			return
+		}
+	}
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultDelay
+	faultDrop
+	faultReset
+	faultPartial
+	faultCorrupt
+)
+
+type fault struct {
+	kind  faultKind
+	delay time.Duration
+	cut   int  // partial: bytes forwarded; corrupt: byte index
+	mask  byte // corrupt: bit flip
+}
+
+// roll decides the fate of one n-byte chunk. Decisions share one seeded
+// PRNG under the proxy mutex so a run's fault schedule depends only on
+// the seed and the order chunks arrive.
+func (p *Proxy) roll(dir string, n int) fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.rng
+	switch {
+	case p.cfg.DropRate > 0 && r.Float64() < p.cfg.DropRate:
+		p.logf("%s: drop conn (chunk %dB)", dir, n)
+		return fault{kind: faultDrop}
+	case p.cfg.ResetRate > 0 && r.Float64() < p.cfg.ResetRate:
+		p.logf("%s: reset conn (chunk %dB)", dir, n)
+		return fault{kind: faultReset}
+	case p.cfg.PartialRate > 0 && r.Float64() < p.cfg.PartialRate:
+		cut := r.Intn(n)
+		p.logf("%s: partial write %d/%dB then close", dir, cut, n)
+		return fault{kind: faultPartial, cut: cut}
+	case p.cfg.CorruptRate > 0 && r.Float64() < p.cfg.CorruptRate:
+		idx := r.Intn(n)
+		mask := byte(1 << r.Intn(8))
+		p.logf("%s: corrupt byte %d/%d mask %#x", dir, idx, n, mask)
+		return fault{kind: faultCorrupt, cut: idx, mask: mask}
+	case p.cfg.LatencyMax > 0:
+		d := time.Duration(r.Int63n(int64(p.cfg.LatencyMax)))
+		return fault{kind: faultDelay, delay: d}
+	}
+	return fault{kind: faultNone}
+}

@@ -1,0 +1,222 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				close(done)
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return lis.Addr().String(), func() { lis.Close(); <-done }
+}
+
+func TestTransparentWhenNoFaults(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if n := p.Stats().ConnsOpened.Load(); n != 1 {
+		t.Errorf("ConnsOpened = %d", n)
+	}
+}
+
+func TestDropRateKillsConnections(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 7, DropRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("doomed"))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("expected the dropped connection to error")
+	}
+	if p.Stats().ConnsDropped.Load() == 0 {
+		t.Error("drop not counted")
+	}
+	if !strings.Contains(p.Script(), "drop conn") {
+		t.Errorf("fault script missing drop entry:\n%s", p.Script())
+	}
+}
+
+func TestCorruptionFlipsBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 3, CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("aaaaaaaaaaaaaaaa")
+	conn.Write(msg)
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption is applied per chunk in each direction; at rate 1 the
+	// round trip flips at least one byte.
+	if bytes.Equal(got, msg) {
+		t.Fatal("corruption rate 1 left the payload intact")
+	}
+	if p.Stats().BytesCorrupt.Load() == 0 {
+		t.Error("corruption not counted")
+	}
+}
+
+func TestDropAllBlackholes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	p.DropAll(true)
+	// The existing connection is cut...
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("existing conn survived DropAll")
+	}
+	// ...and new ones are refused at the application layer (accepted then
+	// immediately closed).
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, rerr := c2.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("new conn usable under DropAll")
+		}
+		c2.Close()
+	}
+	p.DropAll(false)
+	// Service resumes.
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	c3.Write([]byte("x"))
+	c3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c3, make([]byte, 1)); err != nil {
+		t.Fatalf("proxy did not recover from DropAll: %v", err)
+	}
+}
+
+func TestSetTargetRedirects(t *testing.T) {
+	addr1, stop1 := echoServer(t)
+	defer stop1()
+	p, err := New(addr1, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Second backend answers with a distinguishable transform? An echo is
+	// an echo — instead just verify a conn still works after retarget.
+	addr2, stop2 := echoServer(t)
+	defer stop2()
+	p.SetTarget(addr2)
+	stop1() // old backend gone; new conns must hit addr2
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("y"))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatalf("retargeted conn failed: %v", err)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	// Two proxies with the same seed and the same single-stream traffic
+	// make the same fault decisions.
+	run := func() string {
+		addr, stop := echoServer(t)
+		defer stop()
+		p, err := New(addr, Config{Seed: 42, DropRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 10; i++ {
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				continue
+			}
+			conn.Write([]byte("chunk"))
+			conn.SetReadDeadline(time.Now().Add(time.Second))
+			io.ReadFull(conn, make([]byte, 5))
+			conn.Close()
+		}
+		return p.Script()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("seeded schedules diverged:\n--A--\n%s\n--B--\n%s", a, b)
+	}
+}

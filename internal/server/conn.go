@@ -48,8 +48,9 @@ func isTimeout(err error) bool {
 
 // handleConn serves one client session: a loop of request/response pairs.
 // The client keeps the connection persistent to detect server crashes
-// (§3.1).
-func (s *Server) handleConn(conn net.Conn) {
+// (§3.1). The connState's busy flag brackets each request so Shutdown can
+// wait for in-flight responses without pinning idle connections.
+func (s *Server) handleConn(conn net.Conn, st *connState) {
 	defer conn.Close()
 	wc := wire.NewConn(&timeoutConn{
 		Conn:         conn,
@@ -73,7 +74,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		if err := s.dispatch(wc, mt, payload); err != nil {
+		st.busy.Store(true)
+		err = s.serveRequest(wc, mt, payload)
+		st.busy.Store(false)
+		if err != nil {
 			// Transport errors end the session; request errors were already
 			// reported to the client inline.
 			if isTimeout(err) {
@@ -84,7 +88,28 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		if s.draining.Load() {
+			// The response above completed; end the session so Shutdown
+			// converges. The client's pool sees a clean close between
+			// requests, never a truncated response.
+			return
+		}
 	}
+}
+
+// serveRequest applies the admission gate, then dispatches. Beyond
+// MaxInFlight the request is refused with a wire-level Overloaded reply —
+// distinct from MsgError because it promises the request was NOT
+// processed, making a backoff-and-retry safe even for inserts.
+func (s *Server) serveRequest(wc *wire.Conn, mt wire.MsgType, payload []byte) error {
+	n := s.stats.RequestsInFlight.Add(1)
+	defer s.stats.RequestsInFlight.Add(-1)
+	if max := s.opts.MaxInFlight; max > 0 && n > int64(max) {
+		s.stats.RequestsShed.Add(1)
+		m := &wire.ErrorMsg{Message: "server: overloaded, request shed; back off and retry"}
+		return wc.WriteMsg(wire.MsgOverloaded, m.Encode())
+	}
+	return s.dispatch(wc, mt, payload)
 }
 
 func (s *Server) sendErr(wc *wire.Conn, err error) error {
@@ -304,6 +329,10 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())
+
+	case wire.MsgServerStats:
+		resp := s.serverStatsResult()
+		return wc.WriteMsg(wire.MsgServerStatsResult, resp.Encode())
 
 	default:
 		return s.sendErr(wc, fmt.Errorf("server: unknown message type %d", mt))

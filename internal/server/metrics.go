@@ -125,19 +125,41 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	}
 
 	// Server-level connection counters (no table label).
+	s.mu.Lock()
+	connsActive := int64(len(s.conns))
+	s.mu.Unlock()
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
 	serverMetrics := []struct {
-		name, help string
-		value      int64
+		name, help, typ string
+		value           int64
 	}{
 		{"littletable_conns_dropped_deadline_total",
-			"Connections dropped on read/write deadline expiry",
+			"Connections dropped on read/write deadline expiry", "counter",
 			s.stats.ConnsDroppedDeadline.Load()},
 		{"littletable_conns_dropped_oversize_total",
-			"Connections dropped for oversized request frames",
+			"Connections dropped for oversized request frames", "counter",
 			s.stats.ConnsDroppedOversize.Load()},
+		{"littletable_requests_shed_total",
+			"Requests refused Overloaded at the max-in-flight admission gate", "counter",
+			s.stats.RequestsShed.Load()},
+		{"littletable_drain_ns_total",
+			"Nanoseconds spent draining in-flight requests during Shutdown", "counter",
+			s.stats.DrainNs.Load()},
+		{"littletable_requests_in_flight",
+			"Requests past the admission gate right now", "gauge",
+			s.stats.RequestsInFlight.Load()},
+		{"littletable_conns_active",
+			"Open client connections", "gauge",
+			connsActive},
+		{"littletable_draining",
+			"1 while the server is draining for graceful shutdown", "gauge",
+			draining},
 	}
 	for _, m := range serverMetrics {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
 }
 

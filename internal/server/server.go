@@ -21,6 +21,7 @@ import (
 	"littletable/internal/core"
 	"littletable/internal/schema"
 	"littletable/internal/vfs"
+	"littletable/internal/wire"
 )
 
 // Options configure a Server.
@@ -53,6 +54,19 @@ type Options struct {
 	// memory against oversized or malicious messages. 0 means wire.MaxFrame.
 	MaxRequestBytes int
 
+	// MaxInFlight caps concurrently executing requests across all
+	// connections. Beyond the cap the server sheds load: the request is
+	// refused with a wire-level Overloaded reply (NOT processed), so
+	// clients back off and retry instead of timing out blind. 0 disables
+	// the gate.
+	MaxInFlight int
+
+	// BaseContext, when set, parents every query context; cancelling it
+	// stops in-flight block loads and prefetch pipelines. The daemon wires
+	// its signal context here so a dying process reclaims readers promptly.
+	// Nil means a server-owned root cancelled on Close/Shutdown.
+	BaseContext context.Context
+
 	// Logf sinks server logs; default log.Printf.
 	Logf func(format string, args ...interface{})
 }
@@ -65,6 +79,15 @@ type ServerStats struct {
 	// ConnsDroppedOversize counts connections closed for sending a frame
 	// larger than MaxRequestBytes.
 	ConnsDroppedOversize atomic.Int64
+	// RequestsShed counts requests refused with Overloaded at the
+	// MaxInFlight admission gate, without being processed.
+	RequestsShed atomic.Int64
+	// RequestsInFlight is a gauge of requests past the admission gate
+	// right now.
+	RequestsInFlight atomic.Int64
+	// DrainNs accumulates nanoseconds spent draining in-flight requests
+	// during graceful Shutdown.
+	DrainNs atomic.Int64
 }
 
 var tableNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]{0,127}$`)
@@ -83,11 +106,16 @@ type Server struct {
 
 	mu     sync.Mutex
 	tables map[string]*core.Table
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
 	closed bool
+
+	// draining is set by Shutdown: stop accepting, let in-flight
+	// requests finish, refuse new work.
+	draining atomic.Bool
 
 	lis     net.Listener
 	stop    chan struct{}
+	drained chan struct{} // closed when the Drain loop finishes
 	wg      sync.WaitGroup
 	maintWG sync.WaitGroup
 
@@ -116,12 +144,18 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:   opts,
-		tables: make(map[string]*core.Table),
-		conns:  make(map[net.Conn]struct{}),
-		stop:   make(chan struct{}),
+		opts:    opts,
+		tables:  make(map[string]*core.Table),
+		conns:   make(map[net.Conn]*connState),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
 	}
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	base := opts.BaseContext
+	if base == nil {
+		//ltlint:ignore ctxprop the server root: embedders without a BaseContext get a root cancelled on Close/Shutdown
+		base = context.Background()
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(base)
 	ents, err := rootFS(opts).ReadDir(opts.Root)
 	if err != nil {
 		return nil, err
@@ -262,6 +296,9 @@ func (s *Server) Serve(lis net.Listener) error {
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
 			select {
 			case <-s.stop:
 				return nil
@@ -270,12 +307,13 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining.Load() {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		st := &connState{}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -285,7 +323,7 @@ func (s *Server) Serve(lis net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			s.handleConn(conn)
+			s.handleConn(conn, st)
 		}()
 	}
 }
@@ -299,6 +337,87 @@ func (s *Server) ListenAndServe(addr string) error {
 		return err
 	}
 	return s.Serve(lis)
+}
+
+// Shutdown drains the server gracefully: stop accepting connections, let
+// requests already past the admission gate finish and their responses
+// reach the wire, then close everything Close closes. Idle connections
+// (blocked waiting for their next request) are closed immediately —
+// their clients see a clean EOF between requests, never a truncated
+// response. If ctx expires first, remaining connections are hard-closed
+// and ctx's error is returned. The §3.1 deployment leans on this: a
+// shard being recycled must not turn acknowledged work into lies.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Drain is Shutdown without the final Close: it stops accepting and waits
+// for in-flight requests, but leaves the tables open. It exists for
+// callers that must act between the last request and table close —
+// littletabled's -flush-on-exit flushes acked-but-unflushed rows there.
+// Most callers want Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining.Swap(true)
+	lis := s.lis
+	s.mu.Unlock()
+	if alreadyDraining {
+		// A concurrent Drain owns the loop; just wait for it.
+		select {
+		case <-s.drained:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if lis != nil {
+		lis.Close()
+	}
+
+	var err error
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+drain:
+	for {
+		s.mu.Lock()
+		for conn, st := range s.conns {
+			if !st.busy.Load() {
+				// Idle between requests: close now. handleConn also exits
+				// on its own after finishing a request while draining.
+				conn.Close()
+			}
+		}
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break drain
+		case <-ticker.C:
+		}
+	}
+	s.stats.DrainNs.Add(time.Since(start).Nanoseconds())
+	close(s.drained)
+	return err
+}
+
+// connState tracks whether a connection is mid-request, so Shutdown can
+// distinguish in-flight work (wait for it) from idle connections (close
+// them).
+type connState struct {
+	busy atomic.Bool
 }
 
 // Close stops serving, stops maintenance, flushes nothing (the durability
@@ -337,6 +456,27 @@ func (s *Server) closeTablesLocked() {
 
 // Stats exposes the server's connection-level counters.
 func (s *Server) Stats() *ServerStats { return &s.stats }
+
+// serverStatsResult snapshots server-level counters for the wire. The
+// in-flight gauge includes the stats request itself, so it reads >= 1.
+func (s *Server) serverStatsResult() *wire.ServerStatsResult {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
+	return &wire.ServerStatsResult{
+		ConnsActive:          int64(conns),
+		RequestsInFlight:     s.stats.RequestsInFlight.Load(),
+		ConnsDroppedDeadline: s.stats.ConnsDroppedDeadline.Load(),
+		ConnsDroppedOversize: s.stats.ConnsDroppedOversize.Load(),
+		RequestsShed:         s.stats.RequestsShed.Load(),
+		Draining:             draining,
+		DrainNs:              s.stats.DrainNs.Load(),
+	}
+}
 
 // FlushAllTables flushes every table's memtables; used at orderly shutdown
 // when the operator wants zero loss despite the weak durability contract.

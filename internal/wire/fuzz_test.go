@@ -41,6 +41,7 @@ func FuzzDecoders(f *testing.F) {
 		DecodeTableList(payload)
 		DecodeSchemaResp(payload)
 		DecodeStatsResult(payload)
+		DecodeServerStatsResult(payload)
 		DecodeRows(payload, sc)
 		DecodeRowResult(payload, sc)
 		if m, d, err := DecodeInsertHeader(payload); err == nil {

@@ -555,3 +555,44 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 	}
 	return m, d.Done()
 }
+
+// ServerStatsResult carries server-level (not per-table) counters: the
+// connection hardening drops, the admission gate's shed count, and drain
+// progress. The shard router (ROADMAP item 2) reads these to judge shard
+// health.
+type ServerStatsResult struct {
+	ConnsActive          int64 // gauge: live client connections
+	RequestsInFlight     int64 // gauge: requests past the admission gate right now
+	ConnsDroppedDeadline int64
+	ConnsDroppedOversize int64
+	RequestsShed         int64 // requests refused with MsgOverloaded
+	Draining             int64 // gauge: 1 while a graceful Shutdown is in progress
+	DrainNs              int64 // total ns spent draining in Shutdown
+}
+
+// Encode serializes the message payload.
+func (m *ServerStatsResult) Encode() []byte {
+	var b Buf
+	for _, v := range []int64{
+		m.ConnsActive, m.RequestsInFlight,
+		m.ConnsDroppedDeadline, m.ConnsDroppedOversize,
+		m.RequestsShed, m.Draining, m.DrainNs,
+	} {
+		b.I64(v)
+	}
+	return b.B
+}
+
+// DecodeServerStatsResult parses a ServerStatsResult payload.
+func DecodeServerStatsResult(p []byte) (*ServerStatsResult, error) {
+	d := Dec{B: p}
+	m := &ServerStatsResult{}
+	for _, f := range []*int64{
+		&m.ConnsActive, &m.RequestsInFlight,
+		&m.ConnsDroppedDeadline, &m.ConnsDroppedOversize,
+		&m.RequestsShed, &m.Draining, &m.DrainNs,
+	} {
+		*f = d.I64()
+	}
+	return m, d.Done()
+}

@@ -40,7 +40,8 @@ const (
 	MsgWidenColumn
 	MsgFlushTable // the flush-to-timestamp command proposed in §4.1.2
 	MsgStats
-	MsgDelete // the bulk delete proposed in §7
+	MsgDelete      // the bulk delete proposed in §7
+	MsgServerStats // server-level (not per-table) counters: conns, shedding, drain
 )
 
 // Server→client message types.
@@ -53,6 +54,13 @@ const (
 	MsgRowResult
 	MsgStatsResult
 	MsgDeleteResult
+	MsgServerStatsResult
+	// MsgOverloaded is a distinct refusal, not a generic MsgError: the
+	// server's admission gate is full and the request was NOT processed.
+	// Clients may safely retry any request — including non-idempotent
+	// inserts — after backing off, which is exactly what a generic error
+	// cannot promise.
+	MsgOverloaded
 )
 
 // ProtocolVersion guards client/server compatibility in Hello.

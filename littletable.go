@@ -34,6 +34,8 @@
 package littletable
 
 import (
+	"context"
+
 	"littletable/internal/client"
 	"littletable/internal/clock"
 	"littletable/internal/core"
@@ -149,17 +151,48 @@ func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 
 // Client surface.
 type (
-	// Client is a connection to a LittleTable server.
+	// Client is a pool-aware connection to a LittleTable server: health-
+	// checked reconnects, bounded retries with jittered backoff, and
+	// per-request context deadlines threaded down to socket deadlines.
 	Client = client.Client
+	// ClientOptions tune the pool and retry policy; the zero value gives
+	// the defaults (pool of 4, 5 s dial timeout, 3 retries).
+	ClientOptions = client.Options
+	// ClientStats count the client's resilience events: dials, reconnects,
+	// retries, and Overloaded refusals.
+	ClientStats = client.Stats
 	// ClientTable is a remote table handle with insert batching and
 	// transparent query pagination.
 	ClientTable = client.Table
 	// ClientQuery mirrors Query for the wire client.
 	ClientQuery = client.Query
+	// RemoteError is a server-reported request failure.
+	RemoteError = client.RemoteError
+	// UnsentError reports buffered insert rows that were never delivered —
+	// the §4.1 contract: the application re-reads and re-inserts them.
+	UnsentError = client.UnsentError
 )
 
-// Dial connects to a LittleTable server.
+// Client failure modes, distinguishable with errors.Is.
+var (
+	// ErrClientDisconnected: the request failed at the transport and, if it
+	// was not safe to retry, may or may not have been applied.
+	ErrClientDisconnected = client.ErrDisconnected
+	// ErrClientOverloaded: the server shed the request without processing
+	// it; retrying (after backoff) is always safe.
+	ErrClientOverloaded = client.ErrOverloaded
+	// ErrClientClosed: the Client was closed.
+	ErrClientClosed = client.ErrClientClosed
+)
+
+// Dial connects to a LittleTable server with default ClientOptions.
 func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// DialClient connects to a LittleTable server with explicit pool and
+// retry options; ctx bounds the initial dial.
+func DialClient(ctx context.Context, addr string, opts ClientOptions) (*Client, error) {
+	return client.DialContext(ctx, addr, opts)
+}
 
 // NewClientQuery returns an unbounded client-side query.
 func NewClientQuery() ClientQuery { return client.NewQuery() }

@@ -3,8 +3,11 @@
 package littletable_test
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"littletable"
 )
@@ -132,5 +135,45 @@ func TestServerClientSQLRoundTrip(t *testing.T) {
 		if res.Rows[0][0].Int != 8 {
 			t.Fatalf("SQL count: %v", res.Rows)
 		}
+	}
+}
+
+// TestResilientClientSurface drives the PR 6 wire-resilience API through
+// the public facade: explicit pool options, graceful server drain, and
+// the typed disconnect the client reports afterwards.
+func TestResilientClientSurface(t *testing.T) {
+	srv, err := littletable.NewServer(littletable.ServerOptions{Root: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := littletable.DialClient(ctx, lis.Addr().String(), littletable.ClientOptions{
+		PoolSize:    2,
+		DialTimeout: 2 * time.Second,
+		MaxRetries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable("usage", apiSchema(t), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Dials.Load() == 0 {
+		t.Error("ClientStats recorded no dials")
+	}
+
+	// Graceful drain via the facade, then a typed failure from the client.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := c.ListTables(); !errors.Is(err, littletable.ErrClientDisconnected) {
+		t.Fatalf("after drain: %v, want ErrClientDisconnected", err)
 	}
 }
