@@ -371,3 +371,20 @@ func BenchmarkAblations(b *testing.B) {
 		b.ReportMetric(res.Series[0].Points[1].Y, "scan-ratio-baseline")
 	}
 }
+
+// BenchmarkBlockEncode runs the per-column encoding workload at a reduced
+// row count: the same datasets under the legacy and auto block layouts,
+// reporting the dense-numeric bytes/row for both so a codec-selection
+// regression (auto suddenly falling back to legacy) is visible in CI.
+func BenchmarkBlockEncode(b *testing.B) {
+	cfg := ltbench.EncodeConfig{Rows: 4000, Dir: b.TempDir()}
+	for i := 0; i < b.N; i++ {
+		res, err := ltbench.RunEncode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesPerRow := res.Series[0].Points
+		b.ReportMetric(bytesPerRow[0].Y, "dense-legacy-B/row")
+		b.ReportMetric(bytesPerRow[1].Y, "dense-auto-B/row")
+	}
+}

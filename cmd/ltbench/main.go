@@ -50,7 +50,7 @@ func main() {
 		names = []string{
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
-			"parallel", "writeload", "maintain", "netload",
+			"parallel", "writeload", "maintain", "netload", "encode",
 		}
 	}
 	for _, name := range names {
@@ -166,6 +166,12 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.Inserters = 8
 		}
 		return ltbench.RunNetload(cfg)
+	case "encode":
+		cfg := ltbench.EncodeConfig{}
+		if full {
+			cfg.Rows = 200000
+		}
+		return ltbench.RunEncode(cfg)
 	case "maintain":
 		cfg := ltbench.MaintainConfig{}
 		if full {
@@ -184,5 +190,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload encode all`)
 }

@@ -22,52 +22,115 @@ var ErrCorrupt = errors.New("block: corrupt block")
 // Layout: [row bytes...][u32 row offset ×N][u32 N], all little-endian.
 // Offsets are from the start of the block.
 
-// Writer accumulates rows into one uncompressed block image.
+// Writer accumulates rows into one uncompressed block image. In ModeAuto
+// it additionally accumulates per-column vectors and, at Finish, emits the
+// columnar image when trial encoding shows it is smaller than the legacy
+// row-major one.
 type Writer struct {
 	sc      *schema.Schema
+	mode    Mode
 	buf     []byte
 	offsets []uint32
+	cols    []colAcc // auto mode only
+	cbuf    []byte   // reusable columnar image buffer
+	stats   EncodeStats
 }
 
-// NewWriter returns a Writer for rows of schema sc.
-func NewWriter(sc *schema.Schema) *Writer {
-	return &Writer{sc: sc, buf: make([]byte, 0, TargetSize+1024)}
+// NewWriter returns a Writer for rows of schema sc, trial-encoding each
+// block (ModeAuto).
+func NewWriter(sc *schema.Schema) *Writer { return NewWriterMode(sc, ModeAuto) }
+
+// NewWriterMode returns a Writer with an explicit encoding mode. ModeLegacy
+// output is byte-identical to the pre-columnar format.
+func NewWriterMode(sc *schema.Schema, mode Mode) *Writer {
+	w := &Writer{sc: sc, mode: mode, buf: make([]byte, 0, TargetSize+1024)}
+	if mode == ModeAuto {
+		w.cols = make([]colAcc, len(sc.Columns))
+		for i := range w.cols {
+			w.cols[i].class = sc.ColumnClass(i)
+		}
+	}
+	return w
 }
 
 // Append adds row to the block. Rows must be appended in ascending primary
-// key order; the tablet writer guarantees this.
+// key order; the tablet writer guarantees this. Byte cells are copied into
+// the column accumulators, so the row may alias a reused buffer.
 func (w *Writer) Append(row schema.Row) {
 	w.offsets = append(w.offsets, uint32(len(w.buf)))
 	w.buf = w.sc.AppendRow(w.buf, row)
+	for i := range w.cols {
+		c := &w.cols[i]
+		switch c.class {
+		case schema.ClassInt:
+			c.ints = append(c.ints, row[i].Int)
+		case schema.ClassFloat:
+			c.floats = append(c.floats, row[i].Float)
+		default:
+			c.flat = append(c.flat, row[i].Bytes...)
+			c.ends = append(c.ends, len(c.flat))
+		}
+	}
 }
 
 // Count returns the number of rows appended so far.
 func (w *Writer) Count() int { return len(w.offsets) }
 
-// SizeBytes returns the current uncompressed size including the directory.
+// SizeBytes returns the current uncompressed legacy size including the
+// directory. Block-split decisions use this in both modes, so auto and
+// legacy tablets get identical block boundaries.
 func (w *Writer) SizeBytes() int { return len(w.buf) + 4*len(w.offsets) + 4 }
 
-// Finish serializes the block and resets the writer for reuse. The returned
-// slice is valid until the next Append.
-func (w *Writer) Finish() []byte {
+// Stats returns the encoder statistics accumulated across Finish calls.
+func (w *Writer) Stats() EncodeStats { return w.stats }
+
+// Finish serializes the block, reporting which encoding it chose, and
+// resets the writer for reuse. The returned slice is valid until the
+// writer's next Append or Finish.
+func (w *Writer) Finish() ([]byte, Encoding) {
+	n := len(w.offsets)
 	for _, off := range w.offsets {
 		w.buf = appendU32(w.buf, off)
 	}
-	w.buf = appendU32(w.buf, uint32(len(w.offsets)))
-	out := w.buf
+	w.buf = appendU32(w.buf, uint32(n))
+	legacy := w.buf
 	w.buf = w.buf[len(w.buf):]
 	if cap(w.buf) < TargetSize {
 		w.buf = make([]byte, 0, TargetSize+1024)
 	}
 	w.offsets = w.offsets[:0]
-	return out
+	w.stats.Blocks++
+	w.stats.BytesBefore += int64(len(legacy))
+	if w.mode == ModeLegacy {
+		w.stats.BytesAfter += int64(len(legacy))
+		return legacy, EncLegacy
+	}
+	var colStats EncodeStats
+	img := encodeColumnar(w.cbuf[:0], w.sc, w.cols, n, &colStats)
+	w.cbuf = img[:0]
+	for i := range w.cols {
+		w.cols[i].reset()
+	}
+	if len(img) < len(legacy) {
+		// Per-column codec counters only count blocks actually emitted
+		// columnar; a losing trial leaves no trace on disk.
+		w.stats.Add(colStats)
+		w.stats.ColumnarBlocks++
+		w.stats.BytesAfter += int64(len(img))
+		return img, EncColumnar
+	}
+	w.stats.BytesAfter += int64(len(legacy))
+	return legacy, EncLegacy
 }
 
-// Block is a parsed, read-only block.
+// Block is a parsed, read-only block, in either encoding: legacy blocks
+// keep the raw image and decode rows on demand; columnar blocks hold fully
+// decoded per-column value vectors.
 type Block struct {
 	sc   *schema.Schema
 	data []byte // full block image
-	dir  []byte // the offset directory region
+	dir  []byte // legacy: the offset directory region
+	cols [][]ltval.Value
 	n    int
 }
 
@@ -104,6 +167,13 @@ func (b *Block) Len() int { return b.n }
 func (b *Block) Row(i int) (schema.Row, error) {
 	if i < 0 || i >= b.n {
 		return nil, fmt.Errorf("block: row %d out of range [0,%d)", i, b.n)
+	}
+	if b.cols != nil {
+		row := make(schema.Row, len(b.cols))
+		for c := range b.cols {
+			row[c] = b.cols[c][i]
+		}
+		return row, nil
 	}
 	row, _, err := b.sc.DecodeRow(b.data[b.offset(i):])
 	return row, err

@@ -32,13 +32,16 @@ func key(vals ...int64) []ltval.Value {
 	return out
 }
 
-func buildBlock(t testing.TB, n int) *Block {
+func buildBlock(t testing.TB, n int) *Block { return buildBlockMode(t, n, ModeAuto) }
+
+func buildBlockMode(t testing.TB, n int, mode Mode) *Block {
 	t.Helper()
-	w := NewWriter(testSchema(t))
+	w := NewWriterMode(testSchema(t), mode)
 	for i := 0; i < n; i++ {
 		w.Append(row(int64(i/10), int64(i%10), "val"))
 	}
-	b, err := Parse(testSchema(t), w.Finish())
+	img, enc := w.Finish()
+	b, err := Decode(testSchema(t), enc, img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,8 @@ func buildBlock(t testing.TB, n int) *Block {
 
 func TestEmptyBlock(t *testing.T) {
 	w := NewWriter(testSchema(t))
-	b, err := Parse(testSchema(t), w.Finish())
+	img, enc := w.Finish()
+	b, err := Decode(testSchema(t), enc, img)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,18 +65,44 @@ func TestEmptyBlock(t *testing.T) {
 
 func TestRoundTrip(t *testing.T) {
 	const n = 100
-	b := buildBlock(t, n)
-	if b.Len() != n {
-		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	for _, mode := range []Mode{ModeAuto, ModeLegacy} {
+		b := buildBlockMode(t, n, mode)
+		if b.Len() != n {
+			t.Fatalf("mode %v: Len = %d, want %d", mode, b.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			r, err := b.Row(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r[0].Int != int64(i/10) || r[1].Int != int64(i%10) || string(r[2].Bytes) != "val" {
+				t.Fatalf("mode %v: row %d = %v", mode, i, r)
+			}
+		}
 	}
-	for i := 0; i < n; i++ {
-		r, err := b.Row(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if r[0].Int != int64(i/10) || r[1].Int != int64(i%10) || string(r[2].Bytes) != "val" {
-			t.Fatalf("row %d = %v", i, r)
-		}
+}
+
+// TestAutoChoosesColumnar pins that the regular time-series shape this
+// package exists for actually triggers the columnar encoding and shrinks.
+func TestAutoChoosesColumnar(t *testing.T) {
+	w := NewWriter(testSchema(t))
+	for i := 0; i < 500; i++ {
+		w.Append(row(int64(i/10), int64(1_000_000*(i%10)), "val"))
+	}
+	img, enc := w.Finish()
+	if enc != EncColumnar {
+		t.Fatalf("encoding = %v, want columnar", enc)
+	}
+	st := w.Stats()
+	if st.ColumnarBlocks != 1 || st.BytesAfter >= st.BytesBefore {
+		t.Errorf("stats = %+v, want 1 columnar block that shrank", st)
+	}
+	if st.ColsDelta != 2 || st.ColsDict != 1 {
+		t.Errorf("codec counts = %+v, want 2 delta + 1 dict", st)
+	}
+	if int64(len(img))*3 > st.BytesBefore {
+		t.Errorf("columnar image %d bytes, legacy %d: want ≥3x reduction on this shape",
+			len(img), st.BytesBefore)
 	}
 }
 
@@ -131,34 +161,39 @@ func TestSearchMissing(t *testing.T) {
 
 func TestWriterReuse(t *testing.T) {
 	sc := testSchema(t)
-	w := NewWriter(sc)
-	w.Append(row(1, 1, "a"))
-	first := w.Finish()
-	firstCopy := append([]byte(nil), first...)
-	w.Append(row(2, 2, "b"))
-	second := w.Finish()
-	b1, err := Parse(sc, firstCopy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b2, err := Parse(sc, second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r1, _ := b1.Row(0)
-	r2, _ := b2.Row(0)
-	if r1[0].Int != 1 || r2[0].Int != 2 {
-		t.Error("writer reuse corrupted blocks")
+	for _, mode := range []Mode{ModeAuto, ModeLegacy} {
+		w := NewWriterMode(sc, mode)
+		w.Append(row(1, 1, "a"))
+		first, enc1 := w.Finish()
+		firstCopy := append([]byte(nil), first...)
+		w.Append(row(2, 2, "b"))
+		second, enc2 := w.Finish()
+		b1, err := Decode(sc, enc1, firstCopy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := Decode(sc, enc2, second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, _ := b1.Row(0)
+		r2, _ := b2.Row(0)
+		if r1[0].Int != 1 || r2[0].Int != 2 {
+			t.Errorf("mode %v: writer reuse corrupted blocks", mode)
+		}
 	}
 }
 
 func TestSizeBytesTracksFinish(t *testing.T) {
-	w := NewWriter(testSchema(t))
+	w := NewWriterMode(testSchema(t), ModeLegacy)
 	for i := 0; i < 50; i++ {
 		w.Append(row(int64(i), 0, "x"))
 	}
 	want := w.SizeBytes()
-	img := w.Finish()
+	img, enc := w.Finish()
+	if enc != EncLegacy {
+		t.Fatalf("legacy writer produced %v", enc)
+	}
 	if len(img) != want {
 		t.Errorf("SizeBytes = %d, Finish produced %d", want, len(img))
 	}
@@ -181,10 +216,10 @@ func TestParseCorrupt(t *testing.T) {
 
 func TestParseOffsetsOutOfOrder(t *testing.T) {
 	sc := testSchema(t)
-	w := NewWriter(sc)
+	w := NewWriterMode(sc, ModeLegacy)
 	w.Append(row(1, 1, "a"))
 	w.Append(row(2, 2, "b"))
-	img := w.Finish()
+	img, _ := w.Finish()
 	// Swap the two directory entries.
 	dir := len(img) - 4 - 8
 	for i := 0; i < 4; i++ {

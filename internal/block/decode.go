@@ -1,0 +1,288 @@
+package block
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"littletable/internal/ltval"
+	"littletable/internal/lzf"
+	"littletable/internal/schema"
+)
+
+// Decode parses a block image whose top-level encoding enc was recorded in
+// the tablet footer. Legacy images go through Parse; columnar images are
+// decoded into per-column value vectors.
+func Decode(sc *schema.Schema, enc Encoding, data []byte) (*Block, error) {
+	switch enc {
+	case EncLegacy:
+		return Parse(sc, data)
+	case EncColumnar:
+		return parseColumnar(sc, data)
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrCorrupt, enc)
+	}
+}
+
+// parseColumnar validates and decodes a columnar block image. Every codec
+// must consume its column's bytes exactly, and the image must hold exactly
+// the declared columns — trailing garbage is corruption, not slack.
+func parseColumnar(sc *schema.Schema, data []byte) (*Block, error) {
+	r := data
+	if len(r) < 5 || r[0] != colFormatVersion {
+		return nil, fmt.Errorf("%w: bad columnar version", ErrCorrupt)
+	}
+	crc := uint32(r[1]) | uint32(r[2])<<8 | uint32(r[3])<<16 | uint32(r[4])<<24
+	r = r[5:]
+	if crc32.Checksum(r, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: columnar checksum mismatch", ErrCorrupt)
+	}
+	rowCount, w := uvarint(r)
+	if w <= 0 {
+		return nil, fmt.Errorf("%w: bad row count", ErrCorrupt)
+	}
+	r = r[w:]
+	ncols, w := uvarint(r)
+	if w <= 0 {
+		return nil, fmt.Errorf("%w: bad column count", ErrCorrupt)
+	}
+	r = r[w:]
+	// A value costs at least one bit in the cheapest codec (XOR repeats),
+	// so any genuine image bounds rowCount by its own size. Reject larger
+	// claims before allocating anything proportional to them.
+	if ncols != uint64(len(sc.Columns)) || rowCount > uint64(8*len(data)+64) {
+		return nil, fmt.Errorf("%w: claims %d rows × %d cols", ErrCorrupt, rowCount, ncols)
+	}
+	n := int(rowCount)
+	if len(r) < int(ncols) {
+		return nil, fmt.Errorf("%w: truncated codec list", ErrCorrupt)
+	}
+	codecs := r[:ncols]
+	r = r[ncols:]
+	cols := make([][]ltval.Value, ncols)
+	for i := range cols {
+		encLen, w := uvarint(r)
+		if w <= 0 || encLen > uint64(len(r)-w) {
+			return nil, fmt.Errorf("%w: truncated column %d", ErrCorrupt, i)
+		}
+		colEnc := r[w : w+int(encLen)]
+		r = r[w+int(encLen):]
+		vals, err := decodeColumn(sc.Columns[i].Type, Codec(codecs[i]), colEnc, n)
+		if err != nil {
+			return nil, fmt.Errorf("column %d (%s): %w", i, sc.Columns[i].Name, err)
+		}
+		cols[i] = vals
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r))
+	}
+	return &Block{sc: sc, data: data, cols: cols, n: n}, nil
+}
+
+// decodeColumn dispatches one column's bytes to its codec, checking the
+// codec is legal for the column's class.
+func decodeColumn(t ltval.Type, codec Codec, enc []byte, n int) ([]ltval.Value, error) {
+	class := schema.ClassOf(t)
+	switch codec {
+	case CodecPlain:
+		return decodePlain(t, enc, n)
+	case CodecDelta:
+		if class != schema.ClassInt {
+			return nil, fmt.Errorf("%w: delta codec on %v column", ErrCorrupt, t)
+		}
+		return decodeDelta(t, enc, n)
+	case CodecXOR:
+		if class != schema.ClassFloat {
+			return nil, fmt.Errorf("%w: xor codec on %v column", ErrCorrupt, t)
+		}
+		return decodeXOR(enc, n)
+	case CodecDict:
+		if class != schema.ClassBytes {
+			return nil, fmt.Errorf("%w: dict codec on %v column", ErrCorrupt, t)
+		}
+		return decodeDict(t, enc, n)
+	case CodecLZF:
+		if class != schema.ClassBytes {
+			return nil, fmt.Errorf("%w: lzf codec on %v column", ErrCorrupt, t)
+		}
+		return decodeLZF(t, enc, n)
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, codec)
+	}
+}
+
+// decodePlain decodes n concatenated ltval encodings, requiring exact
+// consumption.
+func decodePlain(t ltval.Type, enc []byte, n int) ([]ltval.Value, error) {
+	vals := make([]ltval.Value, 0, capHint(n, len(enc)))
+	for i := 0; i < n; i++ {
+		v, w, err := ltval.Decode(t, enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		enc = enc[w:]
+		vals = append(vals, v)
+	}
+	if len(enc) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing column bytes", ErrCorrupt, len(enc))
+	}
+	return vals, nil
+}
+
+// decodeDelta reverses encodeDelta with the same wrapping arithmetic.
+// Int32 columns additionally require every value to fit in 32 bits: a
+// flipped delta that walks out of range is corruption, not a new value.
+func decodeDelta(t ltval.Type, enc []byte, n int) ([]ltval.Value, error) {
+	vals := make([]ltval.Value, 0, capHint(n, len(enc)))
+	var prev, prevDelta uint64
+	for i := 0; i < n; i++ {
+		u, w := uvarint(enc)
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: bad delta varint", ErrCorrupt)
+		}
+		enc = enc[w:]
+		if i == 0 {
+			prev = uint64(unzigzag(u))
+		} else {
+			prevDelta += uint64(unzigzag(u))
+			prev += prevDelta
+		}
+		v := int64(prev)
+		if t == ltval.Int32 && v != int64(int32(v)) {
+			return nil, fmt.Errorf("%w: delta value overflows int32", ErrCorrupt)
+		}
+		vals = append(vals, ltval.Value{Type: t, Int: v})
+	}
+	if len(enc) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing column bytes", ErrCorrupt, len(enc))
+	}
+	return vals, nil
+}
+
+// decodeXOR reverses encodeXOR. The bitstream must end within the final
+// byte and its padding bits must be zero, so every encoding is canonical
+// and trailing garbage is detected.
+func decodeXOR(enc []byte, n int) ([]ltval.Value, error) {
+	vals := make([]ltval.Value, 0, capHint(n, len(enc)))
+	if n == 0 {
+		if len(enc) != 0 {
+			return nil, fmt.Errorf("%w: bytes in empty xor column", ErrCorrupt)
+		}
+		return vals, nil
+	}
+	r := bitReader{b: enc}
+	prev, ok := r.readBits(64)
+	if !ok {
+		return nil, fmt.Errorf("%w: truncated xor stream", ErrCorrupt)
+	}
+	vals = append(vals, ltval.NewDouble(math.Float64frombits(prev)))
+	winLZ := uint(255)
+	winTZ := uint(0)
+	for i := 1; i < n; i++ {
+		ctrl, ok := r.readBit()
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated xor stream", ErrCorrupt)
+		}
+		if ctrl == 0 {
+			vals = append(vals, ltval.NewDouble(math.Float64frombits(prev)))
+			continue
+		}
+		reuse, ok := r.readBit()
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated xor stream", ErrCorrupt)
+		}
+		if reuse == 0 {
+			if winLZ == 255 {
+				return nil, fmt.Errorf("%w: xor window reused before set", ErrCorrupt)
+			}
+		} else {
+			lz, ok1 := r.readBits(5)
+			sigm1, ok2 := r.readBits(6)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("%w: truncated xor stream", ErrCorrupt)
+			}
+			if uint(lz)+uint(sigm1)+1 > 64 {
+				return nil, fmt.Errorf("%w: xor window wider than 64 bits", ErrCorrupt)
+			}
+			winLZ = uint(lz)
+			winTZ = 64 - winLZ - (uint(sigm1) + 1)
+		}
+		sig := 64 - winLZ - winTZ
+		bits, ok := r.readBits(sig)
+		if !ok {
+			return nil, fmt.Errorf("%w: truncated xor stream", ErrCorrupt)
+		}
+		prev ^= bits << winTZ
+		vals = append(vals, ltval.NewDouble(math.Float64frombits(prev)))
+	}
+	// Exact consumption: the stream must end inside the last byte, with
+	// zero padding bits.
+	if (r.pos+7)/8 != len(enc) {
+		return nil, fmt.Errorf("%w: %d trailing xor bytes", ErrCorrupt, len(enc)-(r.pos+7)/8)
+	}
+	for r.pos%8 != 0 {
+		bit, _ := r.readBit()
+		if bit != 0 {
+			return nil, fmt.Errorf("%w: nonzero xor padding", ErrCorrupt)
+		}
+	}
+	return vals, nil
+}
+
+// decodeDict reverses encodeDict. Entries alias the block image; indices
+// must stay within the declared dictionary.
+func decodeDict(t ltval.Type, enc []byte, n int) ([]ltval.Value, error) {
+	count, w := uvarint(enc)
+	if w <= 0 || count > maxDictEntries {
+		return nil, fmt.Errorf("%w: bad dictionary size", ErrCorrupt)
+	}
+	enc = enc[w:]
+	entries := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, w := uvarint(enc)
+		if w <= 0 || l > uint64(len(enc)-w) {
+			return nil, fmt.Errorf("%w: truncated dictionary entry", ErrCorrupt)
+		}
+		entries = append(entries, enc[w:w+int(l)])
+		enc = enc[w+int(l):]
+	}
+	vals := make([]ltval.Value, 0, capHint(n, len(enc)))
+	for i := 0; i < n; i++ {
+		id, w := uvarint(enc)
+		if w <= 0 || id >= uint64(len(entries)) {
+			return nil, fmt.Errorf("%w: bad dictionary index", ErrCorrupt)
+		}
+		enc = enc[w:]
+		vals = append(vals, ltval.Value{Type: t, Bytes: entries[id]})
+	}
+	if len(enc) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing column bytes", ErrCorrupt, len(enc))
+	}
+	return vals, nil
+}
+
+// decodeLZF decompresses the plain byte vector and decodes it. The raw
+// length claim is capped so corruption cannot force a huge allocation.
+func decodeLZF(t ltval.Type, enc []byte, n int) ([]ltval.Value, error) {
+	rawLen, w := uvarint(enc)
+	// Beyond the absolute cap, bound the claim by lzf's maximum expansion
+	// (255 output bytes per input byte), so a corrupt length cannot size a
+	// large zeroed buffer even when the image checksum has been forged.
+	if w <= 0 || rawLen > maxColumnBytes || rawLen > uint64(255*(len(enc)-w)+64) {
+		return nil, fmt.Errorf("%w: bad lzf length", ErrCorrupt)
+	}
+	raw, err := lzf.Decompress(make([]byte, rawLen), enc[w:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return decodePlain(t, raw, n)
+}
+
+// capHint bounds a column vector's preallocation by what its encoded bytes
+// could possibly hold, so a corrupt row count cannot drive allocation.
+func capHint(n, encLen int) int {
+	if limit := 8*encLen + 64; n > limit {
+		return limit
+	}
+	return n
+}

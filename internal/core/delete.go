@@ -142,6 +142,7 @@ func (t *Table) rewriteWithout(sc *schema.Schema, dt *diskTablet, q Query, filte
 			BlockSize:          t.opts.BlockSize,
 			DisableCompression: t.opts.DisableCompression,
 			DisableBloom:       t.opts.DisableBloom,
+			Encoding:           t.opts.BlockEncoding,
 			Sync:               t.opts.SyncWrites,
 			FS:                 t.opts.FS,
 		})
@@ -168,6 +169,7 @@ func (t *Table) rewriteWithout(sc *schema.Schema, dt *diskTablet, q Query, filte
 		if err != nil {
 			return 0, err
 		}
+		t.stats.addEncode(info.Enc)
 		tab, err := tablet.OpenFS(t.opts.FS, path)
 		if err != nil {
 			_ = t.opts.FS.Remove(path)

@@ -116,6 +116,7 @@ func (t *Table) writeGroup(g *flushGroup, now int64) ([]*diskTablet, error) {
 			BlockSize:          t.opts.BlockSize,
 			DisableCompression: t.opts.DisableCompression,
 			DisableBloom:       t.opts.DisableBloom,
+			Encoding:           t.opts.BlockEncoding,
 			Sync:               t.opts.SyncWrites,
 			FS:                 t.opts.FS,
 		})
@@ -136,6 +137,7 @@ func (t *Table) writeGroup(g *flushGroup, now int64) ([]*diskTablet, error) {
 			t.abortDisks(newDisks)
 			return nil, err
 		}
+		t.stats.addEncode(info.Enc)
 		tab, err := tablet.OpenFS(t.opts.FS, path)
 		if err != nil {
 			t.opts.FS.Remove(path)

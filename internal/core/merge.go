@@ -139,6 +139,14 @@ func (t *Table) mergeStep() (bool, error) {
 	t.disk = append(t.disk, out)
 	t.sortDiskLocked()
 	t.bumpDescGenLocked()
+	// Count the merge before the broadcast below: the moment waiters wake
+	// and observe "no work left", the counters must already reflect this
+	// merge, or a MaintainUntilQuiet caller can read Stats before the
+	// worker finishes persisting and see the merge it just waited for
+	// missing.
+	t.stats.Merges.Add(1)
+	t.stats.BytesMerged.Add(out.rec.Bytes)
+	t.stats.RowsRewritten.Add(out.rec.RowCount)
 	// The output tablet may itself seed the period's next merge; tell an
 	// idle worker, and wake MaintainUntilQuiet waiters either way.
 	t.kickMaintLocked()
@@ -155,9 +163,6 @@ func (t *Table) mergeStep() (bool, error) {
 	if derr != nil {
 		return false, fmt.Errorf("core: descriptor update after merge: %w", derr)
 	}
-	t.stats.Merges.Add(1)
-	t.stats.BytesMerged.Add(out.rec.Bytes)
-	t.stats.RowsRewritten.Add(out.rec.RowCount)
 	return true, nil
 }
 
@@ -233,6 +238,7 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 		BlockSize:          t.opts.BlockSize,
 		DisableCompression: t.opts.DisableCompression,
 		DisableBloom:       t.opts.DisableBloom,
+		Encoding:           t.opts.BlockEncoding,
 		Sync:               t.opts.SyncWrites,
 		FS:                 writeFS,
 	})
@@ -305,6 +311,7 @@ func (t *Table) mergeTablets(sc *schema.Schema, inputs []*diskTablet, seq uint64
 	if err != nil {
 		return nil, err
 	}
+	t.stats.addEncode(info.Enc)
 	tab, err := tablet.OpenFS(t.opts.FS, path)
 	if err != nil {
 		_ = t.opts.FS.Remove(path)

@@ -134,6 +134,14 @@ type Options struct {
 	// BlockSize is the on-disk block size; default 64 kB.
 	BlockSize int
 
+	// BlockEncoding selects the block encoding for newly written tablets:
+	// block.ModeAuto (default) trial-encodes each block per column and
+	// keeps the smaller image; block.ModeLegacy reproduces the
+	// pre-columnar format byte-for-byte (including version-1 footers), the
+	// -block-encoding=legacy escape hatch. Reading is unaffected: both
+	// modes read every tablet version.
+	BlockEncoding block.Mode
+
 	// QueryRowLimit is the server-enforced per-response row cap.
 	QueryRowLimit int
 

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"littletable/internal/block"
+)
 
 // Stats are per-table counters, exported for the production-metrics
 // reproduction (§5.2): scan efficiency (Figure 9), insert/query rates
@@ -51,6 +55,28 @@ type Stats struct {
 	ExpiryRuns                atomic.Int64 // expiry rounds that reclaimed >=1 tablet
 	MaintenanceBytesThrottled atomic.Int64 // maintenance I/O bytes delayed by the budget
 	MaintenanceThrottleNs     atomic.Int64 // ns maintenance spent blocked in the budget
+
+	// Block-encoding counters (flush + merge + retention rewrites).
+	BlocksEncoded         atomic.Int64 // blocks finished by tablet writers
+	BlocksEncodedColumnar atomic.Int64 // blocks that chose the columnar layout
+	BytesBeforeEncode     atomic.Int64 // legacy-image bytes before codec selection
+	BytesAfterEncode      atomic.Int64 // bytes of the chosen block images
+	ColumnsDeltaEncoded   atomic.Int64 // columns written delta-of-delta
+	ColumnsXOREncoded     atomic.Int64 // columns written as XOR bitstreams
+	ColumnsDictEncoded    atomic.Int64 // columns written dictionary/lzf
+	ColumnsPlainEncoded   atomic.Int64 // columns that fell back to plain
+}
+
+// addEncode folds a tablet writer's encoder report into the counters.
+func (s *Stats) addEncode(e block.EncodeStats) {
+	s.BlocksEncoded.Add(e.Blocks)
+	s.BlocksEncodedColumnar.Add(e.ColumnarBlocks)
+	s.BytesBeforeEncode.Add(e.BytesBefore)
+	s.BytesAfterEncode.Add(e.BytesAfter)
+	s.ColumnsDeltaEncoded.Add(e.ColsDelta)
+	s.ColumnsXOREncoded.Add(e.ColsXOR)
+	s.ColumnsDictEncoded.Add(e.ColsDict)
+	s.ColumnsPlainEncoded.Add(e.ColsPlain)
 }
 
 // StatsSnapshot is a plain copy of the counters at one instant.
@@ -96,6 +122,15 @@ type StatsSnapshot struct {
 	ExpiryRuns                int64
 	MaintenanceBytesThrottled int64
 	MaintenanceThrottleNs     int64
+
+	BlocksEncoded         int64
+	BlocksEncodedColumnar int64
+	BytesBeforeEncode     int64
+	BytesAfterEncode      int64
+	ColumnsDeltaEncoded   int64
+	ColumnsXOREncoded     int64
+	ColumnsDictEncoded    int64
+	ColumnsPlainEncoded   int64
 }
 
 // Snapshot copies the counters.
@@ -142,6 +177,15 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ExpiryRuns:                s.ExpiryRuns.Load(),
 		MaintenanceBytesThrottled: s.MaintenanceBytesThrottled.Load(),
 		MaintenanceThrottleNs:     s.MaintenanceThrottleNs.Load(),
+
+		BlocksEncoded:         s.BlocksEncoded.Load(),
+		BlocksEncodedColumnar: s.BlocksEncodedColumnar.Load(),
+		BytesBeforeEncode:     s.BytesBeforeEncode.Load(),
+		BytesAfterEncode:      s.BytesAfterEncode.Load(),
+		ColumnsDeltaEncoded:   s.ColumnsDeltaEncoded.Load(),
+		ColumnsXOREncoded:     s.ColumnsXOREncoded.Load(),
+		ColumnsDictEncoded:    s.ColumnsDictEncoded.Load(),
+		ColumnsPlainEncoded:   s.ColumnsPlainEncoded.Load(),
 	}
 }
 

@@ -1,0 +1,207 @@
+package ltbench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"littletable/internal/block"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+	"littletable/internal/tablet"
+)
+
+// EncodeConfig sizes the per-column encoding experiment: the same three
+// datasets written with the legacy row-major block layout and with the
+// auto (per-column codec) layout, comparing on-disk bytes per row and
+// cold full-scan cost.
+type EncodeConfig struct {
+	// Rows per dataset per mode; default 20000.
+	Rows int
+	Dir  string
+}
+
+func (c *EncodeConfig) defaults() {
+	if c.Rows == 0 {
+		c.Rows = 20000
+	}
+}
+
+// encodeDataset is one shape of data the codec chooser faces.
+type encodeDataset struct {
+	name string
+	sc   *schema.Schema
+	row  func(rng *xorshift, i int) schema.Row
+}
+
+// encodeDatasets builds the three benchmark shapes:
+//
+//   - dense-numeric: the §2 usage-accounting shape — regular timestamps,
+//     smooth gauges, monotone counters. Delta-of-delta and XOR should
+//     crush it.
+//   - sparse-string: event-log shape — low-cardinality status strings and
+//     repetitive text. Dictionary territory.
+//   - mixed: numeric columns next to incompressible random blobs, so the
+//     chooser must win on some columns while falling back on others.
+func encodeDatasets() []encodeDataset {
+	numSC := schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "gauge", Type: ltval.Double},
+		{Name: "counter", Type: ltval.Int64},
+	}, []string{"network", "device", "ts"})
+	strSC := schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "state", Type: ltval.String},
+		{Name: "detail", Type: ltval.String},
+	}, []string{"network", "device", "ts"})
+	mixSC := schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "gauge", Type: ltval.Double},
+		{Name: "payload", Type: ltval.Blob},
+	}, []string{"network", "device", "ts"})
+	states := []string{"up", "down", "degraded", "flapping"}
+	details := []string{
+		"link state change observed on uplink port",
+		"dhcp lease renewed",
+		"client roamed between access points",
+	}
+	return []encodeDataset{
+		{
+			name: "dense-numeric",
+			sc:   numSC,
+			row: func(rng *xorshift, i int) schema.Row {
+				return schema.Row{
+					ltval.NewInt64(int64(i / 4096)),
+					ltval.NewInt64(int64(i/64) % 64),
+					ltval.NewTimestamp(int64(i%64) * 60_000_000),
+					ltval.NewDouble(20 + float64(i%600)/100),
+					ltval.NewInt64(int64(i) * 1500),
+				}
+			},
+		},
+		{
+			name: "sparse-string",
+			sc:   strSC,
+			row: func(rng *xorshift, i int) schema.Row {
+				return schema.Row{
+					ltval.NewInt64(int64(i / 4096)),
+					ltval.NewInt64(int64(i/64) % 64),
+					ltval.NewTimestamp(int64(i%64) * 60_000_000),
+					ltval.NewString(states[rng.next()%uint64(len(states))]),
+					ltval.NewString(details[rng.next()%uint64(len(details))]),
+				}
+			},
+		},
+		{
+			name: "mixed",
+			sc:   mixSC,
+			row: func(rng *xorshift, i int) schema.Row {
+				payload := make([]byte, 48)
+				for j := 0; j+8 <= len(payload); j += 8 {
+					v := rng.next()
+					for k := 0; k < 8; k++ {
+						payload[j+k] = byte(v >> (8 * k))
+					}
+				}
+				return schema.Row{
+					ltval.NewInt64(int64(i / 4096)),
+					ltval.NewInt64(int64(i/64) % 64),
+					ltval.NewTimestamp(int64(i%64) * 60_000_000),
+					ltval.NewDouble(20 + float64(i%600)/100),
+					ltval.NewBlob(payload),
+				}
+			},
+		},
+	}
+}
+
+// RunEncode writes each dataset once per encoding mode and reports bytes
+// per row on disk and cold-scan nanoseconds per row.
+func RunEncode(cfg EncodeConfig) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "encode",
+		Title:  "per-column encoding: on-disk bytes/row and cold scan ns/row, legacy vs auto",
+	}
+	bytesS := Series{Name: "bytes per row on disk"}
+	scanS := Series{Name: "cold full scan (ns/row)"}
+	reduction := map[string]float64{}
+	for _, ds := range encodeDatasets() {
+		for _, mode := range []struct {
+			label string
+			enc   block.Mode
+		}{
+			{"legacy", block.ModeLegacy},
+			{"auto", block.ModeAuto},
+		} {
+			bpr, nspr, err := encodeRun(cfg, ds, mode.enc)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", ds.name, mode.label, err)
+			}
+			label := ds.name + "/" + mode.label
+			bytesS.Points = append(bytesS.Points, Point{X: float64(len(bytesS.Points)), Y: bpr, Label: label})
+			scanS.Points = append(scanS.Points, Point{X: float64(len(scanS.Points)), Y: nspr, Label: label})
+			if mode.label == "legacy" {
+				reduction[ds.name] = bpr
+			} else {
+				reduction[ds.name] /= bpr
+			}
+		}
+	}
+	res.Series = append(res.Series, bytesS, scanS)
+	for _, ds := range encodeDatasets() {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%s: auto encoding shrinks bytes/row %.2fx vs legacy", ds.name, reduction[ds.name]))
+	}
+	return res, nil
+}
+
+// encodeRun writes one dataset under one mode and measures it.
+func encodeRun(cfg EncodeConfig, ds encodeDataset, mode block.Mode) (bytesPerRow, scanNsPerRow float64, err error) {
+	dir, err := scratchDir(cfg.Dir, "encode")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer scratchRemove(dir)
+	path := filepath.Join(dir, "bench.tab")
+	w, err := tablet.Create(path, ds.sc, tablet.WriterOptions{Encoding: mode})
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := &xorshift{s: 0x9e3779b97f4a7c15}
+	for i := 0; i < cfg.Rows; i++ {
+		if err := w.Append(ds.row(rng, i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	info, err := w.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+
+	tab, err := tablet.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tab.Close()
+	start := time.Now()
+	c := tab.Cursor(true)
+	n := 0
+	for c.Next() {
+		n++
+	}
+	if err := c.Err(); err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	if n != cfg.Rows {
+		return 0, 0, fmt.Errorf("scan returned %d rows, want %d", n, cfg.Rows)
+	}
+	return float64(info.Bytes) / float64(cfg.Rows), float64(elapsed.Nanoseconds()) / float64(cfg.Rows), nil
+}

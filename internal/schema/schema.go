@@ -118,6 +118,34 @@ func MustNew(cols []Column, key []string) *Schema {
 	return s
 }
 
+// ColumnClass groups column types by their encoded representation, for the
+// per-column block codecs: integer-like columns (Int32, Int64, Timestamp)
+// delta-encode, Double columns XOR-encode, and byte-like columns (String,
+// Blob) dictionary-encode.
+type ColumnClass int
+
+// The three codec families a column can belong to.
+const (
+	ClassInt ColumnClass = iota
+	ClassFloat
+	ClassBytes
+)
+
+// ClassOf maps a value type to its codec family.
+func ClassOf(t ltval.Type) ColumnClass {
+	switch t {
+	case ltval.Double:
+		return ClassFloat
+	case ltval.String, ltval.Blob:
+		return ClassBytes
+	default:
+		return ClassInt
+	}
+}
+
+// ColumnClass returns the codec family of column i.
+func (s *Schema) ColumnClass(i int) ColumnClass { return ClassOf(s.Columns[i].Type) }
+
 // ColumnIndex returns the index of the named column, or -1.
 func (s *Schema) ColumnIndex(name string) int {
 	for i, c := range s.Columns {

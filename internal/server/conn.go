@@ -326,6 +326,15 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			ExpiryRuns:                st.ExpiryRuns,
 			MaintenanceBytesThrottled: st.MaintenanceBytesThrottled,
 			MaintenanceThrottleNs:     st.MaintenanceThrottleNs,
+
+			BlocksEncoded:         st.BlocksEncoded,
+			BlocksEncodedColumnar: st.BlocksEncodedColumnar,
+			BytesBeforeEncode:     st.BytesBeforeEncode,
+			BytesAfterEncode:      st.BytesAfterEncode,
+			ColumnsDeltaEncoded:   st.ColumnsDeltaEncoded,
+			ColumnsXOREncoded:     st.ColumnsXOREncoded,
+			ColumnsDictEncoded:    st.ColumnsDictEncoded,
+			ColumnsPlainEncoded:   st.ColumnsPlainEncoded,
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())

@@ -100,6 +100,22 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].MaintenanceBytesThrottled }},
 		{"littletable_maintenance_throttle_ns_total", "Nanoseconds maintenance spent blocked in the I/O budget", "counter",
 			func(i int) int64 { return snaps[i].MaintenanceThrottleNs }},
+		{"littletable_blocks_encoded_total", "Blocks finished by tablet writers", "counter",
+			func(i int) int64 { return snaps[i].BlocksEncoded }},
+		{"littletable_blocks_encoded_columnar_total", "Blocks that chose the columnar layout", "counter",
+			func(i int) int64 { return snaps[i].BlocksEncodedColumnar }},
+		{"littletable_bytes_before_encode_total", "Legacy-image bytes before codec selection", "counter",
+			func(i int) int64 { return snaps[i].BytesBeforeEncode }},
+		{"littletable_bytes_after_encode_total", "Bytes of the chosen block images", "counter",
+			func(i int) int64 { return snaps[i].BytesAfterEncode }},
+		{"littletable_columns_delta_encoded_total", "Columns written delta-of-delta", "counter",
+			func(i int) int64 { return snaps[i].ColumnsDeltaEncoded }},
+		{"littletable_columns_xor_encoded_total", "Columns written as XOR bitstreams", "counter",
+			func(i int) int64 { return snaps[i].ColumnsXOREncoded }},
+		{"littletable_columns_dict_encoded_total", "Columns written dictionary or lzf", "counter",
+			func(i int) int64 { return snaps[i].ColumnsDictEncoded }},
+		{"littletable_columns_plain_encoded_total", "Columns that fell back to plain encoding", "counter",
+			func(i int) int64 { return snaps[i].ColumnsPlainEncoded }},
 		{"littletable_merges_in_flight", "Merges running right now", "gauge",
 			func(i int) int64 { return snaps[i].MergesInFlight }},
 		{"littletable_expiries_in_flight", "TTL expiry rounds running right now", "gauge",

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"littletable/internal/block"
 	"littletable/internal/bloom"
 	"littletable/internal/schema"
 )
@@ -12,13 +13,14 @@ import (
 // key in each of the tablet's blocks (§3.2), plus enough metadata to read
 // and time-filter the block without touching it.
 type blockMeta struct {
-	offset   int64  // file offset of the block record
-	diskLen  int32  // on-disk record length including header
-	rawLen   int32  // uncompressed block image length
-	rowCount int32  // rows in the block
-	minTs    int64  // smallest row timestamp in the block
-	maxTs    int64  // largest row timestamp in the block
-	lastKey  []byte // encoded primary key of the block's final row
+	offset   int64          // file offset of the block record
+	diskLen  int32          // on-disk record length including header
+	rawLen   int32          // uncompressed block image length
+	rowCount int32          // rows in the block
+	enc      block.Encoding // block image layout (v2 footers; v1 is all-legacy)
+	minTs    int64          // smallest row timestamp in the block
+	maxTs    int64          // largest row timestamp in the block
+	lastKey  []byte         // encoded primary key of the block's final row
 }
 
 // footer is the tablet's metadata, written compressed at the end of the
@@ -31,6 +33,11 @@ type footer struct {
 	minTs    int64
 	maxTs    int64
 	filter   *bloom.Filter // nil if the tablet was written without one
+	// version is the footer layout this tablet was parsed from or will be
+	// written with: formatVersionV1 (legacy, no per-block encoding byte) or
+	// formatVersion. The legacy-encoding writer emits v1 so pre-columnar
+	// readers can parse its output byte-for-byte.
+	version uint32
 }
 
 func (f *footer) marshal() []byte {
@@ -39,8 +46,12 @@ func (f *footer) marshal() []byte {
 		// Schemas are validated on construction; failure here is a bug.
 		panic(fmt.Sprintf("tablet: marshal schema: %v", err))
 	}
+	ver := f.version
+	if ver == 0 {
+		ver = formatVersion
+	}
 	var out []byte
-	out = appendU32(out, formatVersion)
+	out = appendU32(out, ver)
 	out = appendU32(out, uint32(len(scJSON)))
 	out = append(out, scJSON...)
 	out = appendU64(out, uint64(f.rowCount))
@@ -53,6 +64,9 @@ func (f *footer) marshal() []byte {
 		out = appendU32(out, uint32(b.diskLen))
 		out = appendU32(out, uint32(b.rawLen))
 		out = appendU32(out, uint32(b.rowCount))
+		if ver >= formatVersion {
+			out = append(out, byte(b.enc))
+		}
 		out = appendU64(out, uint64(b.minTs))
 		out = appendU64(out, uint64(b.maxTs))
 		out = appendU32(out, uint32(len(b.lastKey)))
@@ -70,11 +84,11 @@ func (f *footer) marshal() []byte {
 func parseFooter(b []byte) (*footer, error) {
 	r := reader{b: b}
 	ver := r.u32()
-	if ver != formatVersion {
+	if ver != formatVersionV1 && ver != formatVersion {
 		return nil, fmt.Errorf("%w: footer version %d", ErrCorrupt, ver)
 	}
 	scJSON := r.bytes(int(r.u32()))
-	f := &footer{}
+	f := &footer{version: ver}
 	if r.err == nil {
 		f.sc = &schema.Schema{}
 		if err := json.Unmarshal(scJSON, f.sc); err != nil {
@@ -94,6 +108,12 @@ func parseFooter(b []byte) (*footer, error) {
 		bm.diskLen = int32(r.u32())
 		bm.rawLen = int32(r.u32())
 		bm.rowCount = int32(r.u32())
+		if ver >= formatVersion {
+			bm.enc = block.Encoding(r.u8())
+			if r.err == nil && !bm.enc.Valid() {
+				return nil, fmt.Errorf("%w: block %d has unknown encoding %d", ErrCorrupt, i, bm.enc)
+			}
+		}
 		bm.minTs = int64(r.u64())
 		bm.maxTs = int64(r.u64())
 		bm.lastKey = r.bytes(int(r.u32()))
@@ -118,6 +138,19 @@ type reader struct {
 	b   []byte
 	off int
 	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+1 > len(r.b) {
+		r.err = fmt.Errorf("short footer at %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
 }
 
 func (r *reader) u32() uint32 {

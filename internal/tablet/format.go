@@ -32,7 +32,14 @@ const (
 	flagCompressed = 1 << 0
 
 	// formatVersion is stored in the footer for forward compatibility.
-	formatVersion = 1
+	// Version 2 records a per-block encoding byte (block.Encoding) in the
+	// block index; version 1 is still parsed (all its blocks are legacy),
+	// and the writer still emits it in legacy-encoding mode so old readers
+	// can parse new output.
+	formatVersion = 2
+
+	// formatVersionV1 is the pre-columnar footer layout.
+	formatVersionV1 = 1
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -87,6 +94,14 @@ func readRecord(r io.ReaderAt, off int64, fileSize int64) ([]byte, int, error) {
 	crc := getU32(hdr[9:])
 	if diskLen < 0 || rawLen < 0 || off+int64(recordHeaderSize+diskLen) > fileSize {
 		return nil, 0, fmt.Errorf("%w: record at %d overruns file", ErrCorrupt, off)
+	}
+	// The lzf token format cannot expand a byte into more than 255 output
+	// bytes, so a rawLen beyond that bound is corruption. Rejecting it here
+	// — before the CRC pass would — keeps a flipped header byte from
+	// sizing a multi-gigabyte zeroed buffer.
+	if flags&flagCompressed != 0 && rawLen > 255*diskLen+64 {
+		return nil, 0, fmt.Errorf("%w: record at %d claims %d raw bytes from %d on disk",
+			ErrCorrupt, off, rawLen, diskLen)
 	}
 	body := make([]byte, diskLen)
 	if _, err := io.ReadFull(io.NewSectionReader(r, off+recordHeaderSize, int64(diskLen)), body); err != nil {

@@ -205,12 +205,17 @@ func (t *Tablet) readParseBlock(ctx context.Context, i int) (*block.Block, int64
 	if len(payload) != int(bm.rawLen) {
 		return nil, 0, fmt.Errorf("%w: block %d raw length %d, want %d", ErrCorrupt, i, len(payload), bm.rawLen)
 	}
-	blk, err := block.Parse(t.ft.sc, payload)
+	blk, err := block.Decode(t.ft.sc, bm.enc, payload)
 	if err != nil {
 		return nil, 0, err
 	}
 	return blk, int64(bm.rawLen), nil
 }
+
+// FormatVersion returns the footer layout version the tablet was written
+// with: 1 for pre-columnar tablets (and legacy-mode output), 2 for tablets
+// whose footer records per-block encodings.
+func (t *Tablet) FormatVersion() uint32 { return t.ft.version }
 
 // comparePrefix orders a full stored key against a possibly-short probe
 // key, treating the probe as a prefix (equal prefix compares equal).

@@ -20,6 +20,11 @@ type WriterOptions struct {
 	DisableCompression bool
 	// DisableBloom skips the per-tablet Bloom filter (§3.4.5).
 	DisableBloom bool
+	// Encoding selects the block encoding mode: block.ModeAuto (default)
+	// trial-encodes each block per column; block.ModeLegacy reproduces the
+	// pre-columnar format exactly, including a version-1 footer, so the
+	// output is parseable by old readers.
+	Encoding block.Mode
 	// Sync fsyncs the file before rename on Close, and the parent directory
 	// after it (a rename without a directory fsync is not durable on ext4).
 	// LittleTable's durability story tolerates losing recent tablets, so
@@ -53,6 +58,8 @@ type Info struct {
 	MinTs    int64
 	MaxTs    int64
 	Bytes    int64 // on-disk size
+	// Enc reports what the block encoder did, for the engine's counters.
+	Enc block.EncodeStats
 }
 
 // Writer streams rows in ascending primary-key order into a new tablet
@@ -87,6 +94,10 @@ func Create(path string, sc *schema.Schema, opts WriterOptions) (*Writer, error)
 	if err != nil {
 		return nil, err
 	}
+	ftVersion := uint32(formatVersion)
+	if opts.Encoding == block.ModeLegacy {
+		ftVersion = formatVersionV1
+	}
 	return &Writer{
 		path:    path,
 		tmpPath: tmp,
@@ -95,8 +106,8 @@ func Create(path string, sc *schema.Schema, opts WriterOptions) (*Writer, error)
 		w:       bufio.NewWriterSize(f, 1<<20),
 		opts:    opts,
 		sc:      sc,
-		bw:      block.NewWriter(sc),
-		ft:      footer{sc: sc},
+		bw:      block.NewWriterMode(sc, opts.Encoding),
+		ft:      footer{sc: sc, version: ftVersion},
 	}, nil
 }
 
@@ -149,7 +160,8 @@ func (w *Writer) flushBlock() error {
 	if w.bw.Count() == 0 {
 		return nil
 	}
-	img := w.bw.Finish()
+	rowCount := w.bw.Count()
+	img, enc := w.bw.Finish()
 	rec, diskLen := appendRecord(nil, img, !w.opts.DisableCompression)
 	if _, err := w.w.Write(rec); err != nil {
 		return err
@@ -158,7 +170,8 @@ func (w *Writer) flushBlock() error {
 		offset:   w.off,
 		diskLen:  int32(diskLen),
 		rawLen:   int32(len(img)),
-		rowCount: int32(w.bw.Count()),
+		rowCount: int32(rowCount),
+		enc:      enc,
 		minTs:    w.blkMin,
 		maxTs:    w.blkMax,
 		lastKey:  w.sc.AppendKey(nil, w.lastRow),
@@ -243,6 +256,7 @@ func (w *Writer) Close() (*Info, error) {
 		MinTs:    w.ft.minTs,
 		MaxTs:    w.ft.maxTs,
 		Bytes:    w.off,
+		Enc:      w.bw.Stats(),
 	}, nil
 }
 

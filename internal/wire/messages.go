@@ -505,6 +505,17 @@ type StatsResult struct {
 	ExpiryRuns                int64
 	MaintenanceBytesThrottled int64
 	MaintenanceThrottleNs     int64
+
+	// Block-encoding counters: columnar codec adoption and the bytes it
+	// saves, across flushes, merges, and retention rewrites.
+	BlocksEncoded         int64
+	BlocksEncodedColumnar int64
+	BytesBeforeEncode     int64
+	BytesAfterEncode      int64
+	ColumnsDeltaEncoded   int64
+	ColumnsXOREncoded     int64
+	ColumnsDictEncoded    int64
+	ColumnsPlainEncoded   int64
 }
 
 // Encode serializes the message payload.
@@ -525,6 +536,10 @@ func (m *StatsResult) Encode() []byte {
 		m.MergesInFlight, m.MergeWaitNs,
 		m.ExpiriesInFlight, m.ExpiryWaitNs, m.ExpiryRuns,
 		m.MaintenanceBytesThrottled, m.MaintenanceThrottleNs,
+		m.BlocksEncoded, m.BlocksEncodedColumnar,
+		m.BytesBeforeEncode, m.BytesAfterEncode,
+		m.ColumnsDeltaEncoded, m.ColumnsXOREncoded,
+		m.ColumnsDictEncoded, m.ColumnsPlainEncoded,
 	} {
 		b.I64(v)
 	}
@@ -550,6 +565,10 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.MergesInFlight, &m.MergeWaitNs,
 		&m.ExpiriesInFlight, &m.ExpiryWaitNs, &m.ExpiryRuns,
 		&m.MaintenanceBytesThrottled, &m.MaintenanceThrottleNs,
+		&m.BlocksEncoded, &m.BlocksEncodedColumnar,
+		&m.BytesBeforeEncode, &m.BytesAfterEncode,
+		&m.ColumnsDeltaEncoded, &m.ColumnsXOREncoded,
+		&m.ColumnsDictEncoded, &m.ColumnsPlainEncoded,
 	} {
 		*f = d.I64()
 	}

@@ -215,6 +215,10 @@ func TestMessagesRoundTrip(t *testing.T) {
 		MergesInFlight: 10, MergeWaitNs: 11, ExpiriesInFlight: 12,
 		ExpiryWaitNs: 13, ExpiryRuns: 14,
 		MaintenanceBytesThrottled: 15, MaintenanceThrottleNs: 16,
+		BlocksEncoded: 17, BlocksEncodedColumnar: 18,
+		BytesBeforeEncode: 19, BytesAfterEncode: 20,
+		ColumnsDeltaEncoded: 21, ColumnsXOREncoded: 22,
+		ColumnsDictEncoded: 23, ColumnsPlainEncoded: 24,
 	}
 	gst, err := DecodeStatsResult(st.Encode())
 	if err != nil || gst.RowsInserted != 1 || gst.RowEstimate != 4 ||
@@ -223,7 +227,11 @@ func TestMessagesRoundTrip(t *testing.T) {
 		gst.MergesInFlight != 10 || gst.MergeWaitNs != 11 ||
 		gst.ExpiriesInFlight != 12 || gst.ExpiryWaitNs != 13 ||
 		gst.ExpiryRuns != 14 || gst.MaintenanceBytesThrottled != 15 ||
-		gst.MaintenanceThrottleNs != 16 {
+		gst.MaintenanceThrottleNs != 16 ||
+		gst.BlocksEncoded != 17 || gst.BlocksEncodedColumnar != 18 ||
+		gst.BytesBeforeEncode != 19 || gst.BytesAfterEncode != 20 ||
+		gst.ColumnsDeltaEncoded != 21 || gst.ColumnsXOREncoded != 22 ||
+		gst.ColumnsDictEncoded != 23 || gst.ColumnsPlainEncoded != 24 {
 		t.Errorf("StatsResult: %+v %v", gst, err)
 	}
 }
