@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint ltlint vet bench crash chaos ci clean
+.PHONY: all build test race lint ltlint vet bench crash chaos cluster-chaos ci clean
 
 all: build lint test
 
@@ -41,11 +41,17 @@ crash:
 chaos:
 	$(GO) test ./internal/client -race -run 'TestChaos'
 
+# cluster-chaos runs the 3-shard router topology under netfault fire
+# (shard restart + live migration mid-load) once with the default seed;
+# CI's cluster-chaos job runs it -race -count=3 across seeds 1..3.
+cluster-chaos:
+	$(GO) test ./internal/router -race -run 'TestClusterChaos'
+
 # ci mirrors the workflow's blocking jobs locally: build, vet, the project
-# analyzers, the race-enabled test suite, and single-seed crash- and
-# chaos-harness passes. The bench/fuzz smoke jobs are advisory and
-# excluded here.
-ci: build vet ltlint race crash chaos
+# analyzers, the race-enabled test suite, and single-seed crash-, chaos-,
+# and cluster-chaos-harness passes. The bench/fuzz smoke jobs are
+# advisory and excluded here.
+ci: build vet ltlint race crash chaos cluster-chaos
 
 clean:
 	rm -rf bin

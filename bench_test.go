@@ -327,6 +327,30 @@ func BenchmarkNetload(b *testing.B) {
 	}
 }
 
+// BenchmarkRouterScatter measures multi-table reads through the shard
+// router at reduced scale: the same rows read one table at a time versus
+// one scatter-gather prefix query the router fans out to every shard,
+// on loopback and on a latency-injected shard link. Scatter beating the
+// per-table baseline on the slow link is the headline; BENCH_8.json
+// records a captured run.
+func BenchmarkRouterScatter(b *testing.B) {
+	cfg := ltbench.RouterScatterConfig{
+		Tables:       8,
+		RowsPerTable: 100,
+		Queries:      10,
+		Dir:          b.TempDir(),
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := ltbench.RunRouterScatter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Series[0].Points[1].Y, "rows/s-per-table-slow-link")
+		b.ReportMetric(res.Series[1].Points[0].Y, "rows/s-scatter-loopback")
+		b.ReportMetric(res.Series[1].Points[1].Y, "rows/s-scatter-slow-link")
+	}
+}
+
 // BenchmarkMergeParallel measures the concurrent maintenance scheduler
 // over a modeled-latency disk: time to merge a backlog of disjoint
 // merge-eligible periods to steady state at 1, 2, and 8 workers, plus the

@@ -1,7 +1,7 @@
 // Command benchgate compares two `go test -bench` outputs — a base run and
 // a head run — and exits nonzero when the head regresses past a threshold.
 //
-//	benchgate [-max-ratio 2.0] base.txt head.txt
+//	benchgate [-max-ratio 2.0] [-max-each 0] base.txt head.txt
 //
 // It is a deliberately soft gate for CI bench-smoke jobs: single-iteration
 // benchmarks on shared runners are noisy, so the gate compares the
@@ -11,6 +11,12 @@
 // measurements of the same benchmark (-count > 1) are averaged first.
 // Benchmarks present in only one run are reported and otherwise ignored,
 // so adding or renaming a benchmark never blocks the PR that does it.
+//
+// -max-each, when positive, adds a per-workload gate on top of the
+// geomean: any single common benchmark whose head/base ratio exceeds the
+// limit fails the run, even if every other workload improved enough to
+// pull the geomean under -max-ratio. The geomean catches the slow drift;
+// -max-each catches the one workload a change quietly wrecked.
 package main
 
 import (
@@ -91,15 +97,22 @@ func onlyIn(a, b map[string]float64) []string {
 // gate compares the two parsed runs and writes the report; it returns the
 // process exit code. No common benchmarks is a pass: the base branch
 // predates the benchmarks, so there is nothing to regress against.
-func gate(base, head map[string]float64, maxRatio float64, w io.Writer) int {
+// maxEach, when positive, additionally fails any single benchmark whose
+// ratio exceeds it.
+func gate(base, head map[string]float64, maxRatio, maxEach float64, w io.Writer) int {
 	geomean, names := geomeanRatio(base, head)
 	if len(names) == 0 {
 		fmt.Fprintln(w, "benchgate: no benchmarks in common; nothing to gate")
 		return 0
 	}
+	var overEach []string
 	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "ratio")
 	for _, name := range names {
-		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx\n", name, base[name], head[name], head[name]/base[name])
+		ratio := head[name] / base[name]
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %7.2fx\n", name, base[name], head[name], ratio)
+		if maxEach > 0 && ratio > maxEach {
+			overEach = append(overEach, fmt.Sprintf("%s (%.2fx)", name, ratio))
+		}
 	}
 	for _, name := range onlyIn(base, head) {
 		fmt.Fprintf(w, "%-60s %14.0f %14s\n", name, base[name], "(gone)")
@@ -109,23 +122,32 @@ func gate(base, head map[string]float64, maxRatio float64, w io.Writer) int {
 	}
 	fmt.Fprintf(w, "geomean ratio over %d common benchmark(s): %.2fx (limit %.2fx)\n",
 		len(names), geomean, maxRatio)
+	fail := 0
 	if geomean > maxRatio {
 		fmt.Fprintf(w, "benchgate: FAIL: geomean regression %.2fx exceeds %.2fx\n", geomean, maxRatio)
-		return 1
+		fail = 1
 	}
-	fmt.Fprintln(w, "benchgate: ok")
-	return 0
+	if len(overEach) > 0 {
+		fmt.Fprintf(w, "benchgate: FAIL: %d workload(s) exceed the per-workload limit %.2fx: %s\n",
+			len(overEach), maxEach, strings.Join(overEach, ", "))
+		fail = 1
+	}
+	if fail == 0 {
+		fmt.Fprintln(w, "benchgate: ok")
+	}
+	return fail
 }
 
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	maxRatio := fs.Float64("max-ratio", 2.0, "fail when the geomean head/base ns-per-op ratio exceeds this")
+	maxEach := fs.Float64("max-each", 0, "fail when any single benchmark's head/base ratio exceeds this (0 = geomean only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(errw, "usage: benchgate [-max-ratio 2.0] base.txt head.txt")
+		fmt.Fprintln(errw, "usage: benchgate [-max-ratio 2.0] [-max-each 0] base.txt head.txt")
 		return 2
 	}
 	read := func(path string) (map[string]float64, bool) {
@@ -145,7 +167,7 @@ func run(args []string, out, errw io.Writer) int {
 	if !ok {
 		return 2
 	}
-	return gate(base, head, *maxRatio, out)
+	return gate(base, head, *maxRatio, *maxEach, out)
 }
 
 func main() {

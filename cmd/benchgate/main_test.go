@@ -59,21 +59,44 @@ func TestGeomeanRatio(t *testing.T) {
 func TestGateVerdicts(t *testing.T) {
 	base := map[string]float64{"a": 100, "b": 100}
 	for _, tc := range []struct {
-		name string
-		head map[string]float64
-		max  float64
-		want int
+		name    string
+		head    map[string]float64
+		max     float64
+		maxEach float64
+		want    int
 	}{
-		{"improvement passes", map[string]float64{"a": 50, "b": 50}, 2.0, 0},
-		{"mild regression passes", map[string]float64{"a": 150, "b": 150}, 2.0, 0},
-		{"big regression fails", map[string]float64{"a": 500, "b": 500}, 2.0, 1},
-		{"just over the limit fails", map[string]float64{"a": 201, "b": 201}, 2.0, 1},
-		{"no common benchmarks passes", map[string]float64{"c": 1}, 2.0, 0},
+		{"improvement passes", map[string]float64{"a": 50, "b": 50}, 2.0, 0, 0},
+		{"mild regression passes", map[string]float64{"a": 150, "b": 150}, 2.0, 0, 0},
+		{"big regression fails", map[string]float64{"a": 500, "b": 500}, 2.0, 0, 1},
+		{"just over the limit fails", map[string]float64{"a": 201, "b": 201}, 2.0, 0, 1},
+		{"no common benchmarks passes", map[string]float64{"c": 1}, 2.0, 0, 0},
+		// The per-workload gate: one wrecked workload fails even when a big
+		// speedup elsewhere drags the geomean under the limit.
+		{"one wrecked workload hides in geomean", map[string]float64{"a": 500, "b": 10}, 2.0, 0, 0},
+		{"per-workload gate catches it", map[string]float64{"a": 500, "b": 10}, 2.0, 2.0, 1},
+		{"per-workload gate passes balanced runs", map[string]float64{"a": 150, "b": 150}, 2.0, 2.0, 0},
+		{"per-workload gate at the boundary passes", map[string]float64{"a": 200, "b": 100}, 2.0, 2.0, 0},
 	} {
 		var sb strings.Builder
-		if got := gate(base, tc.head, tc.max, &sb); got != tc.want {
+		if got := gate(base, tc.head, tc.max, tc.maxEach, &sb); got != tc.want {
 			t.Errorf("%s: exit = %d, want %d\n%s", tc.name, got, tc.want, sb.String())
 		}
+	}
+}
+
+func TestGatePerWorkloadReport(t *testing.T) {
+	base := map[string]float64{"a": 100, "b": 100}
+	head := map[string]float64{"a": 300, "b": 20}
+	var sb strings.Builder
+	if got := gate(base, head, 2.0, 2.0, &sb); got != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", got, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "per-workload limit") || !strings.Contains(out, "a (3.00x)") {
+		t.Errorf("report missing per-workload detail:\n%s", out)
+	}
+	if strings.Contains(out, "b (") {
+		t.Errorf("report blames the improved workload:\n%s", out)
 	}
 }
 

@@ -1,0 +1,114 @@
+// Command littletable-router runs the stateless routing tier in front of
+// a set of littletabled shards. It places each table on a shard by
+// consistent hashing (plus a persisted override map maintained by live
+// migrations), proxies table-scoped requests, and scatter-gathers
+// multi-table operations. Clients speak the ordinary wire protocol to
+// the router exactly as they would to a single server.
+//
+// Usage:
+//
+//	littletable-router -addr :9255 -shards host1:9155,host2:9155,host3:9155
+//
+// Any number of router instances may run with the same -shards list and
+// -root; they route identically.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"littletable/internal/client"
+	"littletable/internal/router"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9255", "TCP listen address")
+		shards      = flag.String("shards", "", "comma-separated shard addresses (required)")
+		root        = flag.String("root", "", "directory for the persisted placement override map (empty = in-memory)")
+		vnodes      = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		probe       = flag.Duration("probe-interval", 0, "shard health probe period (0 = default)")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-tenant data-path requests/second (0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-tenant token-bucket burst (0 = derived from -rate-limit)")
+		scatterConc = flag.Int("scatter-concurrency", 0, "shards queried concurrently per scatter operation (0 = default)")
+		poolSize    = flag.Int("pool-size", 0, "connections pooled per shard (0 = default)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "deadline per proxied request including retries (0 = none)")
+		readTO      = flag.Duration("read-timeout", 0, "drop a client connection idle longer than this (0 = no deadline)")
+		writeTO     = flag.Duration("write-timeout", 0, "drop a client connection whose response write stalls this long (0 = no deadline)")
+		maxRequest  = flag.Int("max-request-bytes", 0, "cap a single request frame (0 = protocol max)")
+		metricsAddr = flag.String("metrics-addr", "", "optional HTTP listen address for /metrics and /healthz")
+	)
+	flag.Parse()
+
+	var shardList []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shardList = append(shardList, s)
+		}
+	}
+	if len(shardList) == 0 {
+		log.Fatal("littletable-router: -shards is required")
+	}
+
+	r, err := router.New(router.Options{
+		Shards:             shardList,
+		VirtualNodes:       *vnodes,
+		Root:               *root,
+		ProbeInterval:      *probe,
+		ScatterConcurrency: *scatterConc,
+		RateLimit:          *rateLimit,
+		RateBurst:          *rateBurst,
+		ReadTimeout:        *readTO,
+		WriteTimeout:       *writeTO,
+		MaxRequestBytes:    *maxRequest,
+		Client: client.Options{
+			PoolSize:       *poolSize,
+			RequestTimeout: *reqTimeout,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("littletable-router: %v", err)
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("littletable-router: listen: %v", err)
+	}
+	log.Printf("littletable-router: routing %d shards on %s", len(shardList), lis.Addr())
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("littletable-router: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, r.MetricsHandler()); err != nil {
+				log.Printf("littletable-router: metrics: %v", err)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := r.Serve(lis); err != nil {
+			log.Printf("littletable-router: serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("littletable-router: shutting down")
+	if err := r.Close(); err != nil {
+		log.Printf("littletable-router: close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
 			"parallel", "writeload", "maintain", "netload", "encode",
+			"routerscatter",
 		}
 	}
 	for _, name := range names {
@@ -172,6 +173,15 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.Rows = 200000
 		}
 		return ltbench.RunEncode(cfg)
+	case "routerscatter":
+		cfg := ltbench.RouterScatterConfig{}
+		if full {
+			cfg.Shards = 5
+			cfg.Tables = 50
+			cfg.RowsPerTable = 1000
+			cfg.Queries = 100
+		}
+		return ltbench.RunRouterScatter(cfg)
 	case "maintain":
 		cfg := ltbench.MaintainConfig{}
 		if full {
@@ -190,5 +200,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload encode all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload encode routerscatter all`)
 }

@@ -244,7 +244,14 @@ func (c *Client) Close() error {
 func retryAfterSend(t wire.MsgType) bool {
 	switch t {
 	case wire.MsgHello, wire.MsgListTables, wire.MsgGetSchema, wire.MsgQuery,
-		wire.MsgLatestRow, wire.MsgStats, wire.MsgServerStats, wire.MsgFlushTable:
+		wire.MsgLatestRow, wire.MsgStats, wire.MsgServerStats, wire.MsgFlushTable,
+		// Scatter reads are plain reads. Migration begin/fetch/end are
+		// idempotent by construction: begin refreshes the pin set, fetch
+		// is a positioned read, end releases pins that may already be
+		// released. MigrateInstall is NOT here — a replayed chunk breaks
+		// the staging offset discipline, so its driver restarts at 0.
+		wire.MsgScatterQuery, wire.MsgMigrateBegin, wire.MsgMigrateFetch,
+		wire.MsgMigrateEnd:
 		return true
 	}
 	return false

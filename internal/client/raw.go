@@ -1,0 +1,76 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"littletable/internal/wire"
+)
+
+// Do sends one already-encoded request through the pool's retry policy
+// and returns the raw response. It is the router's proxy primitive: the
+// router routes on the table name inside the payload and forwards the
+// bytes untouched, so every request type the server learns works through
+// the router without a matching typed client method. The retry
+// classification (retryAfterSend) still applies by message type.
+func (c *Client) Do(ctx context.Context, t wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	return c.do(ctx, t, payload)
+}
+
+// ScatterQuery runs one prefix query against every matching table on the
+// server (MsgScatterQuery); the router fans this out per shard and
+// merges the sections.
+func (c *Client) ScatterQuery(ctx context.Context, q *wire.ScatterQuery) (*wire.ScatterRows, error) {
+	mt, resp, err := c.do(ctx, wire.MsgScatterQuery, q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgScatterRows {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeScatterRows(resp)
+}
+
+// MigrateBegin freezes and pins a table's sealed tablets on the server
+// and returns the manifest to copy. Pair with MigrateEnd.
+func (c *Client) MigrateBegin(ctx context.Context, table string) (*wire.MigrateManifest, error) {
+	m := &wire.MigrateBegin{Table: table}
+	mt, resp, err := c.do(ctx, wire.MsgMigrateBegin, m.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgMigrateManifest {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeMigrateManifest(resp)
+}
+
+// MigrateFetch reads up to maxBytes of one pinned tablet's image at the
+// given offset. The returned chunk carries the file's total size.
+func (c *Client) MigrateFetch(ctx context.Context, table, file string, off int64, maxBytes uint32) (*wire.MigrateChunk, error) {
+	m := &wire.MigrateFetch{Table: table, File: file, Offset: off, MaxBytes: maxBytes}
+	mt, resp, err := c.do(ctx, wire.MsgMigrateFetch, m.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgMigrateChunk {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeMigrateChunk(resp)
+}
+
+// MigrateInstall stages one chunk of a tablet image on the target
+// server; the Commit chunk verifies and attaches the tablet. Installs
+// are deliberately NOT retried after an unacknowledged send — a replayed
+// chunk would corrupt the offset discipline; the driver restarts the
+// file at offset 0 instead.
+func (c *Client) MigrateInstall(ctx context.Context, m *wire.MigrateInstall) error {
+	return expectOK(c.do(ctx, wire.MsgMigrateInstall, m.Encode()))
+}
+
+// MigrateEnd releases the export pins taken by MigrateBegin (source
+// side) and any staged install buffers for the table (target side).
+func (c *Client) MigrateEnd(ctx context.Context, table string) error {
+	m := &wire.MigrateEnd{Table: table}
+	return expectOK(c.do(ctx, wire.MsgMigrateEnd, m.Encode()))
+}

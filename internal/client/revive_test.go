@@ -1,0 +1,167 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/server"
+)
+
+func newRawServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Options{
+		Root:                t.TempDir(),
+		Core:                core.Options{Clock: clock.Real{}},
+		MaintenanceInterval: 50 * time.Millisecond,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// listenOn binds addr, retrying briefly: rebinding a just-closed listener
+// address can transiently fail.
+func listenOn(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lis, err := net.Listen("tcp", addr)
+		if err == nil {
+			return lis
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPoolSurvivesDeadThenRevivedEndpoint covers the endpoint lifecycle a
+// router sees daily: a shard stops accepting (dial failures), dies
+// entirely, and comes back at the same address. Dial failures must not
+// poison pooled healthy connections, and recovery must need no pool
+// restart — the next request redials.
+func TestPoolSurvivesDeadThenRevivedEndpoint(t *testing.T) {
+	s1 := newRawServer(t)
+	lis := listenOn(t, "127.0.0.1:0")
+	addr := lis.Addr().String()
+	go s1.Serve(lis)
+
+	c, err := DialContext(background(), addr, Options{
+		PoolSize:       4,
+		DialTimeout:    500 * time.Millisecond,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  5 * time.Millisecond,
+		JitterSeed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ListTables(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the shard stops accepting, but its established connection
+	// stays up. The one pooled conn must keep serving requests even while
+	// fresh dials fail.
+	lis.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c.ListTables(); err != nil {
+			t.Fatalf("pooled conn request %d with listener closed: %v", i, err)
+		}
+	}
+	// Concurrent burst: siblings that lose the race for the idle conn hit
+	// dial failures. Those failures must not break the healthy conn.
+	var wg sync.WaitGroup
+	var okCount, failCount int
+	var cnt sync.Mutex
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.ListTables()
+			cnt.Lock()
+			if err == nil {
+				okCount++
+			} else {
+				failCount++
+			}
+			cnt.Unlock()
+		}()
+	}
+	wg.Wait()
+	if okCount == 0 {
+		t.Fatal("no burst request reached the pooled conn")
+	}
+	t.Logf("burst with listener closed: %d ok, %d dial-failed", okCount, failCount)
+	if _, err := c.ListTables(); err != nil {
+		t.Fatalf("pooled conn poisoned by sibling dial failures: %v", err)
+	}
+
+	// Phase 2: the shard dies outright. Requests fail with a transport
+	// error (ErrDisconnected), not a hang.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ListTables(); err == nil {
+		t.Fatal("request succeeded against a dead server")
+	} else if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("dead server error = %v, want ErrDisconnected", err)
+	}
+
+	// Phase 3: a new process revives the address. The same client object
+	// must recover on its own — dead idle conns fail the health probe and
+	// the request redials.
+	s2 := newRawServer(t)
+	if _, err := s2.CreateTable("revived", eventsSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	lis2 := listenOn(t, addr)
+	go s2.Serve(lis2)
+	defer s2.Close()
+
+	var names []string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		names, err = c.ListTables()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never recovered after revival: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(names) != 1 || names[0] != "revived" {
+		t.Fatalf("recovered ListTables = %v, want [revived]", names)
+	}
+	// And the pool is fully functional, not limping on one conn: a
+	// concurrent burst against the revived server all succeeds.
+	var errOnce sync.Mutex
+	var firstErr error
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.ListTables(); err != nil {
+				errOnce.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errOnce.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("burst after revival: %v", firstErr)
+	}
+}

@@ -64,6 +64,11 @@ func (t *Table) maintBroadcastLocked() {
 // t.mu; merge retry backoff is honored here so every path (serial
 // MergeStep, workers, quiet checks) sees the same schedule.
 func (t *Table) claimMergeLocked(now int64, dry bool) *maintClaim {
+	if t.maintHold > 0 {
+		// An export is copying sealed tablets out; merging would replace
+		// pinned inputs and void the migration's grow-only snapshot.
+		return nil
+	}
 	if t.mergeFails > 0 && now < t.mergeRetryAt {
 		return nil
 	}
@@ -133,7 +138,7 @@ func (t *Table) claimMergeLocked(now int64, dry bool) *maintClaim {
 // least one tablet right now, maintaining the waiting-since marker that
 // feeds Stats.ExpiryWaitNs. Caller holds t.mu.
 func (t *Table) expiryDueLocked(now int64) bool {
-	if t.ttl <= 0 || t.expiring {
+	if t.ttl <= 0 || t.expiring || t.maintHold > 0 {
 		return false
 	}
 	cutoff := now - t.ttl

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"littletable/internal/clock"
+)
+
+// exportAll reads every exported tablet's full byte image.
+func exportAll(t *testing.T, tab *Table, infos []TabletInfo) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(infos))
+	for _, in := range infos {
+		buf := make([]byte, in.Bytes)
+		var off int64
+		for off < in.Bytes {
+			n, total, err := tab.ReadExportAt(in.File, off, buf[off:])
+			if err != nil {
+				t.Fatalf("ReadExportAt %s@%d: %v", in.File, off, err)
+			}
+			if total != in.Bytes {
+				t.Fatalf("ReadExportAt total %d, manifest says %d", total, in.Bytes)
+			}
+			if n == 0 {
+				t.Fatalf("ReadExportAt %s@%d: zero read", in.File, off)
+			}
+			off += int64(n)
+		}
+		out[in.File] = buf
+	}
+	return out
+}
+
+func TestExportInstallRoundTrip(t *testing.T) {
+	src := newTestTable(t, Options{})
+	now := src.clk.Now()
+	var want []int64
+	for i := int64(0); i < 50; i++ {
+		mustInsert(t, src.Table, usageRow(1, i, now+i*clock.Second, float64(i), i))
+		want = append(want, i)
+	}
+	// Two flushes so the export has more than one tablet.
+	if i := int64(50); true {
+		if err := src.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		mustInsert(t, src.Table, usageRow(1, i, now+i*clock.Second, float64(i), i))
+		want = append(want, i)
+	}
+
+	infos, err := src.BeginExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.EndExport()
+	if len(infos) < 2 {
+		t.Fatalf("expected >=2 exported tablets, got %d", len(infos))
+	}
+	images := exportAll(t, src.Table, infos)
+
+	// Install onto a fresh table — the target shard's replica.
+	dstDir := t.TempDir()
+	dst, err := CreateTable(dstDir, "usage", usageSchema(), 0, Options{Clock: clock.NewFake(testStart)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	for _, in := range infos {
+		if err := dst.InstallTablet(images[in.File], in.RowCount, in.MinTs, in.MaxTs); err != nil {
+			t.Fatalf("InstallTablet %s: %v", in.File, err)
+		}
+	}
+	rows := queryBox(t, dst, NewQuery())
+	if len(rows) != len(want) {
+		t.Fatalf("replica has %d rows, want %d", len(rows), len(want))
+	}
+	if got := dst.Stats().TabletsInstalled.Load(); got != int64(len(infos)) {
+		t.Errorf("TabletsInstalled = %d, want %d", got, len(infos))
+	}
+
+	// The replica must survive reopen: installs are descriptor-committed.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenTable(dstDir, "usage", Options{Clock: clock.NewFake(testStart)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rows = queryBox(t, re, NewQuery())
+	if len(rows) != len(want) {
+		t.Fatalf("reopened replica has %d rows, want %d", len(rows), len(want))
+	}
+}
+
+func TestInstallTabletRejectsCorruptImage(t *testing.T) {
+	src := newTestTable(t, Options{})
+	now := src.clk.Now()
+	for i := int64(0); i < 20; i++ {
+		mustInsert(t, src.Table, usageRow(1, i, now+i, 1.0, i))
+	}
+	infos, err := src.BeginExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.EndExport()
+	images := exportAll(t, src.Table, infos)
+	in := infos[0]
+	img := images[in.File]
+
+	dst := newTestTable(t, Options{})
+	// Flip a byte mid-file: block checksum verification must catch it.
+	bad := append([]byte(nil), img...)
+	bad[len(bad)/2] ^= 0xff
+	if err := dst.InstallTablet(bad, in.RowCount, in.MinTs, in.MaxTs); err == nil {
+		t.Fatal("corrupt image installed without error")
+	}
+	// Truncation must be caught too.
+	if err := dst.InstallTablet(img[:len(img)-7], in.RowCount, in.MinTs, in.MaxTs); err == nil {
+		t.Fatal("truncated image installed without error")
+	}
+	// Metadata mismatch (wrong advertised row count) must be caught.
+	if err := dst.InstallTablet(img, in.RowCount+1, in.MinTs, in.MaxTs); err == nil {
+		t.Fatal("row-count mismatch installed without error")
+	}
+	if n := dst.DiskTabletCount(); n != 0 {
+		t.Fatalf("failed installs left %d disk tablets", n)
+	}
+	// A good image still installs after the failures.
+	if err := dst.InstallTablet(img, in.RowCount, in.MinTs, in.MaxTs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportPinsSurviveDrop(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	for i := int64(0); i < 10; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now+i, 1.0, i))
+	}
+	infos, err := tt.BeginExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no tablets exported")
+	}
+	// Delete every row: the tablets are dropped from the descriptor, but
+	// the export pins must keep the files readable.
+	if _, err := tt.DeleteWhere(NewQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, infos[0].Bytes)
+	if _, _, err := tt.ReadExportAt(infos[0].File, 0, img); err != nil {
+		t.Fatalf("pinned tablet unreadable after drop: %v", err)
+	}
+	tt.EndExport()
+	// After the pins are gone the file is deleted with them.
+	if _, _, err := tt.ReadExportAt(infos[0].File, 0, img); err == nil {
+		t.Fatal("read succeeded after EndExport")
+	} else if !errors.Is(err, ErrNoExport) {
+		t.Fatalf("want ErrNoExport, got %v", err)
+	}
+}
+
+func TestMaintenanceHoldBlocksMergeAndExpiry(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	// Several small tablets in one period: normally merge candidates.
+	for i := int64(0); i < 6; i++ {
+		mustInsert(t, tt.Table, usageRow(1, i, now+i, 1.0, i))
+		if err := tt.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tt.AlterTTL(clock.Second); err != nil {
+		t.Fatal(err)
+	}
+	release := tt.HoldMaintenance()
+	// Let wall-clock style maintenance run with everything expired and
+	// mergeable: the hold must stop both.
+	tt.clk.Advance(3600 * clock.Second)
+	before := tt.DiskTabletCount()
+	for i := 0; i < 5; i++ {
+		if _, err := tt.MaintStep(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tt.ExpireNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tt.DiskTabletCount(); got != before {
+		t.Fatalf("maintenance ran under hold: %d -> %d tablets", before, got)
+	}
+	release()
+	// Released: expiry reclaims everything expired.
+	if err := tt.ExpireNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.DiskTabletCount(); got != 0 {
+		t.Fatalf("expiry after release left %d tablets", got)
+	}
+	release() // double release is a no-op
+}
+
+func TestBeginExportRefreshGrowsSnapshot(t *testing.T) {
+	tt := newTestTable(t, Options{})
+	now := tt.clk.Now()
+	mustInsert(t, tt.Table, usageRow(1, 1, now, 1.0, 0))
+	first, err := tt.BeginExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tt.EndExport()
+	// New rows after the first pass: a refresh must include their tablets
+	// and keep every earlier tablet (maintenance is held, the set only
+	// grows).
+	mustInsert(t, tt.Table, usageRow(1, 2, now+1, 2.0, 1))
+	second, err := tt.BeginExport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) <= len(first) {
+		t.Fatalf("refresh did not grow: %d -> %d", len(first), len(second))
+	}
+	seqs := make(map[uint64]bool, len(second))
+	for _, in := range second {
+		seqs[in.Seq] = true
+	}
+	for _, in := range first {
+		if !seqs[in.Seq] {
+			t.Fatalf("refresh lost tablet seq %d", in.Seq)
+		}
+	}
+}

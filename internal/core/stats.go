@@ -56,6 +56,10 @@ type Stats struct {
 	MaintenanceBytesThrottled atomic.Int64 // maintenance I/O bytes delayed by the budget
 	MaintenanceThrottleNs     atomic.Int64 // ns maintenance spent blocked in the budget
 
+	// Migration counters (sealed-tablet shipping between shards).
+	TabletsInstalled atomic.Int64 // tablets received from another shard and published
+	BytesInstalled   atomic.Int64 // bytes of those tablets
+
 	// Block-encoding counters (flush + merge + retention rewrites).
 	BlocksEncoded         atomic.Int64 // blocks finished by tablet writers
 	BlocksEncodedColumnar atomic.Int64 // blocks that chose the columnar layout
@@ -123,6 +127,9 @@ type StatsSnapshot struct {
 	MaintenanceBytesThrottled int64
 	MaintenanceThrottleNs     int64
 
+	TabletsInstalled int64
+	BytesInstalled   int64
+
 	BlocksEncoded         int64
 	BlocksEncodedColumnar int64
 	BytesBeforeEncode     int64
@@ -177,6 +184,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ExpiryRuns:                s.ExpiryRuns.Load(),
 		MaintenanceBytesThrottled: s.MaintenanceBytesThrottled.Load(),
 		MaintenanceThrottleNs:     s.MaintenanceThrottleNs.Load(),
+
+		TabletsInstalled: s.TabletsInstalled.Load(),
+		BytesInstalled:   s.BytesInstalled.Load(),
 
 		BlocksEncoded:         s.BlocksEncoded.Load(),
 		BlocksEncodedColumnar: s.BlocksEncodedColumnar.Load(),

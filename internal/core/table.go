@@ -170,6 +170,15 @@ type Table struct {
 	mergeFails   int
 	mergeRetryAt int64
 
+	// Export state (guarded by mu): the pinned sealed-tablet snapshot a
+	// migration is copying out, keyed by file name, and the count of
+	// outstanding maintenance holds. While maintHold > 0 no merge is
+	// claimed and no TTL expiry runs, so the disk tablet set only grows
+	// (flushes are unaffected — they only add tablets); that monotonicity
+	// is what lets a migration's cutover pass copy just the delta.
+	exports   map[string]*diskTablet
+	maintHold int
+
 	// asyncErr latches a row-loss error (ErrRowsLost) from a background
 	// flush so the next foreground caller returns it instead of the loss
 	// surviving only as a log line. Guarded by mu; cleared when taken.

@@ -14,7 +14,7 @@ func (t *Table) expireTTL(now int64) error {
 		t.mu.Unlock()
 		return ErrTableClosed
 	}
-	if t.ttl <= 0 || t.expiring {
+	if t.ttl <= 0 || t.expiring || t.maintHold > 0 {
 		t.mu.Unlock()
 		return nil
 	}

@@ -1,0 +1,237 @@
+package ltbench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"littletable/internal/client"
+	"littletable/internal/netfault"
+	"littletable/internal/router"
+	"littletable/internal/schema"
+	"littletable/internal/server"
+	"littletable/internal/wire"
+)
+
+// RouterScatterConfig sizes the shard-router experiment: tables spread
+// across an in-process shard cluster by the consistent-hash ring, read
+// back through the router both one table at a time (the pre-router
+// client's only option) and as a single scatter-gather query — on a
+// loopback link and on one with injected latency.
+type RouterScatterConfig struct {
+	// Shards is the cluster size; default 3.
+	Shards int
+	// Tables is how many prefix-matched tables the ring spreads; default 12.
+	Tables int
+	// RowsPerTable is the rows inserted per table; default 200.
+	RowsPerTable int
+	// RowBytes approximates the encoded row size; default 128.
+	RowBytes int
+	// Queries is the measurement repetition count; default 30.
+	Queries int
+	// Latency is the injected per-chunk delay ceiling for the slow-link
+	// series; default 2ms (uniform in [0, Latency)).
+	Latency time.Duration
+	Dir     string // temp-dir parent; "" = system default
+}
+
+func (c *RouterScatterConfig) defaults() {
+	if c.Shards == 0 {
+		c.Shards = 3
+	}
+	if c.Tables == 0 {
+		c.Tables = 12
+	}
+	if c.RowsPerTable == 0 {
+		c.RowsPerTable = 200
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 128
+	}
+	if c.Queries == 0 {
+		c.Queries = 30
+	}
+	if c.Latency == 0 {
+		c.Latency = 2 * time.Millisecond
+	}
+}
+
+// RunRouterScatter measures multi-table read throughput through the
+// routing tier, two ways on two links. The per-table baseline walks the
+// tables one Query at a time through the router — each table pays its own
+// router→shard round trip, serially. The scatter series issues one
+// ScatterQuery that the router fans out to every shard concurrently and
+// merges sorted. On loopback the baseline often wins: per-table requests
+// relay through the router as raw bytes while scatter decodes and merges
+// every row. With realistic shard-link latency the economics invert —
+// per-table cost grows with the table count, scatter stays at one
+// concurrent fan-out — which is the point: §2.2's one-table-per-customer
+// layout makes prefix reads the common multi-table shape, and the router
+// prices them at one round trip.
+func RunRouterScatter(cfg RouterScatterConfig) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Figure: "routerscatter",
+		Title:  "shard router: multi-table read throughput, per-table vs scatter-gather",
+	}
+	perClean, scatClean, err := runRouterScatterOnce(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	perSlow, scatSlow, err := runRouterScatterOnce(cfg, cfg.Latency)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = []Series{
+		{Name: "per-table queries (rows/s)", Points: []Point{
+			{X: 0, Y: perClean, Label: "loopback"},
+			{X: 1, Y: perSlow, Label: fmt.Sprintf("%v link", cfg.Latency)},
+		}},
+		{Name: "scatter-gather (rows/s)", Points: []Point{
+			{X: 0, Y: scatClean, Label: "loopback"},
+			{X: 1, Y: scatSlow, Label: fmt.Sprintf("%v link", cfg.Latency)},
+		}},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d tables x %d rows across %d shards; scatter/per-table ratio %.2fx on loopback, %.2fx with %v shard-link latency — scatter pays one concurrent fan-out where the baseline pays one round trip per table",
+		cfg.Tables, cfg.RowsPerTable, cfg.Shards, scatClean/perClean, scatSlow/perSlow, cfg.Latency))
+	return res, nil
+}
+
+// runRouterScatterOnce builds one cluster — shards, optional latency
+// proxies on the router→shard links, a router, a client — loads the
+// tables, and returns per-table and scatter rows/s.
+func runRouterScatterOnce(cfg RouterScatterConfig, latency time.Duration) (perTable, scatter float64, err error) {
+	dir, err := scratchDir(cfg.Dir, "routerscatter")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer scratchRemove(dir)
+
+	// Real shards, real router, real TCP between all tiers.
+	var shardAddrs []string
+	for i := 0; i < cfg.Shards; i++ {
+		sdir, err := scratchDir(dir, fmt.Sprintf("shard%d", i))
+		if err != nil {
+			return 0, 0, err
+		}
+		srv, err := server.New(server.Options{
+			Root:                sdir,
+			MaintenanceInterval: 100 * time.Millisecond,
+			Logf:                func(string, ...interface{}) {},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer srv.Close()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, err
+		}
+		go srv.Serve(lis)
+		addr := lis.Addr().String()
+		if latency > 0 {
+			p, perr := netfault.New(addr, netfault.Config{Seed: int64(i) + 1, LatencyMax: latency})
+			if perr != nil {
+				return 0, 0, perr
+			}
+			defer p.Close()
+			addr = p.Addr()
+		}
+		shardAddrs = append(shardAddrs, addr)
+	}
+	r, err := router.New(router.Options{
+		Shards: shardAddrs,
+		Logf:   func(string, ...interface{}) {},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	go r.Serve(rlis)
+
+	c, err := client.DialContext(context.Background(), rlis.Addr().String(), client.Options{
+		DialTimeout: 5 * time.Second,
+		JitterSeed:  1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	// One table per "customer", loaded through the router.
+	rng := newXorshift(7)
+	handles := make([]*client.Table, cfg.Tables)
+	for i := range handles {
+		name := fmt.Sprintf("cust%03d_flows", i)
+		if err := c.CreateTable(name, benchSchema(), 0); err != nil {
+			return 0, 0, err
+		}
+		tab, err := c.OpenTable(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		handles[i] = tab
+		batch := make([]schema.Row, 0, 64)
+		for done := 0; done < cfg.RowsPerTable; {
+			n := 64
+			if n > cfg.RowsPerTable-done {
+				n = cfg.RowsPerTable - done
+			}
+			batch = batch[:0]
+			for j := 0; j < n; j++ {
+				seq := int64(i*cfg.RowsPerTable + done + j)
+				batch = append(batch, benchRow(rng, seq, seq, cfg.RowBytes))
+			}
+			if err := tab.InsertNow(batch); err != nil {
+				return 0, 0, err
+			}
+			done += n
+		}
+	}
+	wantRows := cfg.Tables * cfg.RowsPerTable
+
+	// Baseline: one Query per table, sequentially, through the router.
+	start := time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		got := 0
+		for _, tab := range handles {
+			it := tab.QueryCtx(context.Background(), client.NewQuery())
+			for it.Next() {
+				got++
+			}
+			if err := it.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
+		if got != wantRows {
+			return 0, 0, fmt.Errorf("per-table pass read %d rows, want %d", got, wantRows)
+		}
+	}
+	perTable = float64(wantRows*cfg.Queries) / time.Since(start).Seconds()
+
+	// Scatter: one prefix query, the router fans out and merges.
+	start = time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		sr, err := c.ScatterQuery(context.Background(), &wire.ScatterQuery{
+			Prefix: "cust", MaxTs: 1 << 62,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		got := 0
+		for _, sec := range sr.Tables {
+			got += len(sec.Rows)
+		}
+		if got != wantRows {
+			return 0, 0, fmt.Errorf("scatter pass read %d rows, want %d", got, wantRows)
+		}
+	}
+	scatter = float64(wantRows*cfg.Queries) / time.Since(start).Seconds()
+	return perTable, scatter, nil
+}

@@ -1,0 +1,220 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"littletable/internal/client"
+	"littletable/internal/wire"
+)
+
+// migrateChunkBytes is the fetch/install chunk size. Big enough to
+// amortize round-trips, small enough to stay far under wire.MaxFrame.
+const migrateChunkBytes = 1 << 20
+
+// migrateInstallRetries is how many times one tablet's transfer restarts
+// from offset 0 after a failure. MigrateInstall is never retried blind
+// (a replayed chunk would corrupt the staging offset), so recovery is
+// always restart-the-file.
+const migrateInstallRetries = 2
+
+// Migrate moves a table to the shard at targetAddr by shipping its
+// sealed tablets — the §6 observation that immutable tablets make
+// replication a file copy, applied to rebalancing. Two phases:
+//
+// Phase A (live): freeze-flush the source (MigrateBegin pins the sealed
+// tablet set and holds maintenance, so the set only grows), create the
+// table on the target, and copy every pinned tablet while the table
+// keeps serving reads and writes through the router.
+//
+// Phase B (cutover): close the router's per-table gate and drain
+// in-flight requests, refresh the manifest (a second MigrateBegin — the
+// new set is a superset unless rows were deleted), copy the delta, flip
+// the placement override (persisted), reopen the gate, then release the
+// source's pins and drop the source table. If a delete shrank the set so
+// that an already-installed tablet vanished from the manifest, the
+// target copy is dropped and rebuilt from scratch under the gate — rare,
+// and correctness beats speed there.
+//
+// The gate only covers traffic routed through this router instance;
+// clients writing to the source directly during a migration race it,
+// exactly as they would racing a DROP TABLE.
+func (r *Router) Migrate(ctx context.Context, table, targetAddr string) error {
+	ti := r.shardIndex(targetAddr)
+	if ti < 0 {
+		return fmt.Errorf("router: %q is not a configured shard", targetAddr)
+	}
+	target := r.shards[ti]
+	source := r.shardFor(table)
+	if source.addr == targetAddr {
+		return nil // already there
+	}
+	if !source.up() {
+		return fmt.Errorf("router: source shard %s down", source.addr)
+	}
+	if target.state.Load() != shardUp {
+		return fmt.Errorf("router: target shard %s not up", targetAddr)
+	}
+	srcCl, err := source.client(ctx)
+	if err != nil {
+		return fmt.Errorf("router: source %s: %v", source.addr, err)
+	}
+	dstCl, err := target.client(ctx)
+	if err != nil {
+		return fmt.Errorf("router: target %s: %v", targetAddr, err)
+	}
+
+	// Phase A: copy live. The source keeps serving; maintenance is held so
+	// the pinned set only grows.
+	man, err := srcCl.MigrateBegin(ctx, table)
+	if err != nil {
+		return fmt.Errorf("router: migrate begin: %w", err)
+	}
+	fail := func(err error) error {
+		// Release source pins and target staging on the way out; best
+		// effort — EndExport is idempotent and probe-healed shards will
+		// accept it later.
+		if eerr := srcCl.MigrateEnd(context.WithoutCancel(ctx), table); eerr != nil {
+			r.opts.Logf("router: migrate %q cleanup: %v", table, eerr)
+		}
+		return err
+	}
+	if err := recreateTable(dstCl, table, man); err != nil {
+		return fail(fmt.Errorf("router: migrate create target: %w", err))
+	}
+	installed := make(map[string]int64, len(man.Tablets))
+	var shipped int64
+	for _, tab := range man.Tablets {
+		n, err := r.copyTablet(ctx, srcCl, dstCl, table, tab)
+		if err != nil {
+			return fail(fmt.Errorf("router: migrate copy %s: %w", tab.File, err))
+		}
+		installed[tab.File] = tab.Bytes
+		shipped += n
+	}
+
+	// Phase B: cutover. Gate the table, drain this router's in-flight
+	// requests, then copy whatever arrived since phase A.
+	unfreeze, err := r.freezeTable(ctx, table)
+	if err != nil {
+		return fail(err)
+	}
+	defer unfreeze()
+	man2, err := srcCl.MigrateBegin(ctx, table)
+	if err != nil {
+		return fail(fmt.Errorf("router: migrate refresh: %w", err))
+	}
+	inManifest := make(map[string]int64, len(man2.Tablets))
+	for _, tab := range man2.Tablets {
+		inManifest[tab.File] = tab.Bytes
+	}
+	shrunk := false
+	for file, bytes := range installed {
+		if b, ok := inManifest[file]; !ok || b != bytes {
+			shrunk = true
+			break
+		}
+	}
+	if shrunk {
+		// A DeleteWhere removed tablets we already shipped; the installed
+		// copy over-represents the table. Rebuild the target from the
+		// fresh manifest under the gate.
+		r.opts.Logf("router: migrate %q: source shrank; full recopy", table)
+		if err := recreateTable(dstCl, table, man2); err != nil {
+			return fail(fmt.Errorf("router: migrate recreate target: %w", err))
+		}
+		installed = make(map[string]int64, len(man2.Tablets))
+		shipped = 0
+	}
+	for _, tab := range man2.Tablets {
+		if _, done := installed[tab.File]; done {
+			continue
+		}
+		n, err := r.copyTablet(ctx, srcCl, dstCl, table, tab)
+		if err != nil {
+			return fail(fmt.Errorf("router: migrate copy delta %s: %w", tab.File, err))
+		}
+		installed[tab.File] = tab.Bytes
+		shipped += n
+	}
+	if err := r.setPlacement(table, targetAddr); err != nil {
+		return fail(err)
+	}
+	unfreeze()
+
+	// The table now lives on the target; release the source's pins and
+	// drop its copy. Failures here leave a harmless orphan on the source
+	// (it no longer receives traffic) — log, don't fail the migration.
+	if err := srcCl.MigrateEnd(context.WithoutCancel(ctx), table); err != nil {
+		r.opts.Logf("router: migrate %q: end on source: %v", table, err)
+	} else if err := srcCl.DropTable(table); err != nil {
+		r.opts.Logf("router: migrate %q: drop on source: %v", table, err)
+	}
+	r.stats.MigrationsCompleted.Add(1)
+	r.stats.MigratedBytes.Add(shipped)
+	r.opts.Logf("router: migrated %q %s -> %s (%d tablets, %d bytes)",
+		table, source.addr, targetAddr, len(installed), shipped)
+	return nil
+}
+
+// recreateTable creates table on the target from the manifest's schema,
+// dropping any existing copy first (a leftover from an earlier failed
+// attempt, or a namesake — either way the migrated data is authoritative).
+func recreateTable(dstCl *client.Client, table string, man *wire.MigrateManifest) error {
+	if err := dstCl.DropTable(table); err != nil {
+		var re *client.RemoteError
+		if !errors.As(err, &re) || !strings.Contains(re.Msg, "no such table") {
+			return err
+		}
+	}
+	return dstCl.CreateTable(table, man.Schema, man.TTL)
+}
+
+// copyTablet ships one pinned tablet image source→target in chunks,
+// restarting the whole file (offset 0) on failure — installs are never
+// blind-retried mid-file. Returns the bytes shipped (including restarts).
+func (r *Router) copyTablet(ctx context.Context, srcCl, dstCl *client.Client, table string, tab wire.MigrateTabletInfo) (int64, error) {
+	var shipped int64
+	var lastErr error
+	for attempt := 0; attempt <= migrateInstallRetries; attempt++ {
+		if attempt > 0 {
+			r.opts.Logf("router: migrate %q: restarting %s after %v", table, tab.File, lastErr)
+		}
+		var off int64
+		for {
+			ch, err := srcCl.MigrateFetch(ctx, table, tab.File, off, migrateChunkBytes)
+			if err != nil {
+				lastErr = err
+				break
+			}
+			if ch.Total != tab.Bytes {
+				return shipped, fmt.Errorf("tablet %s is %d bytes, manifest says %d", tab.File, ch.Total, tab.Bytes)
+			}
+			if len(ch.Data) == 0 {
+				lastErr = fmt.Errorf("empty chunk at offset %d", off)
+				break
+			}
+			last := off+int64(len(ch.Data)) == ch.Total
+			err = dstCl.MigrateInstall(ctx, &wire.MigrateInstall{
+				Table: table, File: tab.File, Offset: off, Total: ch.Total,
+				RowCount: tab.RowCount, MinTs: tab.MinTs, MaxTs: tab.MaxTs,
+				Commit: last, Data: ch.Data,
+			})
+			if err != nil {
+				lastErr = err
+				break
+			}
+			off += int64(len(ch.Data))
+			shipped += int64(len(ch.Data))
+			if last {
+				return shipped, nil
+			}
+		}
+		if ctx.Err() != nil {
+			return shipped, ctx.Err()
+		}
+	}
+	return shipped, lastErr
+}

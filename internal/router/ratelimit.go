@@ -1,0 +1,75 @@
+package router
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// tenantOf maps a table name to its tenant: the prefix before the first
+// underscore, or the whole name. The deployment convention (§2.2) is one
+// table per customer per data type, named <tenant>_<kind>, so the tenant
+// bucket throttles a whole customer, not one of its tables.
+func tenantOf(table string) string {
+	if i := strings.IndexByte(table, '_'); i > 0 {
+		return table[:i]
+	}
+	return table
+}
+
+// tenantLimiter is a per-tenant token bucket: rate tokens/second with a
+// burst ceiling. A refused request gets the typed retryable Overloaded
+// refusal, so well-behaved clients back off rather than drop data.
+type tenantLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tenantLimiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from the tenant's bucket, reporting whether the
+// request may proceed. A nil limiter allows everything.
+func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.buckets[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens += dt * l.rate
+		if bk.tokens > l.burst {
+			bk.tokens = l.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}

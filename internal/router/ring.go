@@ -1,0 +1,71 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard indices. Each shard owns
+// VirtualNodes points on a 64-bit circle; a table lands on the first
+// point at or after its own hash. Placement depends only on the shard
+// address list, so every stateless router instance computes the same
+// owner for the same table — no coordination service needed (the paper's
+// deployment assigns customers to shards statically, §2.2; the ring is
+// that assignment made automatic).
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV alone clusters on short, similar inputs (vnode labels differ by
+	// one digit); a murmur3-style finalizer restores avalanche so ring
+	// points spread uniformly.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds the ring for the given shard addresses. Virtual nodes
+// smooth the distribution: with vnodes ~128 the max/mean table load
+// ratio stays near 1.
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodes)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s#%d", addr, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Ties broken by shard index so every router agrees.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// owner returns the shard index owning the table.
+func (r *ring) owner(table string) int {
+	h := hash64(table)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

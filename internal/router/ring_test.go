@@ -1,0 +1,66 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1 := newRing(addrs, DefaultVirtualNodes)
+	r2 := newRing(addrs, DefaultVirtualNodes)
+	const tables = 2000
+	counts := make([]int, len(addrs))
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("cust%d_usage", i)
+		o := r1.owner(name)
+		if o2 := r2.owner(name); o2 != o {
+			t.Fatalf("ring not deterministic: %q -> %d vs %d", name, o, o2)
+		}
+		counts[o]++
+	}
+	for i, c := range counts {
+		// Perfect balance is 500 each; vnodes keep shards within a loose
+		// band. A hard skew means the ring is broken, not just unlucky.
+		if c < tables/len(addrs)/2 || c > tables/len(addrs)*2 {
+			t.Errorf("shard %d owns %d of %d tables: ring badly skewed %v", i, c, tables, counts)
+		}
+	}
+}
+
+func TestRingStabilityOnShardAdd(t *testing.T) {
+	base := []string{"a:1", "b:1", "c:1"}
+	grown := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1 := newRing(base, DefaultVirtualNodes)
+	r2 := newRing(grown, DefaultVirtualNodes)
+	const tables = 2000
+	moved := 0
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("cust%d_usage", i)
+		if base[r1.owner(name)] != grown[r2.owner(name)] {
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/N of keys when a shard joins; anything
+	// near a full reshuffle defeats the point.
+	if moved > tables/2 {
+		t.Errorf("adding one shard moved %d of %d tables", moved, tables)
+	}
+	if moved == 0 {
+		t.Error("adding a shard moved nothing; new shard owns no tables")
+	}
+}
+
+func TestRingTiesAcrossShardOrder(t *testing.T) {
+	// The ring hashes addresses, so shard-list order must not matter.
+	a := newRing([]string{"a:1", "b:1", "c:1"}, DefaultVirtualNodes)
+	b := newRing([]string{"c:1", "b:1", "a:1"}, DefaultVirtualNodes)
+	addrsA := []string{"a:1", "b:1", "c:1"}
+	addrsB := []string{"c:1", "b:1", "a:1"}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if addrsA[a.owner(name)] != addrsB[b.owner(name)] {
+			t.Fatalf("table %q owner depends on shard-list order", name)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package router
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"littletable/internal/client"
+	"littletable/internal/wire"
+)
+
+// fanOut runs fn against every listed shard with bounded concurrency.
+// The first error cancels the context handed to the remaining calls, so
+// a stuck shard cannot pin the whole scatter — end-to-end cancellation
+// flows from the router's base context through each per-shard client
+// request. Results land in out[i] for shards[i]; a nil error means every
+// fn returned nil.
+func (r *Router) fanOut(ctx context.Context, shards []*shard, fn func(ctx context.Context, sh *shard, cl *client.Client) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, r.opts.ScatterConcurrency)
+	errc := make(chan error, len(shards))
+	for _, sh := range shards {
+		sem <- struct{}{}
+		go func(sh *shard) {
+			defer func() { <-sem }()
+			cl, err := sh.client(ctx)
+			if err == nil {
+				err = fn(ctx, sh, cl)
+			}
+			if err != nil {
+				cancel()
+			}
+			errc <- err
+		}(sh)
+	}
+	var first error
+	for range shards {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// upShards returns the shards the prober considers alive.
+func (r *Router) upShards() (up []*shard, down []*shard) {
+	for _, sh := range r.shards {
+		if sh.up() {
+			up = append(up, sh)
+		} else {
+			down = append(down, sh)
+		}
+	}
+	return up, down
+}
+
+// handleListTables merges every live shard's table list. Down shards are
+// skipped (and logged): listing is a monitoring operation, and a partial
+// list beats no list during an outage.
+func (r *Router) handleListTables(wc *wire.Conn) error {
+	up, downShards := r.upShards()
+	r.stats.ScatterFanout.Add(int64(len(up)))
+	lists := make([][]string, len(up))
+	idx := make(map[*shard]int, len(up))
+	for i, sh := range up {
+		idx[sh] = i
+	}
+	err := r.fanOut(r.baseCtx, up, func(ctx context.Context, sh *shard, cl *client.Client) error {
+		names, err := cl.ListTablesCtx(ctx)
+		if err != nil {
+			return err
+		}
+		lists[idx[sh]] = names
+		return nil
+	})
+	if err != nil {
+		return r.sendErr(wc, err)
+	}
+	for _, sh := range downShards {
+		r.opts.Logf("router: list-tables skipping down shard %s", sh.addr)
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, l := range lists {
+		for _, n := range l {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	m := &wire.TableList{Names: names}
+	return wc.WriteMsg(wire.MsgTableList, m.Encode())
+}
+
+// handleServerStats sums every live shard's connection counters — the
+// cluster-wide view of the numbers each server exposes.
+func (r *Router) handleServerStats(wc *wire.Conn) error {
+	up, _ := r.upShards()
+	r.stats.ScatterFanout.Add(int64(len(up)))
+	results := make([]*wire.ServerStatsResult, len(up))
+	idx := make(map[*shard]int, len(up))
+	for i, sh := range up {
+		idx[sh] = i
+	}
+	err := r.fanOut(r.baseCtx, up, func(ctx context.Context, sh *shard, cl *client.Client) error {
+		st, err := cl.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		results[idx[sh]] = st
+		return nil
+	})
+	if err != nil {
+		return r.sendErr(wc, err)
+	}
+	var sum wire.ServerStatsResult
+	for _, st := range results {
+		sum.ConnsActive += st.ConnsActive
+		sum.RequestsInFlight += st.RequestsInFlight
+		sum.ConnsDroppedDeadline += st.ConnsDroppedDeadline
+		sum.ConnsDroppedOversize += st.ConnsDroppedOversize
+		sum.RequestsShed += st.RequestsShed
+		sum.Draining += st.Draining
+		sum.DrainNs += st.DrainNs
+	}
+	return wc.WriteMsg(wire.MsgServerStatsResult, sum.Encode())
+}
+
+// handleScatterQuery fans a prefix query out to every shard and merges
+// the per-table sections. Unlike listing, a scatter QUERY must be
+// complete to be correct, so a down or failing shard fails the whole
+// request rather than silently dropping its tables.
+func (r *Router) handleScatterQuery(wc *wire.Conn, payload []byte) error {
+	m, err := wire.DecodeScatterQuery(payload)
+	if err != nil {
+		return r.sendErr(wc, err)
+	}
+	if !r.limiter.allow(tenantOf(m.Prefix), time.Now()) {
+		r.stats.RateLimited.Add(1)
+		return r.sendOverloaded(wc, "router: tenant rate limit exceeded; back off and retry")
+	}
+	up, downShards := r.upShards()
+	if len(downShards) > 0 {
+		return r.sendOverloaded(wc, "router: scatter with shard "+downShards[0].addr+" down; back off and retry")
+	}
+	r.stats.ScatterFanout.Add(int64(len(up)))
+	r.stats.RoutedQueries.Add(1)
+	results := make([]*wire.ScatterRows, len(up))
+	idx := make(map[*shard]int, len(up))
+	for i, sh := range up {
+		idx[sh] = i
+	}
+	err = r.fanOut(r.baseCtx, up, func(ctx context.Context, sh *shard, cl *client.Client) error {
+		res, err := cl.ScatterQuery(ctx, m)
+		if err != nil {
+			return err
+		}
+		results[idx[sh]] = res
+		return nil
+	})
+	if err != nil {
+		return r.sendErr(wc, err)
+	}
+	merged := &wire.ScatterRows{}
+	// A table can transiently exist on two shards mid-migration; the
+	// routed owner's copy is authoritative.
+	byTable := make(map[string]int)
+	for i, sh := range up {
+		res := results[i]
+		merged.Truncated = merged.Truncated || res.Truncated
+		for _, sec := range res.Tables {
+			if j, dup := byTable[sec.Table]; dup {
+				if r.shardFor(sec.Table) == sh {
+					merged.Tables[j] = sec
+				}
+				continue
+			}
+			byTable[sec.Table] = len(merged.Tables)
+			merged.Tables = append(merged.Tables, sec)
+		}
+	}
+	sort.Slice(merged.Tables, func(i, j int) bool {
+		return merged.Tables[i].Table < merged.Tables[j].Table
+	})
+	if m.MaxTables > 0 && len(merged.Tables) > int(m.MaxTables) {
+		merged.Tables = merged.Tables[:m.MaxTables]
+		merged.Truncated = true
+	}
+	b, err := merged.Encode()
+	if err != nil {
+		return r.sendErr(wc, err)
+	}
+	return wc.WriteMsg(wire.MsgScatterRows, b)
+}

@@ -327,6 +327,9 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			MaintenanceBytesThrottled: st.MaintenanceBytesThrottled,
 			MaintenanceThrottleNs:     st.MaintenanceThrottleNs,
 
+			TabletsInstalled: st.TabletsInstalled,
+			BytesInstalled:   st.BytesInstalled,
+
 			BlocksEncoded:         st.BlocksEncoded,
 			BlocksEncodedColumnar: st.BlocksEncodedColumnar,
 			BytesBeforeEncode:     st.BytesBeforeEncode,
@@ -342,6 +345,21 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 	case wire.MsgServerStats:
 		resp := s.serverStatsResult()
 		return wc.WriteMsg(wire.MsgServerStatsResult, resp.Encode())
+
+	case wire.MsgScatterQuery:
+		return s.handleScatterQuery(wc, payload)
+
+	case wire.MsgMigrateBegin:
+		return s.handleMigrateBegin(wc, payload)
+
+	case wire.MsgMigrateFetch:
+		return s.handleMigrateFetch(wc, payload)
+
+	case wire.MsgMigrateEnd:
+		return s.handleMigrateEnd(wc, payload)
+
+	case wire.MsgMigrateInstall:
+		return s.handleMigrateInstall(wc, payload)
 
 	default:
 		return s.sendErr(wc, fmt.Errorf("server: unknown message type %d", mt))

@@ -100,6 +100,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].MaintenanceBytesThrottled }},
 		{"littletable_maintenance_throttle_ns_total", "Nanoseconds maintenance spent blocked in the I/O budget", "counter",
 			func(i int) int64 { return snaps[i].MaintenanceThrottleNs }},
+		{"littletable_tablets_installed_total", "Sealed tablets received from another shard and published", "counter",
+			func(i int) int64 { return snaps[i].TabletsInstalled }},
+		{"littletable_bytes_installed_total", "Bytes of tablets received from another shard", "counter",
+			func(i int) int64 { return snaps[i].BytesInstalled }},
 		{"littletable_blocks_encoded_total", "Blocks finished by tablet writers", "counter",
 			func(i int) int64 { return snaps[i].BlocksEncoded }},
 		{"littletable_blocks_encoded_columnar_total", "Blocks that chose the columnar layout", "counter",

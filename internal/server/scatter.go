@@ -1,0 +1,95 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"littletable/internal/core"
+	"littletable/internal/schema"
+	"littletable/internal/wire"
+)
+
+// handleScatterQuery runs one bounded query against every local table
+// whose name matches the prefix, in sorted name order. The router sends
+// the same message to every shard and concatenates the sections; a
+// single-shard client gets the same semantics for free.
+func (s *Server) handleScatterQuery(wc *wire.Conn, payload []byte) error {
+	m, err := wire.DecodeScatterQuery(payload)
+	if err != nil {
+		return err
+	}
+	names := s.TableNames()
+	sort.Strings(names)
+	matched := names[:0]
+	for _, n := range names {
+		if strings.HasPrefix(n, m.Prefix) {
+			matched = append(matched, n)
+		}
+	}
+	resp := &wire.ScatterRows{}
+	if m.MaxTables > 0 && len(matched) > int(m.MaxTables) {
+		matched = matched[:m.MaxTables]
+		resp.Truncated = true
+	}
+	limit := s.opts.QueryRowLimit
+	if m.PerTableLimit > 0 && int(m.PerTableLimit) < limit {
+		limit = int(m.PerTableLimit)
+	}
+	q := core.Query{
+		LowerInc: m.LowerInc, UpperInc: m.UpperInc,
+		MinTs: m.MinTs, MaxTs: m.MaxTs,
+		Descending: m.Descending,
+	}
+	if m.HasLower {
+		q.Lower = m.Lower
+	}
+	if m.HasUpper {
+		q.Upper = m.Upper
+	}
+	for _, name := range matched {
+		t, err := s.Table(name)
+		if err != nil {
+			// Dropped between listing and query; a scatter result is a
+			// snapshot, not a transaction. Skip it.
+			continue
+		}
+		sec, err := s.scanOneTable(t, q, limit)
+		if err != nil {
+			if errors.Is(err, core.ErrBadQuery) {
+				// The key bounds don't fit this table's schema. Prefix
+				// scatter assumes same-shaped tables by convention (§2.2,
+				// one table per customer/device-class); a differently
+				// shaped namesake is skipped, not fatal.
+				continue
+			}
+			return s.sendErr(wc, err)
+		}
+		sec.Table = name
+		resp.Tables = append(resp.Tables, sec)
+	}
+	b, err := resp.Encode()
+	if err != nil {
+		return err
+	}
+	return wc.WriteMsg(wire.MsgScatterRows, b)
+}
+
+func (s *Server) scanOneTable(t *core.Table, q core.Query, limit int) (wire.ScatterTableRows, error) {
+	sec := wire.ScatterTableRows{Schema: t.Schema()}
+	it, err := t.QueryCtx(s.baseCtx, q)
+	if err != nil {
+		return sec, err
+	}
+	defer it.Close()
+	for len(sec.Rows) < limit && it.Next() {
+		sec.Rows = append(sec.Rows, schema.CloneRow(it.Row()))
+	}
+	if err := it.Err(); err != nil {
+		return sec, err
+	}
+	if len(sec.Rows) == limit && it.Next() {
+		sec.More = true
+	}
+	return sec, nil
+}

@@ -113,6 +113,14 @@ type Server struct {
 	// requests finish, refuse new work.
 	draining atomic.Bool
 
+	// Migration receive path: chunked tablet images being staged before
+	// install, keyed by table + file. Guarded by migMu (not mu: staging
+	// appends happen during request handling and must not contend with
+	// the connection bookkeeping).
+	migMu       sync.Mutex
+	installs    map[string][]byte
+	stagedBytes int64
+
 	lis     net.Listener
 	stop    chan struct{}
 	drained chan struct{} // closed when the Drain loop finishes
@@ -269,6 +277,7 @@ func (s *Server) DropTable(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
+	s.dropStaged(name)
 	if err := t.Close(); err != nil {
 		return err
 	}

@@ -109,6 +109,21 @@ func (t *Tablet) RowCount() int64 { return t.ft.rowCount }
 // SizeBytes returns the on-disk size of the tablet file.
 func (t *Tablet) SizeBytes() int64 { return t.size }
 
+// ReadRawAt reads the tablet file's bytes at off, for shipping a sealed
+// tablet to another shard verbatim: tablets are immutable once written, so
+// a byte copy of the file plus a descriptor entry IS a replica. Reads past
+// the end are truncated; io.EOF is only returned when off is at or past
+// the end.
+func (t *Tablet) ReadRawAt(p []byte, off int64) (int, error) {
+	if off >= t.size {
+		return 0, io.EOF
+	}
+	if max := t.size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	return t.f.ReadAt(p, off)
+}
+
 // Timespan returns the smallest and largest row timestamps.
 func (t *Tablet) Timespan() (minTs, maxTs int64) { return t.ft.minTs, t.ft.maxTs }
 

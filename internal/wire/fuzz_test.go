@@ -23,6 +23,20 @@ func FuzzDecoders(f *testing.F) {
 	f.Add(ins.Encode())
 	f.Add((&Delete{Table: "t", MinTs: 0, MaxTs: 10}).Encode())
 	f.Add((&TableList{Names: []string{"a", "b"}}).Encode())
+	sq := &ScatterQuery{Prefix: "cust_", HasUpper: true, Upper: []ltval.Value{ltval.NewInt64(9)}, MaxTs: 5, PerTableLimit: 10}
+	f.Add(sq.Encode())
+	sr, _ := (&ScatterRows{Tables: []ScatterTableRows{{
+		Table: "t", Schema: sc, More: true,
+		Rows: []schema.Row{{ltval.NewInt64(1), ltval.NewTimestamp(2), ltval.NewString("x")}},
+	}}}).Encode()
+	f.Add(sr)
+	mf, _ := (&MigrateManifest{Schema: sc, TTL: 60, Tablets: []MigrateTabletInfo{
+		{File: "000000000001.tab", Seq: 1, RowCount: 5, MinTs: 1, MaxTs: 9, Bytes: 512},
+	}}).Encode()
+	f.Add(mf)
+	f.Add((&MigrateFetch{Table: "t", File: "000000000001.tab", Offset: 64, MaxBytes: 1 << 20}).Encode())
+	f.Add((&MigrateInstall{Table: "t", File: "000000000001.tab", Total: 3, RowCount: 1, Commit: true, Data: []byte{1, 2, 3}}).Encode())
+	f.Add((&RouterStatsResult{RoutedInserts: 7, Shards: []RouterShardInfo{{Addr: "127.0.0.1:9155", State: 2}}}).Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
 
@@ -44,6 +58,16 @@ func FuzzDecoders(f *testing.F) {
 		DecodeServerStatsResult(payload)
 		DecodeRows(payload, sc)
 		DecodeRowResult(payload, sc)
+		DecodeScatterQuery(payload)
+		DecodeScatterRows(payload)
+		DecodeMigrateBegin(payload)
+		DecodeMigrateManifest(payload)
+		DecodeMigrateFetch(payload)
+		DecodeMigrateChunk(payload)
+		DecodeMigrateEnd(payload)
+		DecodeMigrateInstall(payload)
+		DecodeMigrateTable(payload)
+		DecodeRouterStatsResult(payload)
 		if m, d, err := DecodeInsertHeader(payload); err == nil {
 			m.FinishDecode(d, sc)
 		}

@@ -506,6 +506,10 @@ type StatsResult struct {
 	MaintenanceBytesThrottled int64
 	MaintenanceThrottleNs     int64
 
+	// Migration counters: sealed tablets received from another shard.
+	TabletsInstalled int64
+	BytesInstalled   int64
+
 	// Block-encoding counters: columnar codec adoption and the bytes it
 	// saves, across flushes, merges, and retention rewrites.
 	BlocksEncoded         int64
@@ -536,6 +540,7 @@ func (m *StatsResult) Encode() []byte {
 		m.MergesInFlight, m.MergeWaitNs,
 		m.ExpiriesInFlight, m.ExpiryWaitNs, m.ExpiryRuns,
 		m.MaintenanceBytesThrottled, m.MaintenanceThrottleNs,
+		m.TabletsInstalled, m.BytesInstalled,
 		m.BlocksEncoded, m.BlocksEncodedColumnar,
 		m.BytesBeforeEncode, m.BytesAfterEncode,
 		m.ColumnsDeltaEncoded, m.ColumnsXOREncoded,
@@ -565,6 +570,7 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.MergesInFlight, &m.MergeWaitNs,
 		&m.ExpiriesInFlight, &m.ExpiryWaitNs, &m.ExpiryRuns,
 		&m.MaintenanceBytesThrottled, &m.MaintenanceThrottleNs,
+		&m.TabletsInstalled, &m.BytesInstalled,
 		&m.BlocksEncoded, &m.BlocksEncodedColumnar,
 		&m.BytesBeforeEncode, &m.BytesAfterEncode,
 		&m.ColumnsDeltaEncoded, &m.ColumnsXOREncoded,

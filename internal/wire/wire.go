@@ -42,6 +42,15 @@ const (
 	MsgStats
 	MsgDelete      // the bulk delete proposed in §7
 	MsgServerStats // server-level (not per-table) counters: conns, shedding, drain
+	// Scatter + migration messages (router tier; see router.go). A single
+	// server answers for its local tables; the router fans out.
+	MsgScatterQuery   // one bounded query across every table matching a prefix
+	MsgMigrateBegin   // freeze-flush a table, pin sealed tablets, hold maintenance
+	MsgMigrateFetch   // read a chunk of a pinned tablet file
+	MsgMigrateEnd     // release the export snapshot and maintenance hold
+	MsgMigrateInstall // ship a sealed-tablet chunk into the target shard
+	MsgMigrateTable   // router-only: move a table to another shard
+	MsgRouterStats    // router-only: routing counters + shard health
 )
 
 // Server→client message types.
@@ -61,6 +70,10 @@ const (
 	// inserts — after backing off, which is exactly what a generic error
 	// cannot promise.
 	MsgOverloaded
+	MsgScatterRows       // per-table sections answering MsgScatterQuery
+	MsgMigrateManifest   // schema + pinned tablet list answering MsgMigrateBegin
+	MsgMigrateChunk      // tablet bytes answering MsgMigrateFetch
+	MsgRouterStatsResult // counters + shard health answering MsgRouterStats
 )
 
 // ProtocolVersion guards client/server compatibility in Hello.
