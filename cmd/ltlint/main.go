@@ -4,7 +4,9 @@
 // and recovery guarantees are re-proven on every commit by the crash
 // harness, but only for code paths the harness can see — ltlint pins the
 // disciplines (vfs-only I/O, checked barriers, threaded contexts, lock
-// hygiene, counter lockstep) that keep every path visible.
+// hygiene, counter lockstep, retry safety, wire exhaustiveness, lock
+// ordering, atomic persistence, goroutine tracking) that keep every
+// path visible.
 //
 // Usage:
 //
@@ -14,8 +16,16 @@
 // always analyzes the enclosing module in full — the rules it enforces
 // are whole-program properties. Flags:
 //
-//	-list        print the analyzers and exit
-//	-rules a,b   run only the named analyzers
+//	-list                 print the analyzers and exit
+//	-rules a,b            run only the named analyzers
+//	-json                 emit findings as a JSON array on stdout
+//	-sarif FILE           also write findings as SARIF 2.1.0 to FILE
+//	-baseline FILE        filter findings against a checked-in baseline;
+//	                      stale entries are reported on stderr
+//	-write-baseline FILE  record current findings as the new baseline
+//	                      and exit 0
+//	-check-stale-ignores  also fail on //ltlint:ignore directives that
+//	                      suppress nothing (full-suite runs only)
 //
 // Suppress a finding inline with
 //
@@ -37,6 +47,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
 	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifPath := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
+	baselinePath := flag.String("baseline", "", "filter findings against this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit 0")
+	staleIgnores := flag.Bool("check-stale-ignores", false, "fail on ignore directives that suppress nothing")
 	flag.Parse()
 
 	analyzers := ltlint.All()
@@ -46,7 +61,14 @@ func main() {
 		}
 		return
 	}
-	if *rules != "" {
+	partial := *rules != ""
+	if partial {
+		if *staleIgnores {
+			// A partial run trivially leaves other rules' directives
+			// unconsumed; the audit would be all noise.
+			fmt.Fprintln(os.Stderr, "ltlint: -check-stale-ignores requires the full suite (drop -rules)")
+			os.Exit(2)
+		}
 		want := make(map[string]bool)
 		for _, r := range strings.Split(*rules, ",") {
 			want[strings.TrimSpace(r)] = true
@@ -77,20 +99,84 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := ltlint.Run(prog, analyzers)
+	res, err := ltlint.RunAll(prog, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		// Print module-relative paths: stable across machines and
-		// clickable from the repo root, where CI runs the tool.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	diags := res.Diags
+
+	// Module-relative paths: stable across machines and clickable from
+	// the repo root, where CI runs the tool.
+	rel := func(abs string) string {
+		if r, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
 		}
-		fmt.Println(d)
+		return filepath.ToSlash(abs)
+	}
+
+	if *writeBaseline != "" {
+		b := ltlint.NewBaseline(diags, rel)
+		if err := b.Save(*writeBaseline); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ltlint: wrote %d finding(s) to baseline %s\n", len(b.Findings), *writeBaseline)
+		return
+	}
+
+	failed := false
+	if *baselinePath != "" {
+		b, err := ltlint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var stale []ltlint.BaselineEntry
+		diags, stale = b.Filter(diags, rel)
+		for _, e := range stale {
+			// A stale entry means the legacy finding was fixed: delete it
+			// so the ratchet tightens. Reported as a failure, not a
+			// warning — otherwise baselines only ever grow.
+			fmt.Fprintf(os.Stderr, "ltlint: stale baseline entry: %s: %s: %s\n", e.File, e.Rule, e.Message)
+			failed = true
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ltlint.WriteSARIF(f, analyzers, diags, rel); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := ltlint.WriteJSON(os.Stdout, diags, rel); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = rel(d.Pos.Filename)
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ltlint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+
+	if *staleIgnores {
+		for _, d := range res.StaleIgnores() {
+			fmt.Fprintf(os.Stderr, "ltlint: stale ignore at %s:%d: directive for %s suppresses nothing\n",
+				rel(d.Pos.Filename), d.Pos.Line, strings.Join(d.Rules, ","))
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

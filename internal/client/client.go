@@ -236,25 +236,47 @@ func (c *Client) Close() error {
 	return cause
 }
 
-// retryAfterSend reports whether t may be re-sent even when a prior
-// attempt's fate is unknown (the request reached the wire but the
-// connection broke before a response). Reads and flushes are idempotent;
-// inserts, deletes, and schema changes are not, and blind re-sends could
-// apply them twice.
+// msgIdempotency classifies every request type: true means the request
+// may be re-sent even when a prior attempt's fate is unknown (it reached
+// the wire but the connection broke before a response). Reads and
+// flushes are idempotent; inserts, deletes, and schema changes are not,
+// and blind re-sends could apply them twice. Every wire request constant
+// must have an entry — ltlint's msgexhaustive rule flags omissions, and
+// retrysafe checks the deny side, so drift here is a build failure
+// rather than a replayed write.
+var msgIdempotency = map[wire.MsgType]bool{
+	wire.MsgHello:       true,
+	wire.MsgCreateTable: false, // re-send could race a concurrent create
+	wire.MsgDropTable:   false, // second drop reports a missing table
+	wire.MsgListTables:  true,
+	wire.MsgGetSchema:   true,
+	wire.MsgInsert:      false, // duplicate rows under duplicate timestamps
+	wire.MsgQuery:       true,
+	wire.MsgLatestRow:   true,
+	wire.MsgDelete:      false, // TTL clock advances between attempts
+	wire.MsgAlterTTL:    false, // schema change
+	wire.MsgAddColumn:   false, // schema change
+	wire.MsgWidenColumn: false, // schema change
+	wire.MsgStats:       true,
+	wire.MsgServerStats: true,
+	wire.MsgFlushTable:  true,
+	// Scatter reads are plain reads. Migration begin/fetch/end are
+	// idempotent by construction: begin refreshes the pin set, fetch is a
+	// positioned read, end releases pins that may already be released.
+	// MigrateInstall is NOT idempotent — a replayed chunk breaks the
+	// staging offset discipline, so its driver restarts at offset 0.
+	wire.MsgScatterQuery:   true,
+	wire.MsgMigrateBegin:   true,
+	wire.MsgMigrateFetch:   true,
+	wire.MsgMigrateInstall: false,
+	wire.MsgMigrateEnd:     true,
+	wire.MsgMigrateTable:   false, // router-side move is a write workflow
+	wire.MsgRouterStats:    true,
+}
+
+// retryAfterSend consults the classification table above.
 func retryAfterSend(t wire.MsgType) bool {
-	switch t {
-	case wire.MsgHello, wire.MsgListTables, wire.MsgGetSchema, wire.MsgQuery,
-		wire.MsgLatestRow, wire.MsgStats, wire.MsgServerStats, wire.MsgFlushTable,
-		// Scatter reads are plain reads. Migration begin/fetch/end are
-		// idempotent by construction: begin refreshes the pin set, fetch
-		// is a positioned read, end releases pins that may already be
-		// released. MigrateInstall is NOT here — a replayed chunk breaks
-		// the staging offset discipline, so its driver restarts at 0.
-		wire.MsgScatterQuery, wire.MsgMigrateBegin, wire.MsgMigrateFetch,
-		wire.MsgMigrateEnd:
-		return true
-	}
-	return false
+	return msgIdempotency[t]
 }
 
 // do sends one request with the retry policy, translating MsgError into
@@ -330,6 +352,7 @@ func (c *Client) once(ctx context.Context, t wire.MsgType, payload []byte) (mt w
 	var watch chan struct{}
 	if ctx.Done() != nil {
 		watch = make(chan struct{})
+		//ltlint:ignore gotrack per-request watcher: stopWatch closes w before once returns, bounding its life to this call
 		go func(w chan struct{}) {
 			select {
 			case <-ctx.Done():

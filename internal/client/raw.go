@@ -74,3 +74,17 @@ func (c *Client) MigrateEnd(ctx context.Context, table string) error {
 	m := &wire.MigrateEnd{Table: table}
 	return expectOK(c.do(ctx, wire.MsgMigrateEnd, m.Encode()))
 }
+
+// RouterStats fetches a router's routing counters and per-shard health
+// (MsgRouterStats). The message is router-only: a plain server bounces
+// it as an unknown type, so call this on a connection to a router.
+func (c *Client) RouterStats(ctx context.Context) (*wire.RouterStatsResult, error) {
+	mt, resp, err := c.do(ctx, wire.MsgRouterStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgRouterStatsResult {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeRouterStatsResult(resp)
+}

@@ -50,6 +50,14 @@ type descriptor struct {
 // rename over the previous version (§3.2). With sync, the file is fsynced
 // before the rename and the directory after it — the rename itself is not
 // durable on ext4 until the directory's metadata reaches disk.
+//
+// Descriptor commits run under Table.mu by design: the tablet list the
+// descriptor records and the in-memory list must change as one, or a
+// crash between them replays rows into a tablet the descriptor already
+// owns (§5 prefix durability). Commits are rare (flush/merge/install,
+// not per-insert), so the stall is bounded and deliberate.
+//
+//ltlint:ignore lockorder descriptor commit and in-memory tablet list must be a single atomic transition under Table.mu; see comment above
 func writeDescriptor(fsys vfs.FS, dir string, d *descriptor, sync bool) error {
 	data, err := json.MarshalIndent(d, "", " ")
 	if err != nil {

@@ -176,26 +176,40 @@ func (t *Table) InstallTablet(data []byte, rowCount, minTs, maxTs int64) error {
 	t.nextSeq++
 	t.mu.Unlock()
 
+	// Stage to a temporary name and rename into place (§3.2): recovery
+	// scans the directory for tablet files, so a crash mid-write must
+	// never leave a half-written image under a name recovery would open.
 	path := filepath.Join(t.dir, tabletFileName(seq))
-	f, err := t.opts.FS.Create(path)
+	tmp := path + ".tmp"
+	f, err := t.opts.FS.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		t.opts.FS.Remove(path)
+		t.opts.FS.Remove(tmp)
 		return err
 	}
 	if t.opts.SyncWrites {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			t.opts.FS.Remove(path)
+			t.opts.FS.Remove(tmp)
 			return err
 		}
 	}
 	if err := f.Close(); err != nil {
-		t.opts.FS.Remove(path)
+		t.opts.FS.Remove(tmp)
 		return err
+	}
+	if err := t.opts.FS.Rename(tmp, path); err != nil {
+		t.opts.FS.Remove(tmp)
+		return err
+	}
+	if t.opts.SyncWrites {
+		if err := t.opts.FS.SyncDir(t.dir); err != nil {
+			t.opts.FS.Remove(path)
+			return err
+		}
 	}
 
 	tab, err := tablet.OpenFS(t.opts.FS, path)

@@ -41,6 +41,43 @@ func TestLockHold(t *testing.T) {
 	lttest.Run(t, filepath.Join("testdata", "src", "lockhold"), ltlint.LockHold)
 }
 
+func TestRetrySafe(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "retrysafe"), ltlint.RetrySafe)
+}
+
+func TestMsgExhaustive(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "msgexhaustive"), ltlint.MsgExhaustive)
+}
+
+func TestLockOrder(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "lockorder"), ltlint.LockOrder)
+}
+
+func TestAtomicPersist(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "atomicpersist"), ltlint.AtomicPersist)
+}
+
+func TestGoTrack(t *testing.T) {
+	lttest.Run(t, filepath.Join("testdata", "src", "gotrack"), ltlint.GoTrack)
+}
+
+// TestAllSuite pins the suite size and name uniqueness: rule names are
+// the suppression vocabulary, so a collision would make //ltlint:ignore
+// ambiguous.
+func TestAllSuite(t *testing.T) {
+	all := ltlint.All()
+	if len(all) != 10 {
+		t.Fatalf("All() returned %d analyzers, want 10", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, a := range all {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
 // TestCountersSyncCatchesDrift is the acceptance-criteria demonstration
 // in executable form: starting from the in-sync fixture, adding a Stats
 // counter without wire/metrics counterparts must produce findings.
@@ -69,6 +106,46 @@ func TestCountersSyncCatchesDrift(t *testing.T) {
 	for _, d := range diags {
 		if strings.Contains(d.Message, "CoreOnly") {
 			t.Fatalf("suppressed counter CoreOnly was reported: %v", d)
+		}
+	}
+}
+
+// TestMsgExhaustiveCatchesDrift is the acceptance-criteria demonstration
+// for the wire rule: a request constant absent from all three surfaces
+// must be flagged once per surface — server dispatch, client idempotency
+// table, router dispatch.
+func TestMsgExhaustiveCatchesDrift(t *testing.T) {
+	prog, err := ltlint.LoadTree(filepath.Join("testdata", "src", "msgexhaustive"), lttest.ModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ltlint.Run(prog, []*ltlint.Analyzer{ltlint.MsgExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfaces := map[string]int{
+		"internal/server's dispatch switch":   0,
+		"internal/client's idempotency table": 0,
+		"internal/router's dispatch":          0,
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "MsgPhantom") {
+			continue
+		}
+		for s := range surfaces {
+			if strings.Contains(d.Message, s) {
+				surfaces[s]++
+			}
+		}
+	}
+	for s, n := range surfaces {
+		if n != 1 {
+			t.Errorf("MsgPhantom flagged %d times for surface %q, want 1: %v", n, s, diags)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "MsgExperimental") {
+			t.Errorf("suppressed constant MsgExperimental was reported: %v", d)
 		}
 	}
 }

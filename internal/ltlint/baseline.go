@@ -1,0 +1,103 @@
+package ltlint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baselines let a new analyzer land blocking-on-new-findings: known
+// legacy findings are recorded in a checked-in JSON file and filtered
+// from the run, while anything not in the file still fails CI. The repo
+// aims to keep the baseline empty — it is a ratchet for rollouts, not a
+// parking lot — so entries are keyed on (rule, module-relative file,
+// message) and deliberately NOT on line numbers: unrelated edits moving
+// a legacy finding around must not resurrect it, and fixing it must
+// surface the entry as stale.
+
+// BaselineVersion is the format version written to baseline files.
+const BaselineVersion = 1
+
+// A Baseline is the persisted set of accepted legacy findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// A BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) key() string { return e.Rule + "\x00" + e.File + "\x00" + e.Message }
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("ltlint: parse baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("ltlint: baseline %s has version %d, want %d", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline from current findings. rel maps a
+// diagnostic's absolute filename to its module-relative form.
+func NewBaseline(diags []Diagnostic, rel func(string) string) *Baseline {
+	b := &Baseline{Version: BaselineVersion, Findings: []BaselineEntry{}}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: rel(d.Pos.Filename), Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (still blocking) and reports baseline entries no current finding
+// matches (stale — the legacy finding was fixed, so the entry should be
+// deleted to re-arm the rule).
+func (b *Baseline) Filter(diags []Diagnostic, rel func(string) string) (kept []Diagnostic, stale []BaselineEntry) {
+	matched := make(map[string]bool, len(b.Findings))
+	index := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		index[e.key()] = true
+	}
+	for _, d := range diags {
+		k := BaselineEntry{Rule: d.Rule, File: rel(d.Pos.Filename), Message: d.Message}.key()
+		if index[k] {
+			matched[k] = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Findings {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, stale
+}

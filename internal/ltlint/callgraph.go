@@ -1,0 +1,206 @@
+package ltlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The whole-program call graph behind the distributed-layer analyzers.
+// PR 4's five rules were AST-local: each finding was visible inside one
+// function. The invariants the wire/router layers rely on are not —
+// "savePlacementLocked fsyncs while shardFor's mutex is held" is a fact
+// about a *chain* of calls, and "once() sends bytes nobody classified"
+// is a fact about a function's callers. BuildCallGraph resolves the
+// resolvable call edges (same-package calls, module-internal package
+// calls, own-receiver method calls) and leaves the rest unresolved:
+// propagation over the graph is deliberately conservative, so an edge
+// the resolver cannot prove contributes nothing and can never invent a
+// finding.
+
+// A FuncNode is one function or method declaration in the program.
+type FuncNode struct {
+	Pkg  *Package
+	File *SourceFile
+	Decl *ast.FuncDecl
+
+	// Key identifies the node: "pkgpath.Name" for functions,
+	// "pkgpath.RecvType.Name" for methods.
+	Key      string
+	RecvName string // receiver identifier, e.g. "t"
+	RecvType string // receiver struct type, e.g. "Table"
+
+	// Calls are the module-internal call sites the resolver could bind,
+	// in source order, including calls made inside function literals
+	// declared in this function's body.
+	Calls []CallSite
+}
+
+// A CallSite is one resolved outgoing call.
+type CallSite struct {
+	Callee *FuncNode
+	Pos    token.Pos
+}
+
+// A CallGraph indexes every function declaration of the program and the
+// resolvable edges between them.
+type CallGraph struct {
+	Prog  *Program
+	Funcs map[string]*FuncNode // Key → node
+
+	// Callers maps a callee's Key to the nodes holding a resolved call
+	// to it.
+	Callers map[string][]*FuncNode
+
+	byPkg map[string]map[string]*FuncNode // pkgPath → local name → node
+}
+
+// Node finds a function by package path and local name ("Name" or
+// "RecvType.Name"), or nil.
+func (cg *CallGraph) Node(pkgPath, local string) *FuncNode {
+	return cg.byPkg[pkgPath][local]
+}
+
+// BuildCallGraph parses every non-test function declaration into a node
+// and resolves the call edges the syntax pins down:
+//
+//   - foo(...)        → function foo of the same package
+//   - pkg.Fn(...)     → function Fn of a module-internal imported package
+//   - recv.m(...)     → method m of the enclosing method's receiver type
+//   - param.m(...)    → method m of a parameter whose type names a struct
+//     declared in the same package
+//
+// Anything else (interface dispatch, function values, cross-package
+// method calls on returned handles) stays unresolved.
+func BuildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{
+		Prog:    prog,
+		Funcs:   make(map[string]*FuncNode),
+		Callers: make(map[string][]*FuncNode),
+		byPkg:   make(map[string]map[string]*FuncNode),
+	}
+	for _, pkg := range prog.Pkgs {
+		local := make(map[string]*FuncNode)
+		cg.byPkg[pkg.PkgPath] = local
+		for _, f := range pkg.Files {
+			if f.IsTest {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				n := &FuncNode{Pkg: pkg, File: f, Decl: fd}
+				n.RecvName, n.RecvType = receiverOf(fd)
+				name := fd.Name.Name
+				if n.RecvType != "" {
+					name = n.RecvType + "." + name
+				}
+				n.Key = pkg.PkgPath + "." + name
+				cg.Funcs[n.Key] = n
+				local[name] = n
+			}
+		}
+	}
+	for _, n := range cg.Funcs {
+		cg.resolveCalls(n)
+	}
+	return cg
+}
+
+// resolveCalls fills n.Calls and the Callers index.
+func (cg *CallGraph) resolveCalls(n *FuncNode) {
+	imports := importNames(n.File.AST)
+	local := cg.byPkg[n.Pkg.PkgPath]
+	tr := newTypeResolver(n.Pkg, n.Decl)
+	seen := make(map[string]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee *FuncNode
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = local[fun.Name]
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if path, imported := imports[id.Name]; imported {
+					if strings.HasPrefix(path, cg.Prog.ModPath+"/") || path == cg.Prog.ModPath {
+						callee = cg.byPkg[path][fun.Sel.Name]
+					}
+					break
+				}
+			}
+			if t := tr.typeOf(fun.X); t != "" {
+				callee = local[t+"."+fun.Sel.Name]
+			}
+		}
+		if callee != nil && callee != n {
+			n.Calls = append(n.Calls, CallSite{Callee: callee, Pos: call.Pos()})
+			if !seen[callee.Key] {
+				seen[callee.Key] = true
+				cg.Callers[callee.Key] = append(cg.Callers[callee.Key], n)
+			}
+		}
+		return true
+	})
+}
+
+// typeResolver binds identifier expressions inside one function to struct
+// type names declared in the same package, via the receiver, the
+// parameters, and one level of field selection.
+type typeResolver struct {
+	fields   map[string]map[string]string // structFieldTypes of the package
+	recvName string
+	recvType string
+	params   map[string]string // param name → local struct type name
+}
+
+func newTypeResolver(pkg *Package, fd *ast.FuncDecl) *typeResolver {
+	tr := &typeResolver{fields: structFieldTypes(pkg), params: make(map[string]string)}
+	tr.recvName, tr.recvType = receiverOf(fd)
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			t := p.Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			id, ok := t.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if _, declared := tr.fields[id.Name]; !declared {
+				continue
+			}
+			for _, name := range p.Names {
+				tr.params[name.Name] = id.Name
+			}
+		}
+	}
+	return tr
+}
+
+// typeOf returns the same-package struct type name of expr, or "".
+func (tr *typeResolver) typeOf(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if e.Name == tr.recvName && tr.recvName != "" {
+			return tr.recvType
+		}
+		return tr.params[e.Name]
+	case *ast.SelectorExpr:
+		base := tr.typeOf(e.X)
+		if base == "" {
+			return ""
+		}
+		ft := strings.TrimPrefix(tr.fields[base][e.Sel.Name], "*")
+		if _, declared := tr.fields[ft]; declared {
+			return ft
+		}
+	case *ast.ParenExpr:
+		return tr.typeOf(e.X)
+	}
+	return ""
+}

@@ -111,8 +111,18 @@ var ignoreDirective = regexp.MustCompile(`^//ltlint:ignore\s+([a-z][a-z0-9,_-]*)
 // ignoreBare matches a directive missing its reason.
 var ignoreBare = regexp.MustCompile(`^//ltlint:ignore(\s+[a-z][a-z0-9,_-]*)?\s*$`)
 
-// ignoreSet maps "file:line" to the set of rule names suppressed there.
-type ignoreSet map[string]map[string]bool
+// An IgnoreDirective is one well-formed //ltlint:ignore comment. Used
+// reports whether the directive suppressed at least one finding in the
+// last full-suite run — the signal behind cmd/ltlint's
+// -check-stale-ignores audit.
+type IgnoreDirective struct {
+	Pos   token.Position
+	Rules []string
+	Used  bool
+}
+
+// ignoreSet maps "file:line" to the directives suppressing rules there.
+type ignoreSet map[string]map[string]*IgnoreDirective
 
 func ignoreKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
 
@@ -120,8 +130,9 @@ func ignoreKey(file string, line int) string { return fmt.Sprintf("%s:%d", file,
 // directives. A directive suppresses the named rules on its own line and
 // on the line directly below it, so both trailing and standalone comment
 // placement work.
-func buildIgnores(prog *Program) ignoreSet {
+func buildIgnores(prog *Program) (ignoreSet, []*IgnoreDirective) {
 	ig := make(ignoreSet)
+	var all []*IgnoreDirective
 	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.AST.Comments {
@@ -131,24 +142,29 @@ func buildIgnores(prog *Program) ignoreSet {
 						continue
 					}
 					pos := prog.Fset.Position(c.Pos())
+					d := &IgnoreDirective{Pos: pos}
 					for _, rule := range strings.Split(m[1], ",") {
 						rule = strings.TrimSpace(rule)
 						if rule == "" {
 							continue
 						}
+						d.Rules = append(d.Rules, rule)
 						for _, line := range []int{pos.Line, pos.Line + 1} {
 							k := ignoreKey(pos.Filename, line)
 							if ig[k] == nil {
-								ig[k] = make(map[string]bool)
+								ig[k] = make(map[string]*IgnoreDirective)
 							}
-							ig[k][rule] = true
+							ig[k][rule] = d
 						}
+					}
+					if len(d.Rules) > 0 {
+						all = append(all, d)
 					}
 				}
 			}
 		}
 	}
-	return ig
+	return ig, all
 }
 
 // reportMalformedIgnores flags ltlint:ignore directives that omit the
@@ -174,12 +190,44 @@ func reportMalformedIgnores(prog *Program) []Diagnostic {
 	return out
 }
 
+// A Result is the outcome of a RunAll: the surviving diagnostics plus
+// every well-formed ignore directive with its consumption bit, for the
+// stale-suppression audit.
+type Result struct {
+	Diags   []Diagnostic
+	Ignores []*IgnoreDirective
+}
+
+// StaleIgnores returns the directives that suppressed nothing. Only
+// meaningful when the run covered the full analyzer suite: a partial
+// -rules run trivially leaves other rules' directives unconsumed.
+func (r *Result) StaleIgnores() []*IgnoreDirective {
+	var out []*IgnoreDirective
+	for _, d := range r.Ignores {
+		if !d.Used {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Run executes the analyzers over the program, filters suppressed
 // findings, and returns the rest sorted by position. Malformed
 // suppressions are reported as rule "ltlint" and cannot themselves be
 // suppressed.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
-	ig := buildIgnores(prog)
+	res, err := RunAll(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunAll is Run plus ignore-consumption tracking: each directive that
+// suppressed at least one finding is marked Used, so callers can audit
+// for stale suppressions.
+func RunAll(prog *Program, analyzers []*Analyzer) (*Result, error) {
+	ig, directives := buildIgnores(prog)
 	diags := reportMalformedIgnores(prog)
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Prog: prog}
@@ -187,7 +235,8 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("ltlint: %s: %w", a.Name, err)
 		}
 		for _, d := range pass.diags {
-			if rules := ig[ignoreKey(d.Pos.Filename, d.Pos.Line)]; rules != nil && rules[d.Rule] {
+			if rules := ig[ignoreKey(d.Pos.Filename, d.Pos.Line)]; rules != nil && rules[d.Rule] != nil {
+				rules[d.Rule].Used = true
 				continue
 			}
 			diags = append(diags, d)
@@ -216,10 +265,12 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		out = append(out, d)
 	}
-	return out, nil
+	return &Result{Diags: out, Ignores: directives}, nil
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five
+// AST-local rules from the single-node era, then the five whole-program
+// invariants guarding the distributed layer (PRs 6–8).
 func All() []*Analyzer {
 	return []*Analyzer{
 		VfsOnly,
@@ -227,6 +278,11 @@ func All() []*Analyzer {
 		CountersSync,
 		CtxProp,
 		LockHold,
+		RetrySafe,
+		MsgExhaustive,
+		LockOrder,
+		AtomicPersist,
+		GoTrack,
 	}
 }
 

@@ -1,0 +1,196 @@
+package ltlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MsgExhaustive is the counterssync of the wire protocol: adding a
+// wire.Msg* constant and forgetting one of the surfaces that must know
+// about it is a finding at the constant's declaration. The drift this
+// kills showed up three times while building PRs 6–8 — a message the
+// server handles but the client cannot classify retries for, a message
+// the client sends but the router's dispatch bounces as unknown, a
+// response type no decoder ever reads.
+//
+// Requests (the `iota + 1` block) must appear in:
+//
+//   - internal/server's dispatch switch — except constants whose
+//     declaration comment marks them "router-only";
+//   - internal/client's idempotency classification table (every request,
+//     router-only included: the client is how anyone talks to a router);
+//   - internal/router's dispatch switch (handled locally, forwarded, or
+//     listed deliberately).
+//
+// Responses (the `iota + 64` block) must be referenced somewhere in
+// internal/client's non-test sources — a response nobody decodes is
+// protocol surface nobody can use.
+var MsgExhaustive = &Analyzer{
+	Name: "msgexhaustive",
+	Doc: "every wire.Msg* constant must reach the server dispatch, the client " +
+		"idempotency table, and the router dispatch; unhandled protocol drift is a finding",
+	Run: runMsgExhaustive,
+}
+
+// wireMsgConst is one Msg* constant with its classification metadata.
+type wireMsgConst struct {
+	name       string
+	pos        token.Pos
+	routerOnly bool
+}
+
+func runMsgExhaustive(p *Pass) error {
+	mod := p.Prog.ModPath
+	wirePkg := p.Prog.Package(mod + "/internal/wire")
+	if wirePkg == nil {
+		return nil
+	}
+	requests, responses := wireMsgConsts(wirePkg)
+	if len(requests) == 0 && len(responses) == 0 {
+		return nil
+	}
+
+	serverCases := dispatchCases(p.Prog.Package(mod + "/internal/server"))
+	routerCases := dispatchCases(p.Prog.Package(mod + "/internal/router"))
+	mc := findMsgClassification(p.Prog)
+	clientPkg := p.Prog.Package(mod + "/internal/client")
+	var clientIdents map[string]bool
+	if clientPkg != nil {
+		clientIdents = packageIdents(clientPkg)
+	}
+
+	for _, c := range requests {
+		if serverCases != nil && !c.routerOnly && !serverCases[c.name] {
+			p.Reportf(c.pos, "request wire.%s is not handled in internal/server's dispatch switch; "+
+				"the server will bounce it as an unknown message type", c.name)
+		}
+		if mc != nil && !hasEntry(mc, c.name) {
+			p.Reportf(c.pos, "request wire.%s is missing from internal/client's idempotency table (%s); "+
+				"the retry policy cannot classify it, so a post-send failure behaves arbitrarily", c.name, mc.varName)
+		}
+		if routerCases != nil && !routerCases[c.name] {
+			p.Reportf(c.pos, "request wire.%s is not classified in internal/router's dispatch; "+
+				"the router must handle, forward, or deliberately reject it", c.name)
+		}
+	}
+	for _, c := range responses {
+		if clientIdents != nil && !clientIdents[c.name] {
+			p.Reportf(c.pos, "response wire.%s is never referenced by internal/client; "+
+				"a response no client decodes is protocol surface nobody can use", c.name)
+		}
+	}
+	return nil
+}
+
+func hasEntry(mc *msgClassification, name string) bool {
+	_, present := mc.entries[name]
+	return present
+}
+
+// wireMsgConsts splits the wire package's Msg* constants into the request
+// block (enumerated from `iota + 1`) and the response block (`iota + 64`),
+// tagging constants whose declaration comments say "router-only".
+func wireMsgConsts(pkg *Package) (requests, responses []wireMsgConst) {
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			block := classifyMsgBlock(gd)
+			if block == 0 {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				routerOnly := vs.Comment != nil && strings.Contains(vs.Comment.Text(), "router-only")
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Msg") {
+						continue
+					}
+					c := wireMsgConst{name: name.Name, pos: name.Pos(), routerOnly: routerOnly}
+					if block == 1 {
+						requests = append(requests, c)
+					} else {
+						responses = append(responses, c)
+					}
+				}
+			}
+		}
+	}
+	return requests, responses
+}
+
+// classifyMsgBlock returns 1 for the request block, 2 for the response
+// block, 0 for any other const declaration. The discriminator is the
+// first spec's iota expression: `iota + 1` starts requests, `iota + 64`
+// starts responses.
+func classifyMsgBlock(gd *ast.GenDecl) int {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) == 0 {
+			continue
+		}
+		be, ok := vs.Values[0].(*ast.BinaryExpr)
+		if !ok || be.Op != token.ADD {
+			return 0
+		}
+		if id, ok := be.X.(*ast.Ident); !ok || id.Name != "iota" {
+			return 0
+		}
+		lit, ok := be.Y.(*ast.BasicLit)
+		if !ok {
+			return 0
+		}
+		switch lit.Value {
+		case "1":
+			return 1
+		case "64":
+			return 2
+		}
+		return 0
+	}
+	return 0
+}
+
+// dispatchCases collects the wire.Msg* names appearing as switch cases in
+// the package's dispatch function, or nil when the package or function is
+// absent (a program without that tier simply has no such surface).
+func dispatchCases(pkg *Package) map[string]bool {
+	if pkg == nil {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "dispatch" || fd.Body == nil {
+				continue
+			}
+			out := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, expr := range cc.List {
+					if sel, ok := expr.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Msg") {
+						out[sel.Sel.Name] = true
+					}
+				}
+				return true
+			})
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package ltlint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable output for CI: a plain JSON diagnostic array for the
+// nightly workflow and scripts, and SARIF 2.1.0 for the GitHub
+// code-scanning API, which turns each finding into a PR annotation at
+// the offending line.
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits diags as a JSON array. rel maps absolute filenames to
+// module-relative ones so output is stable across machines.
+func WriteJSON(w io.Writer, diags []Diagnostic, rel func(string) string) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    rel(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Minimal SARIF 2.1.0 model — only the fields the code-scanning upload
+// consumes.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits diags as a SARIF 2.1.0 log naming every analyzer as a
+// rule (so suppressed-to-zero rules still register with code scanning).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, diags []Diagnostic, rel func(string) string) error {
+	driver := sarifDriver{Name: "ltlint"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: rel(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

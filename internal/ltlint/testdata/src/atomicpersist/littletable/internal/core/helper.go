@@ -1,0 +1,9 @@
+package core
+
+import "littletable/internal/tablet"
+
+// build delegates to the tablet writer, a module-internal helper that
+// owns the recipe itself — not a raw filesystem create.
+func build(dir string) error {
+	return tablet.Create(dir)
+}

@@ -1,0 +1,13 @@
+package core
+
+// meter is filesystem middleware: it embeds the FS and relays each call,
+// so it forwards whatever discipline its caller chose and is exempt.
+type meter struct {
+	FS
+	creates int
+}
+
+func (m *meter) Create(path string) (File, error) {
+	m.creates++
+	return m.FS.Create(path)
+}

@@ -1,0 +1,16 @@
+package core
+
+// scratch spills to a file that is deleted and rebuilt on every open, so
+// a torn write is unobservable; the suppression records that argument.
+func (t *T) scratch(path string, data []byte) error {
+	//ltlint:ignore atomicpersist scratch spill is deleted and rebuilt on open; torn writes are unobservable
+	f, err := t.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

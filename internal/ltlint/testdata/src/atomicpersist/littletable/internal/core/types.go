@@ -1,0 +1,18 @@
+package core
+
+type FS interface {
+	Create(path string) (File, error)
+	Rename(from, to string) error
+	SyncDir(dir string) error
+}
+
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type T struct {
+	fs  FS
+	dir string
+}

@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+type G struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	n   int
+}
+
+// lockAB nests bmu inside amu.
+func (g *G) lockAB() {
+	g.amu.Lock()
+	g.bmu.Lock() // want `lock order cycle: littletable/internal/core\.G\.bmu acquired while littletable/internal/core\.G\.amu is held`
+	g.n++
+	g.bmu.Unlock()
+	g.amu.Unlock()
+}
+
+// lockBA disagrees about the order, so the two can deadlock the moment
+// they run concurrently.
+func (g *G) lockBA() {
+	g.bmu.Lock()
+	g.amu.Lock() // want `lock order cycle: littletable/internal/core\.G\.amu acquired while littletable/internal/core\.G\.bmu is held`
+	g.n++
+	g.amu.Unlock()
+	g.bmu.Unlock()
+}
+
+// sequential holds the locks one at a time: no nesting, no edge.
+func (g *G) sequential() {
+	g.amu.Lock()
+	g.n++
+	g.amu.Unlock()
+	g.bmu.Lock()
+	g.n++
+	g.bmu.Unlock()
+}

@@ -1,0 +1,49 @@
+package core
+
+import "sync"
+
+type FS interface {
+	Create(path string) error
+	Rename(from, to string) error
+	SyncDir(dir string) error
+}
+
+type T struct {
+	mu sync.Mutex
+	fs FS
+}
+
+// saveUnderLock fsyncs with the table lock held: every request on this
+// table stalls behind disk latency.
+func (t *T) saveUnderLock(path string) { // want `saveUnderLock performs durable file I/O \(Create/Rename/SyncDir\) while littletable/internal/core\.T\.mu is held locally`
+	t.mu.Lock()
+	t.fs.Create(path)
+	t.mu.Unlock()
+}
+
+// persist looks innocent in isolation; the held set propagates in from
+// its caller over the call graph.
+func (t *T) persist(path string) { // want `persist performs durable file I/O \(Create/Rename/SyncDir\) while littletable/internal/core\.T\.mu is held by caller littletable/internal/core\.T\.flush`
+	t.fs.Create(path)
+}
+
+func (t *T) flush(path string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.persist(path)
+}
+
+// saveOutside snapshots under the lock and persists after releasing it —
+// the shape the rule pushes code toward.
+func (t *T) saveOutside(path string) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.fs.Create(path)
+}
+
+//ltlint:ignore lockorder deliberate foreground commit: the tablet list and descriptor must move as one transition
+func (t *T) commitLocked(path string) {
+	t.mu.Lock()
+	t.fs.Create(path)
+	t.mu.Unlock()
+}

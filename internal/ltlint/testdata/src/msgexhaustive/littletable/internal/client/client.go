@@ -1,0 +1,21 @@
+package client
+
+import "littletable/internal/wire"
+
+// msgIdempotency covers every request type, router-only included: the
+// client is how anyone talks to a router.
+var msgIdempotency = map[wire.MsgType]bool{
+	wire.MsgHello:      true,
+	wire.MsgInsert:     false,
+	wire.MsgQuery:      true,
+	wire.MsgRouteTable: false,
+}
+
+// decode references the response constants the client can read.
+func decode(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgOK, wire.MsgRows:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package router
+
+import "littletable/internal/wire"
+
+func dispatch(t wire.MsgType) string {
+	switch t {
+	case wire.MsgHello, wire.MsgQuery:
+		return "local"
+	case wire.MsgInsert, wire.MsgRouteTable:
+		return "forward"
+	}
+	return "reject"
+}

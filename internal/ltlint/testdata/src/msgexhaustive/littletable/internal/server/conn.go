@@ -1,0 +1,15 @@
+package server
+
+import "littletable/internal/wire"
+
+func dispatch(t wire.MsgType) string {
+	switch t {
+	case wire.MsgHello:
+		return "hello"
+	case wire.MsgInsert:
+		return "insert"
+	case wire.MsgQuery:
+		return "query"
+	}
+	return "unknown"
+}

@@ -1,0 +1,21 @@
+package wire
+
+type MsgType uint8
+
+// Requests.
+const (
+	MsgHello MsgType = iota + 1
+	MsgInsert
+	MsgQuery
+	MsgRouteTable // router-only: placement move, never reaches a plain server
+	MsgPhantom    // want `request wire\.MsgPhantom is not handled in internal/server's dispatch switch` `request wire\.MsgPhantom is missing from internal/client's idempotency table` `request wire\.MsgPhantom is not classified in internal/router's dispatch`
+	//ltlint:ignore msgexhaustive experimental message behind a build flag; surfaces land with the feature
+	MsgExperimental
+)
+
+// Responses.
+const (
+	MsgOK MsgType = iota + 64
+	MsgRows
+	MsgLostResult // want `response wire\.MsgLostResult is never referenced by internal/client`
+)

@@ -1,0 +1,62 @@
+package router
+
+import (
+	"context"
+
+	"littletable/internal/wire"
+)
+
+type installer interface {
+	MigrateInstall(ctx context.Context, m *wire.MigrateInstall) error
+}
+
+const chunkSize = 4096
+
+// shipGood restarts the file from offset 0 on every retry attempt: the
+// offset is declared inside the retry loop, so a failed attempt re-ships
+// the whole file.
+func shipGood(ctx context.Context, cl installer, file string, data []byte) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var off int64
+		for off < int64(len(data)) {
+			end := off + chunkSize
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			err = cl.MigrateInstall(ctx, &wire.MigrateInstall{File: file, Offset: off, Data: data[off:end]})
+			if err != nil {
+				break
+			}
+			off = end
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// shipBad carries the offset across attempts: after a failure mid-file,
+// the next attempt resumes at a staging offset the target may not have.
+func shipBad(ctx context.Context, cl installer, file string, data []byte) error {
+	var err error
+	var off int64
+	for attempt := 0; attempt < 3; attempt++ {
+		for off < int64(len(data)) {
+			end := off + chunkSize
+			if end > int64(len(data)) {
+				end = int64(len(data))
+			}
+			err = cl.MigrateInstall(ctx, &wire.MigrateInstall{File: file, Offset: off, Data: data[off:end]}) // want `MigrateInstall retried without restarting off at 0`
+			if err != nil {
+				break
+			}
+			off = end
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}

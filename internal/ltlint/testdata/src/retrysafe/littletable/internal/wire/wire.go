@@ -1,0 +1,19 @@
+package wire
+
+type MsgType uint8
+
+const (
+	MsgHello MsgType = iota + 1
+	MsgInsert
+	MsgDelete
+	MsgQuery
+	MsgMigrateInstall
+)
+
+// MigrateInstall ships one chunk of a tablet image.
+type MigrateInstall struct {
+	Table  string
+	File   string
+	Offset int64
+	Data   []byte
+}

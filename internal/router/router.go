@@ -135,6 +135,10 @@ type Router struct {
 
 	// pmu guards placement, the table→shard-address override map. A table
 	// in the map lives where the map says, not where the ring says.
+	// wmu serializes placement writers so the persisted file never goes
+	// backwards; it is acquired before pmu and held across the save —
+	// pmu itself is never held across file I/O.
+	wmu       sync.Mutex
 	pmu       sync.Mutex
 	placement map[string]string
 
@@ -248,10 +252,15 @@ func (r *Router) Placement(table string) (addr string, overridden bool) {
 	return r.shards[r.ring.owner(table)].addr, false
 }
 
-// setPlacement records (and persists) a placement override.
+// setPlacement records (and persists) a placement override. Writers
+// serialize on wmu; pmu is held only for the in-memory map mutation and
+// snapshot, never across the fsync — a placement write must not stall
+// the routing of every other table behind disk latency (DESIGN §11).
+// Lock order: wmu before pmu.
 func (r *Router) setPlacement(table, addr string) error {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
 	r.pmu.Lock()
-	defer r.pmu.Unlock()
 	prev, had := r.placement[table]
 	if r.shards[r.ring.owner(table)].addr == addr {
 		// Migrating back to the ring's choice: drop the override entirely
@@ -260,13 +269,24 @@ func (r *Router) setPlacement(table, addr string) error {
 	} else {
 		r.placement[table] = addr
 	}
-	if err := r.savePlacementLocked(); err != nil {
+	snapshot := make(map[string]string, len(r.placement))
+	for k, v := range r.placement {
+		snapshot[k] = v
+	}
+	r.pmu.Unlock()
+	if err := r.savePlacement(snapshot); err != nil {
 		// Restore the in-memory map so routing matches the durable state.
+		// wmu is still held, so no concurrent writer saw the new entry on
+		// disk; readers that routed on it meanwhile routed on a placement
+		// that simply never became durable — the same window a crash
+		// before the rename leaves.
+		r.pmu.Lock()
 		if had {
 			r.placement[table] = prev
 		} else {
 			delete(r.placement, table)
 		}
+		r.pmu.Unlock()
 		return err
 	}
 	return nil
@@ -293,14 +313,15 @@ func (r *Router) loadPlacement() error {
 	return nil
 }
 
-// savePlacementLocked writes the override map atomically: temp file,
+// savePlacement writes a placement snapshot atomically: temp file,
 // sync, rename, sync dir — the same recipe as the descriptor (§3.2).
-// Callers hold pmu.
-func (r *Router) savePlacementLocked() error {
+// Callers hold wmu (so saves are ordered) but NOT pmu: the fsync runs
+// outside the routing lock.
+func (r *Router) savePlacement(placement map[string]string) error {
 	if r.opts.Root == "" {
 		return nil
 	}
-	data, err := json.MarshalIndent(r.placement, "", "  ")
+	data, err := json.MarshalIndent(placement, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"sort"
+	"sync"
 	"time"
 
 	"littletable/internal/client"
@@ -20,9 +21,17 @@ func (r *Router) fanOut(ctx context.Context, shards []*shard, fn func(ctx contex
 	defer cancel()
 	sem := make(chan struct{}, r.opts.ScatterConcurrency)
 	errc := make(chan error, len(shards))
+	// Every worker is WaitGroup-tied: draining errc proves every fn
+	// returned, but not that the goroutines finished their sem release,
+	// so fanOut waits for true quiescence before returning. Without this
+	// a worker's tail could still be running while Close tears the
+	// router down.
+	var wg sync.WaitGroup
 	for _, sh := range shards {
 		sem <- struct{}{}
+		wg.Add(1)
 		go func(sh *shard) {
+			defer wg.Done()
 			defer func() { <-sem }()
 			cl, err := sh.client(ctx)
 			if err == nil {
@@ -40,6 +49,7 @@ func (r *Router) fanOut(ctx context.Context, shards []*shard, fn func(ctx contex
 			first = err
 		}
 	}
+	wg.Wait()
 	return first
 }
 
