@@ -412,3 +412,29 @@ func BenchmarkBlockEncode(b *testing.B) {
 		b.ReportMetric(bytesPerRow[1].Y, "dense-auto-B/row")
 	}
 }
+
+// BenchmarkRollup measures the server-side aggregation economics at
+// reduced scale: one dashboard window read as raw rows versus one
+// AggQuery shipping O(groups) mergeable states, plus the continuous
+// rollup fold into a downsampled table. The bytes-to-client reduction
+// (≥5x raw/agg) is the headline; BENCH_10.json records a captured run.
+func BenchmarkRollup(b *testing.B) {
+	cfg := ltbench.RollupConfig{
+		Networks:     2,
+		Devices:      4,
+		Buckets:      6,
+		RowsPerGroup: 40,
+		Queries:      5,
+		Dir:          b.TempDir(),
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := ltbench.RunRollup(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes := res.Series[0].Points
+		b.ReportMetric(bytes[0].Y/bytes[1].Y, "raw/agg-bytes-ratio")
+		b.ReportMetric(bytes[0].Y/bytes[2].Y, "raw/rollup-bytes-ratio")
+		b.ReportMetric(res.Series[2].Points[0].Y, "rollup-rows/s")
+	}
+}

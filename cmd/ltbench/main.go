@@ -51,7 +51,7 @@ func main() {
 			"headline", "fig2", "fig3", "fig4", "fig5", "fig6",
 			"fig7", "fig8", "fig9", "fig10", "rates", "appendix", "ablations",
 			"parallel", "writeload", "maintain", "netload", "encode",
-			"routerscatter",
+			"routerscatter", "rollup",
 		}
 	}
 	for _, name := range names {
@@ -182,6 +182,16 @@ func dispatch(name string, full bool) (*ltbench.Result, error) {
 			cfg.Queries = 100
 		}
 		return ltbench.RunRouterScatter(cfg)
+	case "rollup":
+		cfg := ltbench.RollupConfig{}
+		if full {
+			cfg.Networks = 8
+			cfg.Devices = 16
+			cfg.Buckets = 30
+			cfg.RowsPerGroup = 40
+			cfg.Queries = 50
+		}
+		return ltbench.RunRollup(cfg)
 	case "maintain":
 		cfg := ltbench.MaintainConfig{}
 		if full {
@@ -200,5 +210,5 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `ltbench regenerates the paper's evaluation figures.
 
 usage: ltbench [-full] <experiment>...
-experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload encode routerscatter all`)
+experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 rates appendix ablations parallel writeload maintain netload encode routerscatter rollup all`)
 }

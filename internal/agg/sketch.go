@@ -1,0 +1,198 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// sketchAlpha is the sketch's relative accuracy: a reported quantile is
+// within ±1% of the true value. With γ = (1+α)/(1−α), values are binned
+// by ⌈log_γ v⌉, so a bucket index is ~14 bits for any physical quantity
+// and the map stays tiny even for heavy-tailed data.
+const sketchAlpha = 0.01
+
+var (
+	sketchGamma    = (1 + sketchAlpha) / (1 - sketchAlpha)
+	sketchLogGamma = math.Log(sketchGamma)
+)
+
+// Sketch is a DDSketch-style quantile summary over logarithmic buckets:
+// per-bucket counts for positive and negative values plus an exact zero
+// count. Merging two sketches is bucket-count addition, which is
+// associative and commutative — the property the router's shard-merge
+// relies on (merge order cannot change a reported quantile).
+type Sketch struct {
+	pos  map[int32]int64
+	neg  map[int32]int64 // indexed by the magnitude's bucket
+	zero int64
+}
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch {
+	return &Sketch{pos: make(map[int32]int64), neg: make(map[int32]int64)}
+}
+
+// sketchIndex bins a positive value; ±Inf and extreme magnitudes clamp
+// to the int32 range instead of hitting Go's undefined float→int
+// conversion.
+func sketchIndex(v float64) int32 {
+	l := math.Ceil(math.Log(v) / sketchLogGamma)
+	if l >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if l <= math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(l)
+}
+
+// sketchValue is the representative value of bucket i, the midpoint of
+// the bucket's (γ^(i−1), γ^i] range in relative terms.
+func sketchValue(i int32) float64 {
+	return 2 * math.Pow(sketchGamma, float64(i)) / (sketchGamma + 1)
+}
+
+// Add folds one value. NaN is ignored.
+func (s *Sketch) Add(v float64) {
+	switch {
+	case math.IsNaN(v):
+	case v == 0:
+		s.zero++
+	case v > 0:
+		s.pos[sketchIndex(v)]++
+	default:
+		s.neg[sketchIndex(-v)]++
+	}
+}
+
+// Count returns the number of values folded.
+func (s *Sketch) Count() int64 {
+	n := s.zero
+	for _, c := range s.pos {
+		n += c
+	}
+	for _, c := range s.neg {
+		n += c
+	}
+	return n
+}
+
+// Merge folds o into s. o may be nil.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil {
+		return
+	}
+	s.zero += o.zero
+	for i, c := range o.pos {
+		s.pos[i] += c
+	}
+	for i, c := range o.neg {
+		s.neg[i] += c
+	}
+}
+
+// Quantile returns the q-quantile estimate (q clamped to [0, 1]), or
+// NaN for an empty sketch. Buckets are walked in value order: most
+// negative first (descending magnitude index), then zero, then
+// positives ascending.
+func (s *Sketch) Quantile(q float64) float64 {
+	n := s.Count()
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n-1)) // 0-based rank
+	acc := int64(0)
+	negIdx := sortedIndices(s.neg)
+	for i := len(negIdx) - 1; i >= 0; i-- {
+		acc += s.neg[negIdx[i]]
+		if acc > rank {
+			return -sketchValue(negIdx[i])
+		}
+	}
+	acc += s.zero
+	if acc > rank {
+		return 0
+	}
+	for _, i := range sortedIndices(s.pos) {
+		acc += s.pos[i]
+		if acc > rank {
+			return sketchValue(i)
+		}
+	}
+	// Unreachable: rank < n and the walk covers all n values.
+	return math.NaN()
+}
+
+func sortedIndices(m map[int32]int64) []int32 {
+	out := make([]int32, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// AppendBinary appends a deterministic binary encoding (sorted bucket
+// order, varint-packed) and returns the extended slice.
+func (s *Sketch) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.zero))
+	for _, m := range []map[int32]int64{s.pos, s.neg} {
+		idx := sortedIndices(m)
+		dst = binary.AppendUvarint(dst, uint64(len(idx)))
+		for _, i := range idx {
+			dst = binary.AppendVarint(dst, int64(i))
+			dst = binary.AppendUvarint(dst, uint64(m[i]))
+		}
+	}
+	return dst
+}
+
+// UnmarshalSketch decodes an AppendBinary image. The whole buffer must
+// be consumed; counts and indices are validated so a hostile image
+// cannot produce negative counts or out-of-range buckets.
+func UnmarshalSketch(b []byte) (*Sketch, error) {
+	s := NewSketch()
+	zero, n := binary.Uvarint(b)
+	if n <= 0 || zero > math.MaxInt64 {
+		return nil, fmt.Errorf("agg: bad sketch zero count")
+	}
+	s.zero = int64(zero)
+	b = b[n:]
+	for _, m := range []map[int32]int64{s.pos, s.neg} {
+		cnt, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("agg: bad sketch bucket count")
+		}
+		b = b[n:]
+		// Each entry is ≥ 2 bytes; a count the buffer cannot hold is
+		// rejected before any allocation proportional to it.
+		if cnt > uint64(len(b)) {
+			return nil, fmt.Errorf("agg: sketch bucket count %d exceeds payload", cnt)
+		}
+		for j := uint64(0); j < cnt; j++ {
+			idx, n := binary.Varint(b)
+			if n <= 0 || idx < math.MinInt32 || idx > math.MaxInt32 {
+				return nil, fmt.Errorf("agg: bad sketch bucket index")
+			}
+			b = b[n:]
+			c, n := binary.Uvarint(b)
+			if n <= 0 || c == 0 || c > math.MaxInt64 {
+				return nil, fmt.Errorf("agg: bad sketch bucket value")
+			}
+			b = b[n:]
+			m[int32(idx)] += int64(c)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("agg: %d trailing bytes after sketch", len(b))
+	}
+	return s, nil
+}

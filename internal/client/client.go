@@ -272,6 +272,7 @@ var msgIdempotency = map[wire.MsgType]bool{
 	wire.MsgMigrateEnd:     true,
 	wire.MsgMigrateTable:   false, // router-side move is a write workflow
 	wire.MsgRouterStats:    true,
+	wire.MsgAggQuery:       true, // pure read: folds rows into aggregates
 }
 
 // retryAfterSend consults the classification table above.

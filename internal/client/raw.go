@@ -31,6 +31,22 @@ func (c *Client) ScatterQuery(ctx context.Context, q *wire.ScatterQuery) (*wire.
 	return wire.DecodeScatterRows(resp)
 }
 
+// AggQuery folds every matching table's rows into grouped aggregate
+// states on the server (MsgAggQuery) and returns the partials
+// (MsgAggResult); only O(groups) state crosses the wire, never the raw
+// rows. Against a router, the partials have already been merged across
+// shards. Use agg.Finalize to turn the mergeable states into values.
+func (c *Client) AggQuery(ctx context.Context, q *wire.AggQuery) (*wire.AggResult, error) {
+	mt, resp, err := c.do(ctx, wire.MsgAggQuery, q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	if mt != wire.MsgAggResult {
+		return nil, fmt.Errorf("client: unexpected response type %d", mt)
+	}
+	return wire.DecodeAggResult(resp)
+}
+
 // MigrateBegin freezes and pins a table's sealed tablets on the server
 // and returns the manifest to copy. Pair with MigrateEnd.
 func (c *Client) MigrateBegin(ctx context.Context, table string) (*wire.MigrateManifest, error) {

@@ -44,6 +44,7 @@ type descriptor struct {
 	TTL     int64          `json:"ttl_us"` // 0 = no expiry
 	NextSeq uint64         `json:"next_seq"`
 	Tablets []tabletRecord `json:"tablets"`
+	Rollups []RollupRule   `json:"rollups,omitempty"` // continuous-downsampling rules
 }
 
 // writeDescriptor persists d atomically: write to a temporary file, then

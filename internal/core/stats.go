@@ -69,6 +69,14 @@ type Stats struct {
 	ColumnsXOREncoded     atomic.Int64 // columns written as XOR bitstreams
 	ColumnsDictEncoded    atomic.Int64 // columns written dictionary/lzf
 	ColumnsPlainEncoded   atomic.Int64 // columns that fell back to plain
+
+	// Aggregation + downsampling counters (ROADMAP item 3). Agg* count
+	// the MsgAggQuery read path per scanned table; Rollup* count the
+	// continuous-downsampling jobs with this table as the source.
+	AggQueries        atomic.Int64 // agg queries that scanned this table
+	AggRowsFolded     atomic.Int64 // rows folded into group states by agg queries
+	RollupRuns        atomic.Int64 // rollup job runs that wrote >=1 bucket
+	RollupRowsWritten atomic.Int64 // rows written into rollup destinations
 }
 
 // addEncode folds a tablet writer's encoder report into the counters.
@@ -138,6 +146,11 @@ type StatsSnapshot struct {
 	ColumnsXOREncoded     int64
 	ColumnsDictEncoded    int64
 	ColumnsPlainEncoded   int64
+
+	AggQueries        int64
+	AggRowsFolded     int64
+	RollupRuns        int64
+	RollupRowsWritten int64
 }
 
 // Snapshot copies the counters.
@@ -196,6 +209,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ColumnsXOREncoded:     s.ColumnsXOREncoded.Load(),
 		ColumnsDictEncoded:    s.ColumnsDictEncoded.Load(),
 		ColumnsPlainEncoded:   s.ColumnsPlainEncoded.Load(),
+
+		AggQueries:        s.AggQueries.Load(),
+		AggRowsFolded:     s.AggRowsFolded.Load(),
+		RollupRuns:        s.RollupRuns.Load(),
+		RollupRowsWritten: s.RollupRowsWritten.Load(),
 	}
 }
 

@@ -132,6 +132,7 @@ type Table struct {
 	flushCond   *sync.Cond
 	sc          *schema.Schema
 	ttl         int64
+	rollups     []RollupRule
 	nextSeq     uint64
 	filling     map[period.Period]*fillingTablet
 	lastInsert  *fillingTablet
@@ -236,6 +237,7 @@ func openTable(dir string, d *descriptor, opts Options) (*Table, error) {
 		opts:    opts,
 		sc:      d.Schema,
 		ttl:     d.TTL,
+		rollups: d.Rollups,
 		nextSeq: d.NextSeq,
 		filling: make(map[period.Period]*fillingTablet),
 	}
@@ -857,6 +859,7 @@ func (t *Table) buildDescriptorLocked() *descriptor {
 		Schema:  t.sc,
 		TTL:     t.ttl,
 		NextSeq: t.nextSeq,
+		Rollups: t.rollups,
 	}
 	for _, dt := range t.disk {
 		d.Tablets = append(d.Tablets, dt.rec)

@@ -1,0 +1,291 @@
+package ltbench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"littletable/internal/agg"
+	"littletable/internal/client"
+	"littletable/internal/clock"
+	"littletable/internal/core"
+	"littletable/internal/ltval"
+	"littletable/internal/schema"
+	"littletable/internal/server"
+	"littletable/internal/wire"
+)
+
+// RollupConfig sizes the aggregation-economics experiment: a dashboard
+// window read two ways — shipping every raw row to the client versus one
+// server-side AggQuery shipping O(groups) mergeable states — plus the
+// continuous-downsampling path folding the same window into a rollup
+// table through core.RollupStep.
+type RollupConfig struct {
+	// Networks × Devices is the group-key cardinality; defaults 3 × 4.
+	Networks, Devices int
+	// Buckets is how many one-minute buckets the window spans; default 10.
+	Buckets int
+	// RowsPerGroup is rows per (network, device, bucket); default 40.
+	RowsPerGroup int
+	// Queries is the measurement repetition count; default 20.
+	Queries int
+	Dir     string // temp-dir parent; "" = system default
+}
+
+func (c *RollupConfig) defaults() {
+	if c.Networks == 0 {
+		c.Networks = 3
+	}
+	if c.Devices == 0 {
+		c.Devices = 4
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 10
+	}
+	if c.RowsPerGroup == 0 {
+		c.RowsPerGroup = 40
+	}
+	if c.Queries == 0 {
+		c.Queries = 20
+	}
+}
+
+func rollupBenchSchema() *schema.Schema {
+	return schema.MustNew([]schema.Column{
+		{Name: "network", Type: ltval.Int64},
+		{Name: "device", Type: ltval.Int64},
+		{Name: "ts", Type: ltval.Timestamp},
+		{Name: "rate", Type: ltval.Double},
+		{Name: "bytes", Type: ltval.Int64},
+	}, []string{"network", "device", "ts"})
+}
+
+func rollupBenchSpec() agg.Spec {
+	return agg.Spec{
+		BucketWidth: clock.Minute,
+		GroupCols:   2,
+		Aggs: []agg.Agg{
+			{Func: agg.Count},
+			{Func: agg.Sum, Col: "bytes"},
+			{Func: agg.Min, Col: "rate"},
+			{Func: agg.Max, Col: "rate"},
+			{Func: agg.Avg, Col: "rate"},
+			{Func: agg.Quantile, Col: "rate", Q: 0.95},
+		},
+	}
+}
+
+// RunRollup measures the server-side aggregation economics (§3.1's
+// dashboard shape: many rows in, few series points out). The raw series
+// ships every row of the window to the client, which folds them locally;
+// the aggregate series ships one AggQuery and gets back per-group
+// mergeable states. Both produce identical finalized values — the
+// difference is purely bytes on the wire and where the fold runs. The
+// rollup series then folds the same window into a downsampled table via
+// core.RollupStep, the continuous path the maintenance loop drives.
+func RunRollup(cfg RollupConfig) (*Result, error) {
+	cfg.defaults()
+	dir, err := scratchDir(cfg.Dir, "rollup")
+	if err != nil {
+		return nil, err
+	}
+	defer scratchRemove(dir)
+
+	srv, err := server.New(server.Options{
+		Root: dir,
+		// Long interval: the bench drives RollupStep itself so the
+		// maintenance loop cannot race the measured passes.
+		MaintenanceInterval: time.Hour,
+		Logf:                func(string, ...interface{}) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	c, err := client.DialContext(context.Background(), lis.Addr().String(), client.Options{
+		DialTimeout: 5 * time.Second,
+		JitterSeed:  1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	sc := rollupBenchSchema()
+	if err := c.CreateTable("usage", sc, 0); err != nil {
+		return nil, err
+	}
+	tab, err := c.OpenTable("usage")
+	if err != nil {
+		return nil, err
+	}
+	// Minute-aligned so each group's rows land in exactly one bucket.
+	base := (int64(1_700_000_000) * clock.Second / clock.Minute) * clock.Minute
+	rng := newXorshift(11)
+	totalRows := 0
+	var batch []schema.Row
+	for bk := 0; bk < cfg.Buckets; bk++ {
+		for n := 0; n < cfg.Networks; n++ {
+			for d := 0; d < cfg.Devices; d++ {
+				for i := 0; i < cfg.RowsPerGroup; i++ {
+					ts := base + int64(bk)*clock.Minute + int64(i)*(clock.Minute/int64(cfg.RowsPerGroup+1))
+					batch = append(batch, schema.Row{
+						ltval.NewInt64(int64(n)), ltval.NewInt64(int64(d)), ltval.NewTimestamp(ts),
+						ltval.NewDouble(float64(rng.next()%1000) / 10),
+						ltval.NewInt64(int64(rng.next() % 100000)),
+					})
+					totalRows++
+					if len(batch) == 256 {
+						if err := tab.InsertNow(batch); err != nil {
+							return nil, err
+						}
+						batch = batch[:0]
+					}
+				}
+			}
+		}
+	}
+	if len(batch) > 0 {
+		if err := tab.InsertNow(batch); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.FlushAllTables(); err != nil {
+		return nil, err
+	}
+
+	spec := rollupBenchSpec()
+	lo, hi := base, base+int64(cfg.Buckets)*clock.Minute-1
+
+	// Raw series: every row crosses the wire; the client folds.
+	var rawBytes int64
+	start := time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		kq := client.NewQuery()
+		kq.MinTs, kq.MaxTs = lo, hi
+		rows, err := tab.Query(kq).All()
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != totalRows {
+			return nil, fmt.Errorf("raw read got %d rows, want %d", len(rows), totalRows)
+		}
+		acc, err := agg.NewAccumulator(sc, spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			acc.Add(r)
+		}
+		if q == 0 {
+			// The payload the server shipped, measured by re-encoding the
+			// rows in the wire format the query response uses.
+			var b wire.Buf
+			b.Rows(sc, rows)
+			rawBytes = int64(len(b.B))
+		}
+	}
+	rawDur := time.Since(start).Seconds() / float64(cfg.Queries)
+
+	// Aggregate series: one AggQuery, O(groups) bytes back.
+	var aggBytes int64
+	var groups int
+	start = time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		res, err := c.AggQuery(context.Background(), &wire.AggQuery{
+			Prefix: "usage", Spec: spec, MinTs: lo, MaxTs: hi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.RowsFolded != int64(totalRows) {
+			return nil, fmt.Errorf("agg folded %d rows, want %d", res.RowsFolded, totalRows)
+		}
+		if q == 0 {
+			aggBytes = int64(len(res.Encode()))
+			groups = len(res.Groups)
+		}
+	}
+	aggDur := time.Since(start).Seconds() / float64(cfg.Queries)
+	wantGroups := cfg.Networks * cfg.Devices * cfg.Buckets
+	if groups != wantGroups {
+		return nil, fmt.Errorf("agg returned %d groups, want %d", groups, wantGroups)
+	}
+
+	// Continuous-downsampling series: fold the window into a rollup table
+	// the way the maintenance loop does, then read the downsampled table.
+	src, err := srv.Table("usage")
+	if err != nil {
+		return nil, err
+	}
+	rule := core.RollupRule{
+		Dest:        "usage_1m",
+		BucketWidth: clock.Minute,
+		GroupCols:   2,
+		Aggs:        spec.Aggs,
+	}
+	if err := src.SetRollups([]core.RollupRule{rule}); err != nil {
+		return nil, err
+	}
+	destSc, err := rule.DestSchema(src.Schema())
+	if err != nil {
+		return nil, err
+	}
+	dest, err := srv.CreateTable(rule.Dest, destSc, 0)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	written, err := core.RollupStep(src, dest, rule, hi+clock.Minute)
+	if err != nil {
+		return nil, err
+	}
+	rollupDur := time.Since(start).Seconds()
+	if written != int64(wantGroups) {
+		return nil, fmt.Errorf("rollup wrote %d rows, want %d", written, wantGroups)
+	}
+	rolled, err := dest.QueryAll(core.NewQuery())
+	if err != nil {
+		return nil, err
+	}
+	if len(rolled) != wantGroups {
+		return nil, fmt.Errorf("rollup produced %d rows, want %d", len(rolled), wantGroups)
+	}
+	var rolledBytes int64
+	{
+		var b wire.Buf
+		b.Rows(destSc, rolled)
+		rolledBytes = int64(len(b.B))
+	}
+
+	res := &Result{
+		Figure: "rollup",
+		Title:  "server-side aggregation: bytes to client, raw rows vs AggQuery vs rollup table",
+		Series: []Series{
+			{Name: "bytes to client", Points: []Point{
+				{X: 0, Y: float64(rawBytes), Label: "raw rows"},
+				{X: 1, Y: float64(aggBytes), Label: "agg query"},
+				{X: 2, Y: float64(rolledBytes), Label: "rollup table"},
+			}},
+			{Name: "dashboard read latency (ms)", Points: []Point{
+				{X: 0, Y: rawDur * 1000, Label: "raw rows"},
+				{X: 1, Y: aggDur * 1000, Label: "agg query"},
+			}},
+			{Name: "rollup fold (rows/s)", Points: []Point{
+				{X: 0, Y: float64(totalRows) / math.Max(rollupDur, 1e-9), Label: "rollup step"},
+			}},
+		},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d rows folded to %d groups: raw ships %d bytes, AggQuery ships %d (%.1fx reduction), the 1m rollup table reads back at %d bytes (%.1fx)",
+		totalRows, groups, rawBytes, aggBytes,
+		float64(rawBytes)/float64(aggBytes), rolledBytes, float64(rawBytes)/float64(rolledBytes)))
+	return res, nil
+}

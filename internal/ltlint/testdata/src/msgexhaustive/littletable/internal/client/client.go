@@ -9,12 +9,13 @@ var msgIdempotency = map[wire.MsgType]bool{
 	wire.MsgInsert:     false,
 	wire.MsgQuery:      true,
 	wire.MsgRouteTable: false,
+	wire.MsgAggQuery:   true,
 }
 
 // decode references the response constants the client can read.
 func decode(t wire.MsgType) bool {
 	switch t {
-	case wire.MsgOK, wire.MsgRows:
+	case wire.MsgOK, wire.MsgRows, wire.MsgAggResult:
 		return true
 	}
 	return false

@@ -4,7 +4,7 @@ import "littletable/internal/wire"
 
 func dispatch(t wire.MsgType) string {
 	switch t {
-	case wire.MsgHello, wire.MsgQuery:
+	case wire.MsgHello, wire.MsgQuery, wire.MsgAggQuery:
 		return "local"
 	case wire.MsgInsert, wire.MsgRouteTable:
 		return "forward"

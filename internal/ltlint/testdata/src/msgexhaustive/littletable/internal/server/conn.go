@@ -10,6 +10,8 @@ func dispatch(t wire.MsgType) string {
 		return "insert"
 	case wire.MsgQuery:
 		return "query"
+	case wire.MsgAggQuery:
+		return "agg"
 	}
 	return "unknown"
 }

@@ -11,6 +11,7 @@ const (
 	MsgPhantom    // want `request wire\.MsgPhantom is not handled in internal/server's dispatch switch` `request wire\.MsgPhantom is missing from internal/client's idempotency table` `request wire\.MsgPhantom is not classified in internal/router's dispatch`
 	//ltlint:ignore msgexhaustive experimental message behind a build flag; surfaces land with the feature
 	MsgExperimental
+	MsgAggQuery // fully wired on all three surfaces: zero diagnostics expected
 )
 
 // Responses.
@@ -18,4 +19,5 @@ const (
 	MsgOK MsgType = iota + 64
 	MsgRows
 	MsgLostResult // want `response wire\.MsgLostResult is never referenced by internal/client`
+	MsgAggResult  // referenced by the client's decode switch below
 )

@@ -175,26 +175,12 @@ func (r *Router) handleScatterQuery(wc *wire.Conn, payload []byte) error {
 		return r.sendErr(wc, err)
 	}
 	merged := &wire.ScatterRows{}
-	// A table can transiently exist on two shards mid-migration; the
-	// routed owner's copy is authoritative.
-	byTable := make(map[string]int)
-	for i, sh := range up {
-		res := results[i]
+	lists := make([][]wire.ScatterTableRows, len(up))
+	for i, res := range results {
 		merged.Truncated = merged.Truncated || res.Truncated
-		for _, sec := range res.Tables {
-			if j, dup := byTable[sec.Table]; dup {
-				if r.shardFor(sec.Table) == sh {
-					merged.Tables[j] = sec
-				}
-				continue
-			}
-			byTable[sec.Table] = len(merged.Tables)
-			merged.Tables = append(merged.Tables, sec)
-		}
+		lists[i] = res.Tables
 	}
-	sort.Slice(merged.Tables, func(i, j int) bool {
-		return merged.Tables[i].Table < merged.Tables[j].Table
-	})
+	merged.Tables = mergeSections(r, up, lists, func(sec wire.ScatterTableRows) string { return sec.Table })
 	if m.MaxTables > 0 && len(merged.Tables) > int(m.MaxTables) {
 		merged.Tables = merged.Tables[:m.MaxTables]
 		merged.Truncated = true
@@ -204,4 +190,48 @@ func (r *Router) handleScatterQuery(wc *wire.Conn, payload []byte) error {
 		return r.sendErr(wc, err)
 	}
 	return wc.WriteMsg(wire.MsgScatterRows, b)
+}
+
+// mergeSections k-way merges per-shard section lists into one list
+// sorted by table name. Each server already emits its sections in
+// sorted name order, so the merge is a heads walk, not a re-sort: pick
+// the smallest head name, emit one section for it, advance every list
+// positioned there. A table can transiently exist on two shards
+// mid-migration; the copy from the shard the ring routes the table to
+// is authoritative, with the first reporter as fallback when the owner
+// itself did not report it.
+func mergeSections[T any](r *Router, shards []*shard, lists [][]T, name func(T) string) []T {
+	heads := make([]int, len(lists))
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]T, 0, total)
+	for {
+		min := ""
+		any := false
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if n := name(l[heads[i]]); !any || n < min {
+				min, any = n, true
+			}
+		}
+		if !any {
+			return merged
+		}
+		owner := r.shardFor(min)
+		chosen, have := -1, false
+		for i, l := range lists {
+			if heads[i] >= len(l) || name(l[heads[i]]) != min {
+				continue
+			}
+			if !have || shards[i] == owner {
+				chosen, have = i, true
+			}
+			heads[i]++
+		}
+		merged = append(merged, lists[chosen][heads[chosen]-1])
+	}
 }

@@ -132,7 +132,7 @@ func (r *Router) sendOverloaded(wc *wire.Conn, msg string) error {
 func rateLimited(mt wire.MsgType) bool {
 	switch mt {
 	case wire.MsgInsert, wire.MsgQuery, wire.MsgLatestRow, wire.MsgDelete,
-		wire.MsgScatterQuery:
+		wire.MsgScatterQuery, wire.MsgAggQuery:
 		return true
 	}
 	return false
@@ -158,6 +158,9 @@ func (r *Router) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 
 	case wire.MsgScatterQuery:
 		return r.handleScatterQuery(wc, payload)
+
+	case wire.MsgAggQuery:
+		return r.handleAggQuery(wc, payload)
 
 	case wire.MsgRouterStats:
 		return wc.WriteMsg(wire.MsgRouterStatsResult, r.statsResult().Encode())

@@ -338,6 +338,11 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 			ColumnsXOREncoded:     st.ColumnsXOREncoded,
 			ColumnsDictEncoded:    st.ColumnsDictEncoded,
 			ColumnsPlainEncoded:   st.ColumnsPlainEncoded,
+
+			AggQueries:        st.AggQueries,
+			AggRowsFolded:     st.AggRowsFolded,
+			RollupRuns:        st.RollupRuns,
+			RollupRowsWritten: st.RollupRowsWritten,
 		}
 		resp.BlockCacheHits, resp.BlockCacheMisses = t.BlockCacheStats()
 		return wc.WriteMsg(wire.MsgStatsResult, resp.Encode())
@@ -348,6 +353,9 @@ func (s *Server) dispatch(wc *wire.Conn, mt wire.MsgType, payload []byte) error 
 
 	case wire.MsgScatterQuery:
 		return s.handleScatterQuery(wc, payload)
+
+	case wire.MsgAggQuery:
+		return s.handleAggQuery(wc, payload)
 
 	case wire.MsgMigrateBegin:
 		return s.handleMigrateBegin(wc, payload)

@@ -120,6 +120,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			func(i int) int64 { return snaps[i].ColumnsDictEncoded }},
 		{"littletable_columns_plain_encoded_total", "Columns that fell back to plain encoding", "counter",
 			func(i int) int64 { return snaps[i].ColumnsPlainEncoded }},
+		{"littletable_agg_queries_total", "Aggregation queries that scanned this table", "counter",
+			func(i int) int64 { return snaps[i].AggQueries }},
+		{"littletable_agg_rows_folded_total", "Rows folded into group states by aggregation queries", "counter",
+			func(i int) int64 { return snaps[i].AggRowsFolded }},
+		{"littletable_rollup_runs_total", "Rollup job runs that wrote buckets from this table", "counter",
+			func(i int) int64 { return snaps[i].RollupRuns }},
+		{"littletable_rollup_rows_written_total", "Rows written into rollup destination tables", "counter",
+			func(i int) int64 { return snaps[i].RollupRowsWritten }},
 		{"littletable_merges_in_flight", "Merges running right now", "gauge",
 			func(i int) int64 { return snaps[i].MergesInFlight }},
 		{"littletable_expiries_in_flight", "TTL expiry rounds running right now", "gauge",

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"errors"
+
+	"littletable/internal/core"
+)
+
+// runRollups drives one pass of every table's continuous-downsampling
+// rules (core.RollupRule), on the same cadence as the rest of the
+// maintenance loop. The destination table is created on first use with
+// the schema the rule derives and the rule's own TTL — the paper's raw
+// short-TTL / summary long-TTL split (§2.2) without any operator step
+// beyond declaring the rule. Failures are logged and retried next tick;
+// the watermark recovery inside core.RollupStep makes a half-finished
+// pass safe to repeat.
+func (s *Server) runRollups() {
+	for _, src := range s.snapshotTables() {
+		for _, rule := range src.Rollups() {
+			dest, err := s.Table(rule.Dest)
+			if errors.Is(err, ErrNoSuchTable) {
+				destSc, derr := rule.DestSchema(src.Schema())
+				if derr != nil {
+					s.opts.Logf("littletable: rollup %s -> %s: %v", src.Name(), rule.Dest, derr)
+					continue
+				}
+				dest, err = s.CreateTable(rule.Dest, destSc, rule.TTL)
+			}
+			if err != nil {
+				s.opts.Logf("littletable: rollup %s -> %s: %v", src.Name(), rule.Dest, err)
+				continue
+			}
+			if _, err := core.RollupStep(src, dest, rule, s.Now()); err != nil &&
+				!errors.Is(err, core.ErrTableClosed) {
+				s.opts.Logf("littletable: rollup %s -> %s: %v", src.Name(), rule.Dest, err)
+			}
+		}
+	}
+}

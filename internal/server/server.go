@@ -200,6 +200,7 @@ func (s *Server) maintainLoop() {
 					s.opts.Logf("littletable: maintenance on %s: %v", t.Name(), err)
 				}
 			}
+			s.runRollups()
 		}
 	}
 }

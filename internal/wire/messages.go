@@ -520,6 +520,13 @@ type StatsResult struct {
 	ColumnsXOREncoded     int64
 	ColumnsDictEncoded    int64
 	ColumnsPlainEncoded   int64
+
+	// Aggregation + downsampling counters: the MsgAggQuery read path and
+	// the continuous-downsampling rollup jobs sourced from this table.
+	AggQueries        int64
+	AggRowsFolded     int64
+	RollupRuns        int64
+	RollupRowsWritten int64
 }
 
 // Encode serializes the message payload.
@@ -545,6 +552,8 @@ func (m *StatsResult) Encode() []byte {
 		m.BytesBeforeEncode, m.BytesAfterEncode,
 		m.ColumnsDeltaEncoded, m.ColumnsXOREncoded,
 		m.ColumnsDictEncoded, m.ColumnsPlainEncoded,
+		m.AggQueries, m.AggRowsFolded,
+		m.RollupRuns, m.RollupRowsWritten,
 	} {
 		b.I64(v)
 	}
@@ -575,6 +584,8 @@ func DecodeStatsResult(p []byte) (*StatsResult, error) {
 		&m.BytesBeforeEncode, &m.BytesAfterEncode,
 		&m.ColumnsDeltaEncoded, &m.ColumnsXOREncoded,
 		&m.ColumnsDictEncoded, &m.ColumnsPlainEncoded,
+		&m.AggQueries, &m.AggRowsFolded,
+		&m.RollupRuns, &m.RollupRowsWritten,
 	} {
 		*f = d.I64()
 	}

@@ -51,6 +51,11 @@ const (
 	MsgMigrateInstall // ship a sealed-tablet chunk into the target shard
 	MsgMigrateTable   // router-only: move a table to another shard
 	MsgRouterStats    // router-only: routing counters + shard health
+	// MsgAggQuery is a server-side aggregation over every table matching a
+	// prefix: rows fold into (time-bucket × key-prefix) groups as the merge
+	// cursor yields them, so only O(groups) partial aggregates cross the
+	// wire (see internal/agg and agg.go in this package).
+	MsgAggQuery
 )
 
 // Server→client message types.
@@ -74,6 +79,7 @@ const (
 	MsgMigrateManifest   // schema + pinned tablet list answering MsgMigrateBegin
 	MsgMigrateChunk      // tablet bytes answering MsgMigrateFetch
 	MsgRouterStatsResult // counters + shard health answering MsgRouterStats
+	MsgAggResult         // mergeable partial aggregates answering MsgAggQuery
 )
 
 // ProtocolVersion guards client/server compatibility in Hello.

@@ -28,6 +28,9 @@
 //   - SQLEngine: the SQL front end (CREATE/DROP/ALTER TABLE, INSERT,
 //     SELECT with aggregates, GROUP BY, ORDER BY, LIMIT, and the SELECT
 //     LATEST and FLUSH TABLE extensions).
+//   - AggSpec/AggQuery/RollupRule: server-side streaming aggregation
+//     (Client.AggQuery ships O(groups) mergeable states, not rows) and
+//     continuous downsampling rules the maintenance loop executes.
 //
 // See examples/quickstart for an end-to-end walkthrough, and DESIGN.md for
 // the mapping from the paper's sections to packages.
@@ -36,6 +39,7 @@ package littletable
 import (
 	"context"
 
+	"littletable/internal/agg"
 	"littletable/internal/client"
 	"littletable/internal/clock"
 	"littletable/internal/core"
@@ -43,6 +47,7 @@ import (
 	"littletable/internal/schema"
 	"littletable/internal/server"
 	"littletable/internal/sql"
+	"littletable/internal/wire"
 )
 
 // Value model.
@@ -196,6 +201,51 @@ func DialClient(ctx context.Context, addr string, opts ClientOptions) (*Client, 
 
 // NewClientQuery returns an unbounded client-side query.
 func NewClientQuery() ClientQuery { return client.NewQuery() }
+
+// Server-side aggregation and continuous downsampling (DESIGN.md §16).
+type (
+	// AggSpec describes one streaming aggregation: a time-bucket width,
+	// how many leading key columns to group by, and the aggregates.
+	AggSpec = agg.Spec
+	// Agg is one aggregate function applied to one column.
+	Agg = agg.Agg
+	// AggFunc identifies an aggregate function.
+	AggFunc = agg.Func
+	// AggGroup is one (bucket × key) group of mergeable partial states.
+	AggGroup = agg.Group
+	// AggOutput is one finalized group: bucket, key, and one value per
+	// aggregate in spec order.
+	AggOutput = agg.Output
+	// AggQuery asks a server (or router) to fold every prefix-matched
+	// table's rows into grouped aggregate states; send it with
+	// Client.AggQuery. Only O(groups) state crosses the wire.
+	AggQuery = wire.AggQuery
+	// AggResult carries the merged groups back; finalize with FinalizeAgg.
+	AggResult = wire.AggResult
+	// RollupRule continuously downsamples a table into a destination
+	// table; install with Table.SetRollups and the server's maintenance
+	// loop executes it with crash-consistent, exactly-once semantics.
+	RollupRule = core.RollupRule
+)
+
+// Aggregate functions.
+const (
+	AggCount    = agg.Count
+	AggSum      = agg.Sum
+	AggMin      = agg.Min
+	AggMax      = agg.Max
+	AggAvg      = agg.Avg
+	AggQuantile = agg.Quantile
+)
+
+var (
+	// FinalizeAgg turns mergeable group states into final values
+	// (avg = sum/count, quantiles from the sketch).
+	FinalizeAgg = agg.Finalize
+	// MergeAggGroups merges two sorted partial-group lists; merging
+	// partials then finalizing equals folding the union.
+	MergeAggGroups = agg.MergeGroups
+)
 
 // SQL surface.
 type (
